@@ -1,0 +1,111 @@
+//! Simulator-core benchmarks: raw event throughput of the fabric under
+//! a saturating workload (bounds how large the figure runs can scale).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use netsim::{
+    Agent, Ctx, Dest, FlowId, NodeKind, Packet, SimConfig, SimPayload, SimTime, Simulator,
+    Topology,
+};
+
+#[derive(Debug, Clone)]
+enum P {
+    Data,
+    Hdr,
+}
+
+impl SimPayload for P {
+    fn is_control(&self) -> bool {
+        matches!(self, P::Hdr)
+    }
+    fn trim(&self) -> Option<Self> {
+        Some(P::Hdr)
+    }
+}
+
+struct Blaster {
+    dst: netsim::NodeId,
+    n: u32,
+    received: u64,
+}
+
+impl Agent<P> for Blaster {
+    fn on_packet(&mut self, _p: Packet<P>, _ctx: &mut Ctx<P>) {
+        self.received += 1;
+    }
+    fn on_timer(&mut self, _t: u64, ctx: &mut Ctx<P>) {
+        for i in 0..self.n {
+            ctx.send(Packet {
+                src: ctx.node,
+                dst: Dest::Host(self.dst),
+                flow: FlowId(u64::from(ctx.node.0) << 32 | u64::from(i)),
+                size: 1500,
+                payload: P::Data,
+            });
+        }
+    }
+}
+
+fn event_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim/event_throughput");
+    g.sample_size(10);
+    // 15 hosts blast 200 packets each at one victim across a k=4
+    // fat-tree: heavy queueing, trimming, multipath.
+    g.throughput(Throughput::Elements(15 * 200));
+    g.bench_function("incast_burst_k4", |b| {
+        b.iter(|| {
+            let topo = Topology::fat_tree(4, 1_000_000_000, 10_000);
+            let hosts = topo.hosts().to_vec();
+            let victim = hosts[0];
+            let mut sim: Simulator<P, Blaster> = Simulator::new(topo, SimConfig::ndp(7));
+            for &h in &hosts {
+                sim.set_agent(h, Blaster { dst: victim, n: 200, received: 0 });
+            }
+            for &h in &hosts[1..] {
+                sim.schedule_timer(h, SimTime::ZERO, 0);
+            }
+            sim.run_to_completion();
+            std::hint::black_box(sim.stats().events)
+        })
+    });
+    g.finish();
+}
+
+fn fat_tree_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim/fat_tree_build");
+    g.sample_size(10);
+    for k in [4usize, 10] {
+        g.bench_function(format!("k={k}_with_routes"), |b| {
+            b.iter(|| Topology::fat_tree(std::hint::black_box(k), 1_000_000_000, 10_000))
+        });
+    }
+    g.finish();
+}
+
+fn switch_kind(t: &Topology) -> usize {
+    (0..t.node_count())
+        .filter(|&n| t.kind(netsim::NodeId(n as u32)) == NodeKind::Switch)
+        .count()
+}
+
+fn routing_lookup(c: &mut Criterion) {
+    let t = Topology::fat_tree(10, 1_000_000_000, 10_000);
+    assert_eq!(switch_kind(&t), 125);
+    let hosts = t.hosts().to_vec();
+    let edge = t.edge_switch(hosts[0]);
+    let mut g = c.benchmark_group("netsim/routing");
+    g.bench_function("next_ports_lookup", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % hosts.len();
+            if hosts[i] != hosts[0] && t.edge_switch(hosts[i]) != edge {
+                std::hint::black_box(t.next_ports(edge, hosts[i]).len())
+            } else {
+                0
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, event_throughput, fat_tree_construction, routing_lookup);
+criterion_main!(benches);

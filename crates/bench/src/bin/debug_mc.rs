@@ -1,0 +1,57 @@
+//! Diagnostic: one multicast session on an otherwise idle fabric.
+
+use netsim::{SimConfig, SimTime, Simulator};
+use polyraptor::{PolyraptorAgent, PrConfig, SessionId, SessionSpec};
+use workload::{install_rq, Fabric};
+
+fn main() {
+    let fabric = Fabric { k: 6, rate_bps: 1_000_000_000, prop_ns: 10_000 };
+    let topo = fabric.build();
+    let hosts = topo.hosts().to_vec();
+    let mut sim: Simulator<_, PolyraptorAgent> = Simulator::new(topo, SimConfig::ndp(1));
+    for &h in &hosts {
+        sim.set_agent(h, PolyraptorAgent::new(h, PrConfig::paper_default(), h.0 as u64));
+    }
+    let (client, replicas) = (hosts[0], vec![hosts[10], hosts[20], hosts[40]]);
+
+    // Unicast reference.
+    let spec_u = SessionSpec::unicast(SessionId(0), 4 << 20, client, hosts[30], SimTime::ZERO);
+    install_rq(&mut sim, &spec_u);
+    sim.run_to_completion();
+    let rec = &sim.agent(hosts[30]).records[0];
+    println!(
+        "unicast:   goodput={:.3} Gbps symbols={} trims={} pulls={}",
+        rec.goodput_gbps(),
+        rec.symbols,
+        rec.trimmed_seen,
+        rec.pulls_sent
+    );
+
+    // Multicast, 3 replicas, idle fabric, 8 sprayed trees.
+    let groups: Vec<_> = (0..8).map(|_| sim.register_group(client, &replicas)).collect();
+    let start = sim.now() + 1000;
+    let spec_m = SessionSpec::multicast(
+        SessionId(1),
+        4 << 20,
+        client,
+        replicas.clone(),
+        groups,
+        start,
+    );
+    install_rq(&mut sim, &spec_m);
+    sim.run_to_completion();
+    for &r in &replicas {
+        let rec = sim.agent(r).records.last().unwrap();
+        println!(
+            "multicast@{}: goodput={:.3} Gbps symbols={} trims={} pulls={} dur={:.3}ms",
+            r.0,
+            rec.goodput_gbps(),
+            rec.symbols,
+            rec.trimmed_seen,
+            rec.pulls_sent,
+            (rec.finish - rec.start) as f64 / 1e6,
+        );
+    }
+    let s = sim.stats();
+    println!("fabric: delivered={} trimmed={} dropped={}", s.delivered, s.trimmed, s.dropped);
+}

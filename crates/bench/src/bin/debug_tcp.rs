@@ -1,0 +1,86 @@
+//! Diagnostic: TCP and RQ storage runs with loss/timeout accounting.
+
+use netsim::{Pcg32, SimConfig, Simulator};
+use tcpsim::{conn_start_token, TcpAgent, TcpConfig};
+use workload::{
+    build_tcp_conns, foreground_goodputs, run_storage_rq, Fabric, Pattern, RankCurve,
+    RqRunOptions, StorageScenario,
+};
+
+fn main() {
+    let fabric = Fabric { k: 6, rate_bps: 1_000_000_000, prop_ns: 10_000 };
+    let mut sc = StorageScenario::fig1a(300, 1, 1);
+
+    // ---- TCP instrumented run -----------------------------------------
+    let topo = fabric.build();
+    let sessions = sc.generate(&topo);
+    let mut sim: Simulator<_, TcpAgent> = Simulator::new(topo, SimConfig::classic(sc.seed));
+    let hosts = sim.topology().hosts().to_vec();
+    for &h in &hosts {
+        sim.set_agent(h, TcpAgent::new(h, TcpConfig::paper_default()));
+    }
+    let conns = build_tcp_conns(&sessions, Pattern::Write);
+    for c in &conns {
+        sim.agent_mut(c.sender).install(c.clone());
+        sim.agent_mut(c.receiver).install(c.clone());
+        sim.schedule_timer(c.sender, c.start, conn_start_token(c.id));
+    }
+    sim.run_to_completion();
+
+    let mut timeouts = 0u64;
+    let mut frtx = 0u64;
+    let mut conns_with_to = 0usize;
+    for c in &conns {
+        let s = sim.agent(c.sender).sender(c.id).unwrap();
+        timeouts += s.timeouts;
+        frtx += s.fast_retransmits;
+        if s.timeouts > 0 {
+            conns_with_to += 1;
+        }
+    }
+    let st = sim.stats();
+    println!(
+        "TCP-1rep: conns={} timeouts={} (conns hit: {}) fast_rtx={} drops={} sim_end={}",
+        conns.len(),
+        timeouts,
+        conns_with_to,
+        frtx,
+        st.dropped,
+        sim.now()
+    );
+    let mut goodputs = Vec::new();
+    for c in conns.iter().filter(|c| !c.background) {
+        let rec = sim
+            .agent(c.receiver)
+            .records
+            .iter()
+            .find(|r| r.conn == c.id)
+            .expect("conn complete");
+        goodputs.push(rec.goodput_gbps());
+    }
+    let curve = RankCurve::new(goodputs);
+    println!(
+        "TCP-1rep goodput: p10={:.3} median={:.3} p90={:.3} mean={:.3}",
+        curve.percentile(10.0),
+        curve.median(),
+        curve.percentile(90.0),
+        curve.mean()
+    );
+
+    // ---- RQ multicast under load: strict aggregation vs detach ---------
+    sc.replicas = 3;
+    for (label, lag) in [("strict", None), ("detach64", Some(64)), ("detach8", Some(8))] {
+        let mut opts = RqRunOptions::default();
+        opts.pr.straggler_lag = lag;
+        let results = run_storage_rq(&sc, &fabric, &opts);
+        let c2 = RankCurve::new(foreground_goodputs(&results));
+        println!(
+            "RQ-3rep[{label}]: p10={:.3} median={:.3} p90={:.3} mean={:.3}",
+            c2.percentile(10.0),
+            c2.median(),
+            c2.percentile(90.0),
+            c2.mean()
+        );
+    }
+    let _ = Pcg32::new(0);
+}

@@ -1,0 +1,334 @@
+//! The Polyraptor host agent: session demultiplexing, the shared pull
+//! queue, pull pacing, and keep-alive sweeps.
+//!
+//! One agent runs per host and carries any number of concurrent sender-
+//! and receiver-side sessions. The receiver side owns **one pull queue
+//! shared by all sessions** (paper §2): every symbol or trimmed-header
+//! arrival enqueues one pull, and the pacer drains the queue at one pull
+//! per symbol-serialization time — so the aggregate data rate converging
+//! on this host matches its access-link capacity regardless of how many
+//! sessions or senders are active.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use netsim::{Agent, Ctx, Dest, FlowId, NodeId, Packet};
+
+use crate::config::PrConfig;
+use crate::metrics::SessionRecord;
+use crate::receiver::ReceiverSession;
+use crate::sender::SenderSession;
+use crate::session::{Initiator, SessionSpec};
+use crate::wire::{PrPayload, SessionId, CONTROL_BYTES};
+
+/// Timer token kinds (high byte of the token).
+const KIND_START: u64 = 1;
+const KIND_PACER: u64 = 2;
+const KIND_SWEEP: u64 = 3;
+
+/// Token for a session's start timer — schedule this at `spec.start` on
+/// **every** participating host.
+pub fn start_token(session: SessionId) -> u64 {
+    KIND_START << 56 | u64::from(session.0)
+}
+
+fn pacer_token() -> u64 {
+    KIND_PACER << 56
+}
+
+fn sweep_token() -> u64 {
+    KIND_SWEEP << 56
+}
+
+/// The host-wide pull scheduler: one *logical* pull queue shared by all
+/// sessions (paper §2), realized as per-session FIFOs drained round-robin
+/// so no session can head-of-line-block another, with a per-session cap —
+/// beyond one window's worth, queued pulls carry no extra information
+/// (each just asks for "one more fresh symbol").
+struct PullScheduler {
+    per_session: BTreeMap<SessionId, VecDeque<(NodeId, bool)>>,
+    rotation: VecDeque<SessionId>,
+    cap: usize,
+}
+
+impl PullScheduler {
+    fn new(cap: usize) -> Self {
+        Self { per_session: BTreeMap::new(), rotation: VecDeque::new(), cap }
+    }
+
+    /// Queue a pull towards `target`; silently coalesced when the
+    /// session already has a full window of pending pulls (harmless:
+    /// pulls carry cumulative counts read at transmission time).
+    fn enqueue(&mut self, session: SessionId, target: NodeId, nudge: bool) {
+        let q = self.per_session.entry(session).or_default();
+        if q.len() >= self.cap {
+            return;
+        }
+        if q.is_empty() {
+            self.rotation.push_back(session);
+        }
+        q.push_back((target, nudge));
+    }
+
+    /// Next (session, target, nudge) in round-robin order.
+    fn next(&mut self) -> Option<(SessionId, NodeId, bool)> {
+        let session = self.rotation.pop_front()?;
+        let q = self.per_session.get_mut(&session).expect("rotation entry has a queue");
+        let (target, nudge) = q.pop_front().expect("queued session has a pull");
+        if q.is_empty() {
+            self.per_session.remove(&session);
+        } else {
+            self.rotation.push_back(session);
+        }
+        Some((session, target, nudge))
+    }
+
+    /// Drop a session's pending pulls (on completion).
+    fn forget(&mut self, session: SessionId) {
+        self.per_session.remove(&session);
+        self.rotation.retain(|&s| s != session);
+    }
+}
+
+/// The per-host Polyraptor transport agent.
+pub struct PolyraptorAgent {
+    cfg: PrConfig,
+    node: NodeId,
+    seed: u64,
+    send_sessions: BTreeMap<SessionId, SenderSession>,
+    recv_sessions: BTreeMap<SessionId, ReceiverSession>,
+    /// The shared pull scheduler.
+    pulls: PullScheduler,
+    pacer_armed: bool,
+    sweep_armed: bool,
+    active_recv: usize,
+    /// Completed-session records (read by the experiment harness).
+    pub records: Vec<SessionRecord>,
+}
+
+impl PolyraptorAgent {
+    /// New agent for `node`. The seed parameterizes this host's
+    /// deterministic draws (decode-overhead sampling).
+    pub fn new(node: NodeId, cfg: PrConfig, seed: u64) -> Self {
+        Self {
+            cfg,
+            node,
+            seed,
+            send_sessions: BTreeMap::new(),
+            recv_sessions: BTreeMap::new(),
+            pulls: PullScheduler::new(cfg.pull_queue_cap),
+            pacer_armed: false,
+            sweep_armed: false,
+            active_recv: 0,
+            records: Vec::new(),
+        }
+    }
+
+    /// Install a session this host participates in. Call before
+    /// `spec.start`, and schedule [`start_token`] at `spec.start` on this
+    /// host (the workload helpers do both).
+    pub fn install(&mut self, spec: SessionSpec) {
+        spec.validate();
+        if spec.sender_index(self.node).is_some() {
+            self.send_sessions
+                .insert(spec.id, SenderSession::new(spec, self.node, &self.cfg));
+        } else if spec.receiver_index(self.node).is_some() {
+            self.active_recv += 1;
+            self.recv_sessions.insert(
+                spec.id,
+                ReceiverSession::new(spec, self.node, &self.cfg, self.seed),
+            );
+        } else {
+            panic!("host {} is not part of session {}", self.node.0, spec.id.0);
+        }
+    }
+
+    /// Number of still-active receiver sessions (incomplete transfers).
+    pub fn active_receives(&self) -> usize {
+        self.active_recv
+    }
+
+    /// Access a sender session (tests/diagnostics).
+    pub fn sender_session(&self, id: SessionId) -> Option<&SenderSession> {
+        self.send_sessions.get(&id)
+    }
+
+    /// Protocol configuration.
+    pub fn config(&self) -> &PrConfig {
+        &self.cfg
+    }
+
+    // ---- pull machinery -------------------------------------------------
+
+    fn enqueue_pull(
+        &mut self,
+        session: SessionId,
+        target: NodeId,
+        nudge: bool,
+        ctx: &mut Ctx<PrPayload>,
+    ) {
+        self.pulls.enqueue(session, target, nudge);
+        if !self.pacer_armed {
+            self.pacer_armed = true;
+            // Fire immediately; the pacer re-arms itself with spacing.
+            ctx.timer_at(ctx.now, pacer_token());
+        }
+    }
+
+    fn pacer_tick(&mut self, ctx: &mut Ctx<PrPayload>) {
+        // Drop stale entries (completed sessions) without pacing cost.
+        while let Some((sid, target, nudge)) = self.pulls.next() {
+            let Some(rs) = self.recv_sessions.get_mut(&sid) else { continue };
+            if rs.done {
+                continue;
+            }
+            let Some(sender_idx) = rs.spec.sender_index(target) else { continue };
+            rs.pulls_sent += 1;
+            // Cumulative count, read *now* — a delayed pull carries the
+            // freshest information at the moment it leaves.
+            let count = rs.arrivals_from(sender_idx);
+            ctx.send(Packet {
+                src: self.node,
+                dst: Dest::Host(target),
+                flow: FlowId(rq::rand::hash2(u64::from(sid.0), u64::from(self.node.0) ^ 0x9011)),
+                size: CONTROL_BYTES,
+                payload: PrPayload::Pull { session: sid, count, nudge },
+            });
+            // One pull per spacing interval: re-arm and stop.
+            ctx.timer_after(self.cfg.pull_spacing_ns, pacer_token());
+            return;
+        }
+        self.pacer_armed = false;
+    }
+
+    fn arm_sweep(&mut self, ctx: &mut Ctx<PrPayload>) {
+        if !self.sweep_armed && self.active_recv > 0 {
+            self.sweep_armed = true;
+            ctx.timer_after(self.cfg.sweep_interval_ns, sweep_token());
+        }
+    }
+
+    fn sweep(&mut self, ctx: &mut Ctx<PrPayload>) {
+        self.sweep_armed = false;
+        if self.active_recv == 0 {
+            return;
+        }
+        let now = ctx.now;
+        let rto = self.cfg.retransmit_timeout_ns;
+        let mut repulls: Vec<(SessionId, NodeId)> = Vec::new();
+        for (sid, rs) in self.recv_sessions.iter_mut() {
+            if rs.done || now.since(rs.last_activity) < rto || now < rs.spec.start {
+                continue;
+            }
+            // Quiet session: nudge the next sender (round-robin). The
+            // pull also restarts a sender whose initial window vanished.
+            rs.last_activity = now;
+            repulls.push((*sid, rs.next_sweep_target()));
+        }
+        for (sid, target) in repulls {
+            self.enqueue_pull(sid, target, true, ctx);
+        }
+        self.arm_sweep(ctx);
+    }
+
+    // ---- receiver-side completion ---------------------------------------
+
+    fn complete_session(&mut self, sid: SessionId, ctx: &mut Ctx<PrPayload>) {
+        let rs = self.recv_sessions.get_mut(&sid).expect("completing unknown session");
+        rs.done = true;
+        self.active_recv -= 1;
+        self.pulls.forget(sid);
+        let record = rs.record(self.node, ctx.now);
+        // Tell every sender this receiver is satisfied.
+        for &s in rs.spec.senders.clone().iter() {
+            ctx.send(Packet {
+                src: self.node,
+                dst: Dest::Host(s),
+                flow: FlowId(rq::rand::hash2(u64::from(sid.0), 0xF14)),
+                size: CONTROL_BYTES,
+                payload: PrPayload::Fin { session: sid },
+            });
+        }
+        self.records.push(record);
+    }
+
+    fn start_as_receiver(&mut self, sid: SessionId, ctx: &mut Ctx<PrPayload>) {
+        let Some(rs) = self.recv_sessions.get_mut(&sid) else { return };
+        if rs.done {
+            return;
+        }
+        if rs.spec.initiator == Initiator::Receiver && !rs.started {
+            rs.started = true;
+            // Ask every replica to start streaming.
+            for &s in rs.spec.senders.clone().iter() {
+                ctx.send(Packet {
+                    src: self.node,
+                    dst: Dest::Host(s),
+                    flow: FlowId(rq::rand::hash2(u64::from(sid.0), 0x0E0)),
+                    size: CONTROL_BYTES,
+                    payload: PrPayload::Req { session: sid },
+                });
+            }
+        }
+        self.arm_sweep(ctx);
+    }
+}
+
+impl Agent<PrPayload> for PolyraptorAgent {
+    fn on_packet(&mut self, pkt: Packet<PrPayload>, ctx: &mut Ctx<PrPayload>) {
+        match pkt.payload {
+            PrPayload::Symbol { session, esi, sender_idx, trimmed, body } => {
+                let Some(rs) = self.recv_sessions.get_mut(&session) else { return };
+                if rs.done {
+                    return; // late tail symbols after completion
+                }
+                if trimmed {
+                    rs.on_trimmed(sender_idx, ctx.now);
+                    self.enqueue_pull(session, pkt.src, false, ctx);
+                } else if rs.on_symbol(sender_idx, esi, body, ctx.now) {
+                    self.complete_session(session, ctx);
+                } else {
+                    self.enqueue_pull(session, pkt.src, false, ctx);
+                }
+                self.arm_sweep(ctx);
+            }
+            PrPayload::Pull { session, count, nudge } => {
+                if let Some(ss) = self.send_sessions.get_mut(&session) {
+                    ss.on_pull(pkt.src, count, nudge, self.node, &self.cfg, ctx);
+                }
+            }
+            PrPayload::Req { session } => {
+                if let Some(ss) = self.send_sessions.get_mut(&session) {
+                    ss.on_req(self.node, &self.cfg, ctx);
+                }
+            }
+            PrPayload::Fin { session } => {
+                let complete = match self.send_sessions.get_mut(&session) {
+                    Some(ss) => ss.on_fin(pkt.src, self.node, &self.cfg, ctx),
+                    None => false,
+                };
+                if complete {
+                    self.send_sessions.remove(&session);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<PrPayload>) {
+        match token >> 56 {
+            KIND_START => {
+                let sid = SessionId((token & 0xFFFF_FFFF) as u32);
+                if let Some(ss) = self.send_sessions.get_mut(&sid) {
+                    if ss.spec.initiator == Initiator::Sender {
+                        ss.start(self.node, &self.cfg, ctx);
+                    }
+                    // Receiver-initiated senders wait for Req.
+                } else {
+                    self.start_as_receiver(sid, ctx);
+                }
+            }
+            KIND_PACER => self.pacer_tick(ctx),
+            KIND_SWEEP => self.sweep(ctx),
+            other => panic!("unknown timer kind {other}"),
+        }
+    }
+}

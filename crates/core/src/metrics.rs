@@ -1,0 +1,83 @@
+//! Per-session transfer records, produced by receivers on completion.
+
+use netsim::{NodeId, SimTime};
+
+use crate::wire::SessionId;
+
+/// What one receiver measured for one completed session.
+#[derive(Debug, Clone)]
+pub struct SessionRecord {
+    /// The session.
+    pub session: SessionId,
+    /// The receiver that recorded this.
+    pub node: NodeId,
+    /// Object size in bytes.
+    pub data_len: usize,
+    /// When the transfer was initiated (session start time).
+    pub start: SimTime,
+    /// When this receiver could reconstruct the object.
+    pub finish: SimTime,
+    /// Background session (excluded from headline metrics).
+    pub background: bool,
+    /// Distinct symbols collected.
+    pub symbols: usize,
+    /// Trimmed headers observed (congestion signal count).
+    pub trimmed_seen: u64,
+    /// Pull packets issued for this session.
+    pub pulls_sent: u64,
+}
+
+impl SessionRecord {
+    /// Transfer duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.finish - self.start
+    }
+
+    /// Application-level goodput in Gbit/s: object bytes over transfer
+    /// time — the y-axis of every figure in the paper.
+    pub fn goodput_gbps(&self) -> f64 {
+        let ns = self.duration_ns();
+        assert!(ns > 0, "zero-duration transfer");
+        (self.data_len as f64 * 8.0) / ns as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(bytes: usize, dur_ns: u64) -> SessionRecord {
+        SessionRecord {
+            session: SessionId(1),
+            node: NodeId(0),
+            data_len: bytes,
+            start: SimTime::from_nanos(1000),
+            finish: SimTime::from_nanos(1000 + dur_ns),
+            background: false,
+            symbols: 0,
+            trimmed_seen: 0,
+            pulls_sent: 0,
+        }
+    }
+
+    #[test]
+    fn goodput_line_rate() {
+        // 4 MB in exactly its serialization time at 1 Gbps.
+        let bytes = 4 << 20;
+        let r = record(bytes, (bytes as u64) * 8);
+        assert!((r.goodput_gbps() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn goodput_third_rate() {
+        let bytes = 3 << 20;
+        let r = record(bytes, (bytes as u64) * 8 * 3);
+        assert!((r.goodput_gbps() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-duration")]
+    fn zero_duration_panics() {
+        record(100, 0).goodput_gbps();
+    }
+}

@@ -1,0 +1,203 @@
+//! Session descriptors.
+//!
+//! Polyraptor sessions are established out-of-band (the paper assumes the
+//! application — e.g. a distributed storage system — knows the
+//! participants): the workload installs the same [`SessionSpec`] at every
+//! participating host before the start time, and schedules a start timer.
+
+use netsim::{GroupId, NodeId, SimTime};
+
+use crate::wire::SessionId;
+
+/// Which side initiates the transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Initiator {
+    /// The (single) sender pushes the initial window at `start` — storage
+    /// *write* / replication (one-to-many).
+    Sender,
+    /// The (single) receiver requests symbols at `start` — storage
+    /// *read* / fetch (many-to-one, or unicast fetch).
+    Receiver,
+}
+
+/// A transport session: one object moving from `senders` to `receivers`.
+///
+/// Supported shapes (the paper's §2):
+/// * one sender → one receiver (unicast, either initiator);
+/// * one sender → many receivers (multicast write, requires `group`);
+/// * many senders → one receiver (multi-source read).
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// Unique id.
+    pub id: SessionId,
+    /// Object size in bytes.
+    pub data_len: usize,
+    /// Sending replicas (all hold the whole object).
+    pub senders: Vec<NodeId>,
+    /// Receivers.
+    pub receivers: Vec<NodeId>,
+    /// Multicast trees (required iff `receivers.len() > 1`). Senders
+    /// spray symbols across these trees — the multicast analogue of
+    /// per-packet path spraying ("symbols can be sprayed in the network,
+    /// exploiting all available (equal-cost) paths", paper §2).
+    pub groups: Vec<GroupId>,
+    /// When the initiator kicks the session off.
+    pub start: SimTime,
+    /// Who initiates.
+    pub initiator: Initiator,
+    /// Background sessions are excluded from reported metrics.
+    pub background: bool,
+}
+
+impl SessionSpec {
+    /// One-to-one write (sender initiates).
+    pub fn unicast(
+        id: SessionId,
+        data_len: usize,
+        sender: NodeId,
+        receiver: NodeId,
+        start: SimTime,
+    ) -> Self {
+        Self {
+            id,
+            data_len,
+            senders: vec![sender],
+            receivers: vec![receiver],
+            groups: Vec::new(),
+            start,
+            initiator: Initiator::Sender,
+            background: false,
+        }
+    }
+
+    /// One-to-many replication write over a registered multicast group.
+    pub fn multicast(
+        id: SessionId,
+        data_len: usize,
+        sender: NodeId,
+        receivers: Vec<NodeId>,
+        groups: Vec<GroupId>,
+        start: SimTime,
+    ) -> Self {
+        assert!(receivers.len() > 1, "multicast needs >1 receivers (use unicast)");
+        assert!(!groups.is_empty(), "multicast needs at least one tree");
+        Self {
+            id,
+            data_len,
+            senders: vec![sender],
+            receivers,
+            groups,
+            start,
+            initiator: Initiator::Sender,
+            background: false,
+        }
+    }
+
+    /// Many-to-one fetch: the receiver pulls from every replica.
+    pub fn multi_source(
+        id: SessionId,
+        data_len: usize,
+        senders: Vec<NodeId>,
+        receiver: NodeId,
+        start: SimTime,
+    ) -> Self {
+        assert!(!senders.is_empty(), "need at least one sender");
+        Self {
+            id,
+            data_len,
+            senders,
+            receivers: vec![receiver],
+            groups: Vec::new(),
+            start,
+            initiator: Initiator::Receiver,
+            background: false,
+        }
+    }
+
+    /// Mark as background traffic (builder style).
+    pub fn background(mut self) -> Self {
+        self.background = true;
+        self
+    }
+
+    /// The index of `node` among the senders, if it is one.
+    pub fn sender_index(&self, node: NodeId) -> Option<usize> {
+        self.senders.iter().position(|&s| s == node)
+    }
+
+    /// The index of `node` among the receivers, if it is one.
+    pub fn receiver_index(&self, node: NodeId) -> Option<usize> {
+        self.receivers.iter().position(|&r| r == node)
+    }
+
+    /// Validate structural invariants (panics on violation — these are
+    /// workload construction bugs).
+    pub fn validate(&self) {
+        assert!(self.data_len > 0, "session {} carries no data", self.id.0);
+        assert!(!self.senders.is_empty() && !self.receivers.is_empty());
+        assert!(
+            self.senders.len() == 1 || self.receivers.len() == 1,
+            "many-to-many sessions are not a Polyraptor shape"
+        );
+        assert_eq!(
+            self.receivers.len() > 1,
+            !self.groups.is_empty(),
+            "multicast trees required iff >1 receivers"
+        );
+        if self.senders.len() > 1 {
+            assert_eq!(self.initiator, Initiator::Receiver, "multi-source must be receiver-initiated");
+        }
+        for s in &self.senders {
+            assert!(!self.receivers.contains(s), "host cannot send to itself");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate() {
+        let s = SessionSpec::unicast(SessionId(1), 100, NodeId(0), NodeId(1), SimTime::ZERO);
+        s.validate();
+        let m = SessionSpec::multi_source(
+            SessionId(2),
+            100,
+            vec![NodeId(1), NodeId(2)],
+            NodeId(0),
+            SimTime::ZERO,
+        );
+        m.validate();
+        assert_eq!(m.initiator, Initiator::Receiver);
+        assert_eq!(m.sender_index(NodeId(2)), Some(1));
+        assert_eq!(m.sender_index(NodeId(9)), None);
+        assert_eq!(m.receiver_index(NodeId(0)), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "send to itself")]
+    fn self_transfer_rejected() {
+        SessionSpec::unicast(SessionId(1), 100, NodeId(0), NodeId(0), SimTime::ZERO).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = ">1 receivers")]
+    fn multicast_needs_multiple_receivers() {
+        let _ = SessionSpec::multicast(
+            SessionId(1),
+            100,
+            NodeId(0),
+            vec![NodeId(1)],
+            vec![netsim::GroupId(0)],
+            SimTime::ZERO,
+        );
+    }
+
+    #[test]
+    fn background_builder() {
+        let s = SessionSpec::unicast(SessionId(1), 100, NodeId(0), NodeId(1), SimTime::ZERO)
+            .background();
+        assert!(s.background);
+    }
+}

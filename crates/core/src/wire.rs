@@ -1,0 +1,164 @@
+//! Polyraptor wire format.
+//!
+//! Five packet types ride the fabric:
+//!
+//! * [`PrPayload::Symbol`] — one encoding symbol (data class). The only
+//!   packet type that can be *trimmed*: the switch drops the symbol body
+//!   and priority-forwards the header so the receiver still learns a
+//!   symbol was coming and can keep its pull clock running.
+//! * [`PrPayload::Pull`] — receiver-paced request for one more symbol
+//!   (control class, never dropped in practice).
+//! * [`PrPayload::Req`] — starts a read (many-to-one) session at a
+//!   sender (control).
+//! * [`PrPayload::Fin`] — receiver tells a sender its part is complete
+//!   (control).
+//!
+//! Sizes model a 64-byte header (addressing + transport fields) plus the
+//! symbol body for full symbol packets.
+
+use netsim::{SimPayload, HEADER_BYTES};
+
+/// Globally unique transport-session identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u32);
+
+/// Polyraptor packet payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrPayload {
+    /// An encoding symbol (or its trimmed header).
+    Symbol {
+        /// Session this symbol belongs to.
+        session: SessionId,
+        /// Encoding symbol id.
+        esi: u32,
+        /// Index of the sending replica (multi-source sessions).
+        sender_idx: u8,
+        /// True if a switch trimmed the body; only the header arrived.
+        trimmed: bool,
+        /// Actual symbol bytes — only materialized under the real-decoder
+        /// oracle (tests/examples); `None` at simulation scale, where the
+        /// packet's `size` field models the bytes on the wire.
+        body: Option<Vec<u8>>,
+    },
+    /// Receiver-driven request for more symbols. Pulls are *cumulative*
+    /// (they report how many of this sender's symbols — full or trimmed —
+    /// have arrived so far), so a lost or coalesced pull costs nothing:
+    /// the next one carries strictly newer information.
+    Pull {
+        /// Session being pulled.
+        session: SessionId,
+        /// Arrivals observed from the targeted sender so far, read at
+        /// pull transmission time.
+        count: u64,
+        /// Keep-alive nudge (from the receiver's retransmit sweep):
+        /// forces one emission even if the sender believes the pipe is
+        /// full — recovers from lost trimmed-header accounting.
+        nudge: bool,
+    },
+    /// Read-session kick-off: "start sending me symbols".
+    Req {
+        /// Session to activate.
+        session: SessionId,
+    },
+    /// Receiver is done with this sender.
+    Fin {
+        /// Completed session.
+        session: SessionId,
+    },
+}
+
+impl PrPayload {
+    /// The session this packet belongs to.
+    pub fn session(&self) -> SessionId {
+        match self {
+            PrPayload::Symbol { session, .. }
+            | PrPayload::Pull { session, .. }
+            | PrPayload::Req { session }
+            | PrPayload::Fin { session } => *session,
+        }
+    }
+}
+
+impl SimPayload for PrPayload {
+    fn is_control(&self) -> bool {
+        match self {
+            PrPayload::Symbol { trimmed, .. } => *trimmed,
+            _ => true,
+        }
+    }
+
+    fn trim(&self) -> Option<Self> {
+        match self {
+            PrPayload::Symbol { session, esi, sender_idx, .. } => Some(PrPayload::Symbol {
+                session: *session,
+                esi: *esi,
+                sender_idx: *sender_idx,
+                trimmed: true,
+                body: None, // trimming discards the payload
+            }),
+            other => Some(other.clone()),
+        }
+    }
+}
+
+/// On-the-wire size of a full symbol packet.
+pub fn symbol_packet_bytes(symbol_size: usize) -> u32 {
+    HEADER_BYTES + symbol_size as u32
+}
+
+/// On-the-wire size of control packets (pull/req/fin/trimmed header).
+pub const CONTROL_BYTES: u32 = HEADER_BYTES;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_is_data_until_trimmed() {
+        let s = PrPayload::Symbol {
+            session: SessionId(1),
+            esi: 9,
+            sender_idx: 0,
+            trimmed: false,
+            body: Some(vec![1, 2, 3]),
+        };
+        assert!(!s.is_control());
+        let t = s.trim().unwrap();
+        assert!(t.is_control());
+        match t {
+            PrPayload::Symbol { esi: 9, trimmed: true, body: None, .. } => {}
+            other => panic!("trim changed identity: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_packets_survive_trim_unchanged() {
+        let p = PrPayload::Pull { session: SessionId(3), count: 7, nudge: false };
+        assert!(p.is_control());
+        assert_eq!(p.trim().unwrap(), p);
+    }
+
+    #[test]
+    fn session_accessor() {
+        for p in [
+            PrPayload::Symbol {
+                session: SessionId(5),
+                esi: 0,
+                sender_idx: 0,
+                trimmed: false,
+                body: None,
+            },
+            PrPayload::Pull { session: SessionId(5), count: 0, nudge: false },
+            PrPayload::Req { session: SessionId(5) },
+            PrPayload::Fin { session: SessionId(5) },
+        ] {
+            assert_eq!(p.session(), SessionId(5));
+        }
+    }
+
+    #[test]
+    fn packet_sizes() {
+        assert_eq!(symbol_packet_bytes(1440), 1504);
+        assert_eq!(CONTROL_BYTES, 64);
+    }
+}

@@ -1,0 +1,126 @@
+//! Packets and payloads.
+//!
+//! The simulator is generic over the transport payload type `P`, which
+//! must implement [`SimPayload`]. This keeps `netsim` free of transport
+//! knowledge (Polyraptor and TCP define their own payload enums) while
+//! letting switches perform the two NDP operations that need payload
+//! cooperation: *classification* (control packets ride the priority
+//! header queue) and *trimming* (drop a data packet's payload, forward
+//! the header).
+
+use crate::topology::NodeId;
+
+/// Identifies a transport session/flow end-to-end. Switch ECMP hashing
+/// keys on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+/// A multicast group handle, valid after registration with the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub u32);
+
+/// Packet destination: a single host or a multicast group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dest {
+    /// Unicast to one host.
+    Host(NodeId),
+    /// Multicast along the group's tree (must be registered).
+    Group(GroupId),
+}
+
+/// Behaviour the switch fabric needs from a transport payload.
+pub trait SimPayload: Clone + std::fmt::Debug {
+    /// Whether this packet belongs in the priority (header/control)
+    /// queue: pull requests, ACKs, trimmed headers, session control.
+    fn is_control(&self) -> bool;
+
+    /// Produce the trimmed version of this payload (NDP packet
+    /// trimming), or `None` if the payload cannot be meaningfully
+    /// trimmed — in which case the switch drops the packet instead
+    /// (classic drop-tail behaviour, used by the TCP baseline).
+    fn trim(&self) -> Option<Self>;
+}
+
+/// A simulated packet.
+#[derive(Debug, Clone)]
+pub struct Packet<P> {
+    /// Originating host.
+    pub src: NodeId,
+    /// Destination host or group.
+    pub dst: Dest,
+    /// Flow identifier (ECMP hash key).
+    pub flow: FlowId,
+    /// Total on-the-wire size in bytes (headers + payload).
+    pub size: u32,
+    /// Transport payload.
+    pub payload: P,
+}
+
+/// Conventional size of a bare header packet after trimming, per NDP:
+/// enough for addressing plus the transport header.
+pub const HEADER_BYTES: u32 = 64;
+
+impl<P: SimPayload> Packet<P> {
+    /// Trim this packet to a header-only packet, if the payload allows.
+    pub fn trimmed(&self) -> Option<Packet<P>> {
+        self.payload.trim().map(|payload| Packet {
+            src: self.src,
+            dst: self.dst,
+            flow: self.flow,
+            size: HEADER_BYTES,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum P {
+        Data,
+        DataTrimmed,
+        Ctrl,
+        Untrimmable,
+    }
+
+    impl SimPayload for P {
+        fn is_control(&self) -> bool {
+            matches!(self, P::Ctrl | P::DataTrimmed)
+        }
+        fn trim(&self) -> Option<Self> {
+            match self {
+                P::Data => Some(P::DataTrimmed),
+                P::Untrimmable => None,
+                other => Some(other.clone()),
+            }
+        }
+    }
+
+    fn pkt(payload: P) -> Packet<P> {
+        Packet {
+            src: NodeId(0),
+            dst: Dest::Host(NodeId(1)),
+            flow: FlowId(42),
+            size: 1500,
+            payload,
+        }
+    }
+
+    #[test]
+    fn trim_preserves_addressing() {
+        let p = pkt(P::Data);
+        let t = p.trimmed().expect("data packets trim");
+        assert_eq!(t.src, p.src);
+        assert_eq!(t.dst, p.dst);
+        assert_eq!(t.flow, p.flow);
+        assert_eq!(t.size, HEADER_BYTES);
+        assert_eq!(t.payload, P::DataTrimmed);
+    }
+
+    #[test]
+    fn untrimmable_payload_yields_none() {
+        assert!(pkt(P::Untrimmable).trimmed().is_none());
+    }
+}

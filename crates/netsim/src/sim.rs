@@ -1,0 +1,793 @@
+//! The discrete-event simulation driver.
+//!
+//! The simulator owns the topology, one [`PortQueue`] per (node, port),
+//! the multicast group tables, and one transport [`Agent`] per host. It
+//! processes three event kinds in deterministic `(time, sequence)` order:
+//! packet arrivals, port transmissions, and agent timers.
+//!
+//! Hosts hand packets to their NIC queue; switches forward by shortest
+//! path (per-flow ECMP hash or per-packet spraying across equal-cost
+//! ports) or along a registered multicast tree. The link model is
+//! store-and-forward: a packet arrives at the next node after
+//! serialization + propagation.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::packet::{Dest, GroupId, Packet, SimPayload};
+use crate::queue::{Enqueued, PortQueue, QueueConfig, QueueStats};
+use crate::rng::Pcg32;
+use crate::time::{serialization_ns, SimTime};
+use crate::topology::{NodeId, NodeKind, Topology};
+
+/// Transport hook: one agent runs on every host and receives packets and
+/// timers addressed to that host. Implementations queue outgoing packets
+/// and timers on the [`Ctx`]; the simulator applies them after the
+/// callback returns (no re-entrancy).
+pub trait Agent<P: SimPayload> {
+    /// A packet destined to this host (or a group it joined) arrived.
+    fn on_packet(&mut self, pkt: Packet<P>, ctx: &mut Ctx<P>);
+    /// A previously scheduled timer fired.
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<P>);
+}
+
+/// Effect buffer handed to agent callbacks.
+pub struct Ctx<P> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// The host this agent runs on.
+    pub node: NodeId,
+    sends: Vec<Packet<P>>,
+    timers: Vec<(SimTime, u64)>,
+}
+
+impl<P> Ctx<P> {
+    fn new(now: SimTime, node: NodeId) -> Self {
+        Self { now, node, sends: Vec::new(), timers: Vec::new() }
+    }
+
+    /// A detached context for unit-testing agents outside a simulator.
+    /// Effects queued on it are inspectable via [`Ctx::queued_sends`] and
+    /// simply discarded on drop.
+    pub fn detached(now: SimTime, node: NodeId) -> Self {
+        Self::new(now, node)
+    }
+
+    /// Packets queued so far (test inspection).
+    pub fn queued_sends(&self) -> &[Packet<P>] {
+        &self.sends
+    }
+
+    /// Timers queued so far (test inspection).
+    pub fn queued_timers(&self) -> &[(SimTime, u64)] {
+        &self.timers
+    }
+
+    /// Transmit a packet from this host (enters the NIC queue).
+    pub fn send(&mut self, pkt: Packet<P>) {
+        self.sends.push(pkt);
+    }
+
+    /// Fire `on_timer(token)` at absolute time `at`.
+    pub fn timer_at(&mut self, at: SimTime, token: u64) {
+        self.timers.push((at, token));
+    }
+
+    /// Fire `on_timer(token)` after `delay_ns`.
+    pub fn timer_after(&mut self, delay_ns: u64, token: u64) {
+        let at = self.now + delay_ns;
+        self.timers.push((at, token));
+    }
+}
+
+/// Path selection among equal-cost ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteMode {
+    /// Per-flow ECMP: hash of (flow id, switch id) picks the port —
+    /// every packet of a flow follows one path (TCP-friendly).
+    EcmpFlow,
+    /// Per-packet spraying: uniform random port per packet (what
+    /// Polyraptor wants; reordering is harmless under fountain coding).
+    Spray,
+}
+
+/// Simulator-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Queue discipline on switch ports.
+    pub switch_queue: QueueConfig,
+    /// Queue discipline on host NICs (deep drop-tail by default: host
+    /// memory is plentiful; transports self-limit).
+    pub host_queue: QueueConfig,
+    /// Path selection policy.
+    pub route: RouteMode,
+    /// RNG seed (spraying decisions).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// NDP-style fabric (Polyraptor runs): trimming switches + spraying.
+    pub fn ndp(seed: u64) -> Self {
+        Self {
+            switch_queue: QueueConfig::NDP_DEFAULT,
+            host_queue: QueueConfig::DropTail { cap_pkts: 100_000 },
+            route: RouteMode::Spray,
+            seed,
+        }
+    }
+
+    /// Classic fabric (TCP runs): drop-tail switches + per-flow ECMP.
+    pub fn classic(seed: u64) -> Self {
+        Self {
+            switch_queue: QueueConfig::DROPTAIL_DEFAULT,
+            host_queue: QueueConfig::DropTail { cap_pkts: 100_000 },
+            route: RouteMode::EcmpFlow,
+            seed,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum EventKind<P> {
+    /// Packet fully received at `node` (store-and-forward).
+    Arrive(NodeId, Packet<P>),
+    /// Port `port` of `node` finished a transmission; send the next one.
+    Dequeue(NodeId, u16),
+    /// Agent timer.
+    Timer(NodeId, u64),
+}
+
+struct Event<P> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<P>,
+}
+
+impl<P> PartialEq for Event<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<P> Eq for Event<P> {}
+impl<P> PartialOrd for Event<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for Event<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Aggregated fabric counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FabricStats {
+    /// Packets delivered to host agents.
+    pub delivered: u64,
+    /// Packets dropped anywhere in the fabric.
+    pub dropped: u64,
+    /// Packets trimmed to headers.
+    pub trimmed: u64,
+    /// Events processed.
+    pub events: u64,
+}
+
+/// The deterministic packet-level simulator.
+pub struct Simulator<P: SimPayload, A: Agent<P>> {
+    topo: Topology,
+    config: SimConfig,
+    queues: Vec<Vec<PortQueue<P>>>,
+    busy: Vec<Vec<bool>>,
+    agents: Vec<Option<A>>,
+    groups: HashMap<GroupId, HashMap<NodeId, Vec<u16>>>,
+    next_group: u32,
+    events: BinaryHeap<Reverse<Event<P>>>,
+    seq: u64,
+    now: SimTime,
+    rng: Pcg32,
+    stats: FabricStats,
+    /// Per-port rate overrides (hotspot/failure injection); keyed by
+    /// (node, port), in bits per second. Zero means the link is down.
+    rate_overrides: HashMap<(u32, u16), u64>,
+}
+
+impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
+    /// Build a simulator over a routed topology.
+    pub fn new(topo: Topology, config: SimConfig) -> Self {
+        let queues = (0..topo.node_count())
+            .map(|n| {
+                let node = NodeId(n as u32);
+                let qc = match topo.kind(node) {
+                    NodeKind::Host => config.host_queue,
+                    NodeKind::Switch => config.switch_queue,
+                };
+                topo.node_ports(node).iter().map(|_| PortQueue::new(qc)).collect()
+            })
+            .collect();
+        let busy = (0..topo.node_count())
+            .map(|n| vec![false; topo.node_ports(NodeId(n as u32)).len()])
+            .collect();
+        let agents = (0..topo.node_count()).map(|_| None).collect();
+        Self {
+            rng: Pcg32::new(config.seed),
+            topo,
+            config,
+            queues,
+            busy,
+            agents,
+            groups: HashMap::new(),
+            next_group: 0,
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            stats: FabricStats::default(),
+            rate_overrides: HashMap::new(),
+        }
+    }
+
+    /// Degrade (or restore) one direction of a link: packets leaving
+    /// `node` through `port` serialize at `rate_bps` instead of the
+    /// topology rate. `0` takes the direction down entirely (packets
+    /// queue until the queue overflows — a silent failure, the hardest
+    /// kind). Used for hotspot/failure-injection experiments; call
+    /// between `run_until` slices to script changes over time.
+    pub fn set_link_rate(&mut self, node: NodeId, port: u16, rate_bps: u64) {
+        assert!((port as usize) < self.topo.node_ports(node).len(), "no such port");
+        if rate_bps == self.topo.port(node, port).rate_bps {
+            self.rate_overrides.remove(&(node.0, port));
+        } else {
+            self.rate_overrides.insert((node.0, port), rate_bps);
+        }
+        // Restoring a downed link must restart its transmit loop if
+        // packets queued up in the meantime.
+        if rate_bps > 0
+            && !self.busy[node.0 as usize][port as usize]
+            && !self.queues[node.0 as usize][port as usize].is_empty()
+        {
+            self.push_event(self.now, EventKind::Dequeue(node, port));
+        }
+    }
+
+    /// Current effective rate of a port (honouring overrides).
+    pub fn effective_rate(&self, node: NodeId, port: u16) -> u64 {
+        self.rate_overrides
+            .get(&(node.0, port))
+            .copied()
+            .unwrap_or_else(|| self.topo.port(node, port).rate_bps)
+    }
+
+    /// The topology (read-only).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Fabric counters so far.
+    pub fn stats(&self) -> FabricStats {
+        self.stats
+    }
+
+    /// Queue statistics of one port.
+    pub fn queue_stats(&self, node: NodeId, port: u16) -> QueueStats {
+        self.queues[node.0 as usize][port as usize].stats()
+    }
+
+    /// Sum of queue statistics over every switch port.
+    pub fn switch_queue_totals(&self) -> QueueStats {
+        let mut total = QueueStats::default();
+        for n in 0..self.topo.node_count() {
+            if self.topo.kind(NodeId(n as u32)) != NodeKind::Switch {
+                continue;
+            }
+            for q in &self.queues[n] {
+                let s = q.stats();
+                total.enqueued += s.enqueued;
+                total.trimmed += s.trimmed;
+                total.dropped += s.dropped;
+                total.tx_bytes += s.tx_bytes;
+                total.max_depth = total.max_depth.max(s.max_depth);
+            }
+        }
+        total
+    }
+
+    /// Install the agent for a host.
+    pub fn set_agent(&mut self, host: NodeId, agent: A) {
+        assert_eq!(self.topo.kind(host), NodeKind::Host, "agents run on hosts");
+        self.agents[host.0 as usize] = Some(agent);
+    }
+
+    /// Immutable access to a host's agent.
+    pub fn agent(&self, host: NodeId) -> &A {
+        self.agents[host.0 as usize].as_ref().expect("no agent installed")
+    }
+
+    /// Mutable access to a host's agent (between runs).
+    pub fn agent_mut(&mut self, host: NodeId) -> &mut A {
+        self.agents[host.0 as usize].as_mut().expect("no agent installed")
+    }
+
+    /// Iterate over installed agents.
+    pub fn agents(&self) -> impl Iterator<Item = (NodeId, &A)> {
+        self.agents
+            .iter()
+            .enumerate()
+            .filter_map(|(n, a)| a.as_ref().map(|a| (NodeId(n as u32), a)))
+    }
+
+    /// Register a multicast tree from `sender` to `receivers`.
+    ///
+    /// The tree is the union of shortest paths with up-path choices keyed
+    /// deterministically by (group, switch), so one copy of each packet
+    /// crosses any shared link and branching happens as low as possible —
+    /// the DCCast-style forwarding-tree model the paper's multicast
+    /// experiments assume.
+    pub fn register_group(&mut self, sender: NodeId, receivers: &[NodeId]) -> GroupId {
+        assert!(!receivers.is_empty(), "multicast group needs receivers");
+        let gid = GroupId(self.next_group);
+        self.next_group += 1;
+        let mut table: HashMap<NodeId, Vec<u16>> = HashMap::new();
+        for &r in receivers {
+            assert_ne!(r, sender, "sender cannot be a group receiver");
+            let mut at = sender;
+            while at != r {
+                let choices = self.topo.next_ports(at, r);
+                // Deterministic choice keyed by (group, node): paths to
+                // different receivers share their upward prefix.
+                let pick = choices[(crate::rng::Pcg32::new(
+                    (u64::from(gid.0) << 32) ^ u64::from(at.0),
+                )
+                .below(choices.len() as u64)) as usize];
+                let entry = table.entry(at).or_default();
+                if !entry.contains(&pick) {
+                    entry.push(pick);
+                }
+                at = self.topo.port(at, pick).peer;
+            }
+        }
+        self.groups.insert(gid, table);
+        gid
+    }
+
+    /// Schedule a timer for a host agent (used by workloads to start
+    /// sessions).
+    pub fn schedule_timer(&mut self, node: NodeId, at: SimTime, token: u64) {
+        self.push_event(at, EventKind::Timer(node, token));
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind<P>) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        self.events.push(Reverse(Event { at, seq: self.seq, kind }));
+        self.seq += 1;
+    }
+
+    /// Run until the event queue drains or `deadline` passes. Returns the
+    /// number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut processed = 0;
+        while let Some(Reverse(ev)) = self.events.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            let Reverse(ev) = self.events.pop().expect("peeked");
+            self.now = ev.at;
+            self.dispatch(ev.kind);
+            processed += 1;
+        }
+        self.stats.events += processed;
+        processed
+    }
+
+    /// Run until no events remain (workloads bound their own horizon via
+    /// timers, so this terminates once all transfers finish).
+    pub fn run_to_completion(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+
+    fn dispatch(&mut self, kind: EventKind<P>) {
+        match kind {
+            EventKind::Arrive(node, pkt) => match self.topo.kind(node) {
+                NodeKind::Host => self.deliver_to_agent(node, pkt),
+                NodeKind::Switch => self.forward(node, pkt),
+            },
+            EventKind::Dequeue(node, port) => self.transmit_next(node, port),
+            EventKind::Timer(node, token) => {
+                let mut ctx = Ctx::new(self.now, node);
+                let agent = self.agents[node.0 as usize]
+                    .as_mut()
+                    .expect("timer for a host without an agent");
+                agent.on_timer(token, &mut ctx);
+                self.apply_ctx(ctx);
+            }
+        }
+    }
+
+    fn deliver_to_agent(&mut self, node: NodeId, pkt: Packet<P>) {
+        // A host receives packets addressed to it or to a group whose
+        // tree terminates here; anything else is a routing bug.
+        if let Dest::Host(h) = pkt.dst {
+            assert_eq!(h, node, "unicast packet delivered to wrong host");
+        }
+        self.stats.delivered += 1;
+        let mut ctx = Ctx::new(self.now, node);
+        let agent = self.agents[node.0 as usize]
+            .as_mut()
+            .expect("packet delivered to a host without an agent");
+        agent.on_packet(pkt, &mut ctx);
+        self.apply_ctx(ctx);
+    }
+
+    fn apply_ctx(&mut self, ctx: Ctx<P>) {
+        let node = ctx.node;
+        for (at, token) in ctx.timers {
+            self.push_event(at, EventKind::Timer(node, token));
+        }
+        for pkt in ctx.sends {
+            // Host NIC: hosts have exactly one port (index 0).
+            self.enqueue_and_kick(node, 0, pkt);
+        }
+    }
+
+    fn forward(&mut self, node: NodeId, pkt: Packet<P>) {
+        match pkt.dst {
+            Dest::Host(dst) => {
+                let choices = self.topo.next_ports(node, dst);
+                let port = match self.config.route {
+                    RouteMode::EcmpFlow => {
+                        // Hash (flow, node) so consecutive switches make
+                        // independent—but per-flow-stable—choices.
+                        let h = crate::rng::Pcg32::new(pkt.flow.0 ^ (u64::from(node.0) << 40))
+                            .next_u32();
+                        choices[h as usize % choices.len()]
+                    }
+                    RouteMode::Spray => choices[self.rng.below(choices.len() as u64) as usize],
+                };
+                self.enqueue_and_kick(node, port, pkt);
+            }
+            Dest::Group(gid) => {
+                let table = self.groups.get(&gid).expect("unregistered multicast group");
+                let Some(ports) = table.get(&node) else {
+                    // Tree does not branch here — packet must not be here.
+                    panic!("group packet at switch {} outside its tree", node.0);
+                };
+                let ports = ports.clone();
+                for port in ports {
+                    self.enqueue_and_kick(node, port, pkt.clone());
+                }
+            }
+        }
+    }
+
+    fn enqueue_and_kick(&mut self, node: NodeId, port: u16, pkt: Packet<P>) {
+        let outcome = self.queues[node.0 as usize][port as usize].enqueue(pkt);
+        match outcome {
+            Enqueued::Dropped => {
+                self.stats.dropped += 1;
+                return;
+            }
+            Enqueued::Trimmed => self.stats.trimmed += 1,
+            Enqueued::Queued => {}
+        }
+        if !self.busy[node.0 as usize][port as usize] {
+            self.transmit_next(node, port);
+        }
+    }
+
+    fn transmit_next(&mut self, node: NodeId, port: u16) {
+        let rate = self.effective_rate(node, port);
+        if rate == 0 {
+            // Link down: leave the port idle; queued packets wait for a
+            // possible repair (and overflow per queue discipline).
+            self.busy[node.0 as usize][port as usize] = false;
+            return;
+        }
+        let Some(pkt) = self.queues[node.0 as usize][port as usize].dequeue() else {
+            self.busy[node.0 as usize][port as usize] = false;
+            return;
+        };
+        self.busy[node.0 as usize][port as usize] = true;
+        let link = *self.topo.port(node, port);
+        let ser = serialization_ns(pkt.size, rate);
+        self.push_event(self.now + ser + link.prop_ns, EventKind::Arrive(link.peer, pkt));
+        self.push_event(self.now + ser, EventKind::Dequeue(node, port));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::FlowId;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum P {
+        Data(u32),
+        Hdr(u32),
+        Pull,
+    }
+
+    impl SimPayload for P {
+        fn is_control(&self) -> bool {
+            !matches!(self, P::Data(_))
+        }
+        fn trim(&self) -> Option<Self> {
+            match self {
+                P::Data(i) => Some(P::Hdr(*i)),
+                other => Some(other.clone()),
+            }
+        }
+    }
+
+    /// Test agent: records receptions; sends a preloaded batch on timer 0.
+    struct Echo {
+        to_send: Vec<Packet<P>>,
+        received: Vec<(SimTime, P)>,
+    }
+
+    impl Agent<P> for Echo {
+        fn on_packet(&mut self, pkt: Packet<P>, ctx: &mut Ctx<P>) {
+            self.received.push((ctx.now, pkt.payload));
+        }
+        fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<P>) {
+            for pkt in self.to_send.drain(..) {
+                ctx.send(pkt);
+            }
+        }
+    }
+
+    fn data_pkt(src: NodeId, dst: NodeId, i: u32) -> Packet<P> {
+        Packet { src, dst: Dest::Host(dst), flow: FlowId(7), size: 1500, payload: P::Data(i) }
+    }
+
+    fn two_host_sim(config: SimConfig) -> (Simulator<P, Echo>, NodeId, NodeId) {
+        // host A — switch — host B
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Host);
+        let s = t.add_node(NodeKind::Switch);
+        let b = t.add_node(NodeKind::Host);
+        t.connect(a, s, 1_000_000_000, 10_000);
+        t.connect(b, s, 1_000_000_000, 10_000);
+        t.compute_routes();
+        let mut sim = Simulator::new(t, config);
+        sim.set_agent(a, Echo { to_send: vec![], received: vec![] });
+        sim.set_agent(b, Echo { to_send: vec![], received: vec![] });
+        (sim, a, b)
+    }
+
+    /// Two senders, one receiver: the switch's receiver port is a 2:1
+    /// bottleneck, so simultaneous bursts congest it.
+    fn incast_sim(config: SimConfig) -> (Simulator<P, Echo>, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Host);
+        let c = t.add_node(NodeKind::Host);
+        let s = t.add_node(NodeKind::Switch);
+        let b = t.add_node(NodeKind::Host);
+        t.connect(a, s, 1_000_000_000, 10_000);
+        t.connect(c, s, 1_000_000_000, 10_000);
+        t.connect(b, s, 1_000_000_000, 10_000);
+        t.compute_routes();
+        let mut sim = Simulator::new(t, config);
+        for h in [a, b, c] {
+            sim.set_agent(h, Echo { to_send: vec![], received: vec![] });
+        }
+        (sim, a, c, b)
+    }
+
+    #[test]
+    fn single_packet_latency_exact() {
+        let (mut sim, a, b) = two_host_sim(SimConfig::ndp(1));
+        sim.agent_mut(a).to_send.push(data_pkt(a, b, 0));
+        sim.schedule_timer(a, SimTime::ZERO, 0);
+        sim.run_to_completion();
+        let rec = &sim.agent(b).received;
+        assert_eq!(rec.len(), 1);
+        // Two store-and-forward hops: 2 × (12µs ser + 10µs prop).
+        assert_eq!(rec[0].0, SimTime::from_nanos(2 * (12_000 + 10_000)));
+    }
+
+    #[test]
+    fn fifo_pipelining() {
+        let (mut sim, a, b) = two_host_sim(SimConfig::ndp(1));
+        for i in 0..3 {
+            sim.agent_mut(a).to_send.push(data_pkt(a, b, i));
+        }
+        sim.schedule_timer(a, SimTime::ZERO, 0);
+        sim.run_to_completion();
+        let rec = &sim.agent(b).received;
+        assert_eq!(rec.len(), 3);
+        // In order, spaced by one serialization delay.
+        assert_eq!(rec[0].1, P::Data(0));
+        assert_eq!(rec[1].0 - rec[0].0, 12_000);
+        assert_eq!(rec[2].0 - rec[1].0, 12_000);
+    }
+
+    #[test]
+    fn trimming_under_burst() {
+        // Two hosts blast 20 packets each into a shared receiver port
+        // (2:1 overload): the 8-packet NDP data queue must overflow and
+        // the overflow must be trimmed, never dropped.
+        let (mut sim, a, c, b) = incast_sim(SimConfig::ndp(1));
+        for i in 0..20 {
+            sim.agent_mut(a).to_send.push(data_pkt(a, b, i));
+            sim.agent_mut(c).to_send.push(data_pkt(c, b, 100 + i));
+        }
+        sim.schedule_timer(a, SimTime::ZERO, 0);
+        sim.schedule_timer(c, SimTime::ZERO, 0);
+        sim.run_to_completion();
+        let rec = &sim.agent(b).received;
+        assert_eq!(rec.len(), 40, "every packet arrives, full or trimmed");
+        let full = rec.iter().filter(|(_, p)| matches!(p, P::Data(_))).count();
+        let trimmed = rec.iter().filter(|(_, p)| matches!(p, P::Hdr(_))).count();
+        assert_eq!(full + trimmed, 40);
+        assert!(trimmed > 0, "2:1 overload must overflow the 8-packet data queue");
+        assert_eq!(sim.stats().trimmed as usize, trimmed);
+        assert_eq!(sim.stats().dropped, 0);
+        assert_eq!(sim.switch_queue_totals().trimmed as usize, trimmed);
+    }
+
+    #[test]
+    fn droptail_drops_under_burst() {
+        let mut cfg = SimConfig::classic(1);
+        cfg.switch_queue = QueueConfig::DropTail { cap_pkts: 4 };
+        let (mut sim, a, c, b) = incast_sim(cfg);
+        for i in 0..20 {
+            sim.agent_mut(a).to_send.push(data_pkt(a, b, i));
+            sim.agent_mut(c).to_send.push(data_pkt(c, b, 100 + i));
+        }
+        sim.schedule_timer(a, SimTime::ZERO, 0);
+        sim.schedule_timer(c, SimTime::ZERO, 0);
+        sim.run_to_completion();
+        let rec = &sim.agent(b).received;
+        assert!(rec.len() < 40, "drop-tail must lose packets");
+        assert!(sim.stats().dropped > 0);
+    }
+
+    #[test]
+    fn control_overtakes_data() {
+        // Host C backlogs the receiver port with data; a pull from host A
+        // sent later must overtake queued data thanks to the priority
+        // header queue.
+        let (mut sim, a, c, b) = incast_sim(SimConfig::ndp(1));
+        for i in 0..10 {
+            sim.agent_mut(c).to_send.push(data_pkt(c, b, i));
+        }
+        sim.agent_mut(a).to_send.push(Packet {
+            src: a,
+            dst: Dest::Host(b),
+            flow: FlowId(9),
+            size: 64,
+            payload: P::Pull,
+        });
+        sim.schedule_timer(c, SimTime::ZERO, 0);
+        // Give C a head start so the switch queue is backlogged when the
+        // pull arrives.
+        sim.schedule_timer(a, SimTime::from_micros(40), 0);
+        sim.run_to_completion();
+        let rec = &sim.agent(b).received;
+        let pull_pos = rec.iter().position(|(_, p)| *p == P::Pull).unwrap();
+        assert!(pull_pos < rec.len() - 1, "pull should overtake queued data at the switch");
+    }
+
+    #[test]
+    fn multicast_delivers_to_all() {
+        // One sender, three receivers on a k=4 fat-tree.
+        let t = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        let hosts = t.hosts().to_vec();
+        let mut sim: Simulator<P, Echo> = Simulator::new(t, SimConfig::ndp(3));
+        for &h in &hosts {
+            sim.set_agent(h, Echo { to_send: vec![], received: vec![] });
+        }
+        let (s, r1, r2, r3) = (hosts[0], hosts[3], hosts[7], hosts[12]);
+        let gid = sim.register_group(s, &[r1, r2, r3]);
+        sim.agent_mut(s).to_send.push(Packet {
+            src: s,
+            dst: Dest::Group(gid),
+            flow: FlowId(1),
+            size: 1500,
+            payload: P::Data(0),
+        });
+        sim.schedule_timer(s, SimTime::ZERO, 0);
+        sim.run_to_completion();
+        for &r in &[r1, r2, r3] {
+            assert_eq!(sim.agent(r).received.len(), 1, "receiver {} missed", r.0);
+        }
+        // Non-members received nothing.
+        assert_eq!(sim.agent(hosts[1]).received.len(), 0);
+    }
+
+    #[test]
+    fn multicast_tree_shares_sender_uplink() {
+        // The whole point of multicast in Fig 1a: one copy leaves the
+        // sender regardless of replica count.
+        let t = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        let hosts = t.hosts().to_vec();
+        let mut sim: Simulator<P, Echo> = Simulator::new(t, SimConfig::ndp(3));
+        for &h in &hosts {
+            sim.set_agent(h, Echo { to_send: vec![], received: vec![] });
+        }
+        let s = hosts[0];
+        let receivers = [hosts[5], hosts[9], hosts[13]];
+        let gid = sim.register_group(s, &receivers);
+        for i in 0..50 {
+            sim.agent_mut(s).to_send.push(Packet {
+                src: s,
+                dst: Dest::Group(gid),
+                flow: FlowId(1),
+                size: 1500,
+                payload: P::Data(i),
+            });
+        }
+        sim.schedule_timer(s, SimTime::ZERO, 0);
+        sim.run_to_completion();
+        // Sender's NIC transmitted each packet exactly once.
+        let nic = sim.queue_stats(s, 0);
+        assert_eq!(nic.tx_bytes, 50 * 1500);
+        for &r in &receivers {
+            assert_eq!(sim.agent(r).received.len(), 50);
+        }
+    }
+
+    #[test]
+    fn spray_uses_multiple_paths() {
+        let t = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        let hosts = t.hosts().to_vec();
+        let (src, dst) = (hosts[0], hosts[15]); // inter-pod: 2 uplinks
+        let edge = t.edge_switch(src);
+        let up_ports: Vec<u16> = t.next_ports(edge, dst).to_vec();
+        assert_eq!(up_ports.len(), 2);
+        let mut sim: Simulator<P, Echo> = Simulator::new(t, SimConfig::ndp(5));
+        for &h in &hosts {
+            sim.set_agent(h, Echo { to_send: vec![], received: vec![] });
+        }
+        for i in 0..100 {
+            sim.agent_mut(src).to_send.push(data_pkt(src, dst, i));
+        }
+        sim.schedule_timer(src, SimTime::ZERO, 0);
+        sim.run_to_completion();
+        let tx0 = sim.queue_stats(edge, up_ports[0]).tx_bytes;
+        let tx1 = sim.queue_stats(edge, up_ports[1]).tx_bytes;
+        assert!(tx0 > 0 && tx1 > 0, "spraying must use both uplinks ({tx0}, {tx1})");
+    }
+
+    #[test]
+    fn ecmp_pins_one_path() {
+        let t = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        let hosts = t.hosts().to_vec();
+        let (src, dst) = (hosts[0], hosts[15]);
+        let edge = t.edge_switch(src);
+        let up_ports: Vec<u16> = t.next_ports(edge, dst).to_vec();
+        let mut sim: Simulator<P, Echo> = Simulator::new(t, SimConfig::classic(5));
+        for &h in &hosts {
+            sim.set_agent(h, Echo { to_send: vec![], received: vec![] });
+        }
+        for i in 0..100 {
+            sim.agent_mut(src).to_send.push(data_pkt(src, dst, i));
+        }
+        sim.schedule_timer(src, SimTime::ZERO, 0);
+        sim.run_to_completion();
+        let tx0 = sim.queue_stats(edge, up_ports[0]).tx_bytes;
+        let tx1 = sim.queue_stats(edge, up_ports[1]).tx_bytes;
+        assert!(
+            (tx0 == 0) != (tx1 == 0),
+            "per-flow ECMP must pin exactly one uplink ({tx0}, {tx1})"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = |seed: u64| -> Vec<(SimTime, P)> {
+            let (mut sim, a, b) = two_host_sim(SimConfig::ndp(seed));
+            for i in 0..30 {
+                sim.agent_mut(a).to_send.push(data_pkt(a, b, i));
+            }
+            sim.schedule_timer(a, SimTime::ZERO, 0);
+            sim.run_to_completion();
+            sim.agents[b.0 as usize].take().unwrap().received
+        };
+        assert_eq!(run(42), run(42), "same seed ⇒ identical trace");
+    }
+}

@@ -1,0 +1,356 @@
+//! Network topology: nodes, links, and multipath routing tables.
+//!
+//! The topology is a general undirected graph of hosts and switches with
+//! per-link rate and propagation delay. Routing tables are computed by
+//! per-destination BFS and record **all** ports on shortest paths, which
+//! gives the fabric its equal-cost multipath structure; the forwarding
+//! policy (hash-based ECMP vs. per-packet spraying) picks among them at
+//! run time.
+//!
+//! [`Topology::fat_tree`] builds the paper's evaluation fabric: a k-ary
+//! fat-tree (k = 10 → 250 hosts) with uniform link speed and delay.
+
+/// Index of a node (host or switch) in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// What a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An end host (runs a transport agent, has exactly one port).
+    Host,
+    /// A switch (forwards packets, owns port queues).
+    Switch,
+}
+
+/// One directed attachment point of a node.
+#[derive(Debug, Clone, Copy)]
+pub struct Port {
+    /// The node on the other end of the link.
+    pub peer: NodeId,
+    /// Port index on the peer that points back at us.
+    pub peer_port: u16,
+    /// Link rate in bits per second.
+    pub rate_bps: u64,
+    /// One-way propagation delay in nanoseconds.
+    pub prop_ns: u64,
+}
+
+/// An immutable network graph plus routing tables.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    kinds: Vec<NodeKind>,
+    ports: Vec<Vec<Port>>,
+    hosts: Vec<NodeId>,
+    host_index: Vec<Option<u32>>, // NodeId -> index into `hosts`
+    /// `routes[node][dst_host_index]` = ports of `node` on shortest paths
+    /// towards that host. Empty until [`Topology::compute_routes`].
+    routes: Vec<Vec<Vec<u16>>>,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Self {
+            kinds: Vec::new(),
+            ports: Vec::new(),
+            hosts: Vec::new(),
+            host_index: Vec::new(),
+            routes: Vec::new(),
+        }
+    }
+
+    /// Add a node of the given kind, returning its id.
+    pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.kinds.len() as u32);
+        self.kinds.push(kind);
+        self.ports.push(Vec::new());
+        self.host_index.push(None);
+        if kind == NodeKind::Host {
+            self.host_index[id.0 as usize] = Some(self.hosts.len() as u32);
+            self.hosts.push(id);
+        }
+        id
+    }
+
+    /// Connect two nodes with a bidirectional link.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, rate_bps: u64, prop_ns: u64) {
+        assert_ne!(a, b, "self-links are not allowed");
+        let pa = self.ports[a.0 as usize].len() as u16;
+        let pb = self.ports[b.0 as usize].len() as u16;
+        self.ports[a.0 as usize].push(Port { peer: b, peer_port: pb, rate_bps, prop_ns });
+        self.ports[b.0 as usize].push(Port { peer: a, peer_port: pa, rate_bps, prop_ns });
+    }
+
+    /// Node kind accessor.
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.kinds[n.0 as usize]
+    }
+
+    /// Number of nodes (hosts + switches).
+    pub fn node_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// All hosts, in id order.
+    pub fn hosts(&self) -> &[NodeId] {
+        &self.hosts
+    }
+
+    /// Dense index of a host (panics for switches).
+    pub fn host_index(&self, n: NodeId) -> usize {
+        self.host_index[n.0 as usize].expect("node is not a host") as usize
+    }
+
+    /// Ports of a node.
+    pub fn node_ports(&self, n: NodeId) -> &[Port] {
+        &self.ports[n.0 as usize]
+    }
+
+    /// A specific port.
+    pub fn port(&self, n: NodeId, p: u16) -> &Port {
+        &self.ports[n.0 as usize][p as usize]
+    }
+
+    /// Compute shortest-path multipath routing tables (must be called
+    /// after the graph is final and before forwarding).
+    pub fn compute_routes(&mut self) {
+        let n = self.node_count();
+        self.routes = vec![vec![Vec::new(); self.hosts.len()]; n];
+        let mut dist = vec![u32::MAX; n];
+        let mut frontier: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+        for (h_idx, &host) in self.hosts.clone().iter().enumerate() {
+            // BFS from the destination host outward.
+            dist.fill(u32::MAX);
+            frontier.clear();
+            dist[host.0 as usize] = 0;
+            frontier.push_back(host.0);
+            while let Some(u) = frontier.pop_front() {
+                let du = dist[u as usize];
+                for port in &self.ports[u as usize] {
+                    let v = port.peer.0;
+                    if dist[v as usize] == u32::MAX {
+                        dist[v as usize] = du + 1;
+                        frontier.push_back(v);
+                    }
+                }
+            }
+            // Record, for every node, the ports that step closer to host.
+            for u in 0..n as u32 {
+                if dist[u as usize] == u32::MAX || u == host.0 {
+                    continue;
+                }
+                let next: Vec<u16> = self.ports[u as usize]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| dist[p.peer.0 as usize] + 1 == dist[u as usize])
+                    .map(|(i, _)| i as u16)
+                    .collect();
+                self.routes[u as usize][h_idx] = next;
+            }
+        }
+    }
+
+    /// Ports of `node` on shortest paths to `dst` (a host).
+    ///
+    /// # Panics
+    /// Panics if routes were not computed or `dst` is unreachable —
+    /// both are configuration bugs, not runtime conditions.
+    pub fn next_ports(&self, node: NodeId, dst: NodeId) -> &[u16] {
+        let h = self.host_index(dst);
+        let next = &self.routes[node.0 as usize][h];
+        assert!(
+            !next.is_empty(),
+            "no route from node {} to host {} (routes computed?)",
+            node.0,
+            dst.0
+        );
+        next
+    }
+
+    /// Hop count of the shortest path between two hosts.
+    pub fn path_hops(&self, a: NodeId, b: NodeId) -> u32 {
+        if a == b {
+            return 0;
+        }
+        let mut hops = 0;
+        let mut at = a;
+        loop {
+            let p = self.next_ports(at, b)[0];
+            at = self.port(at, p).peer;
+            hops += 1;
+            if at == b {
+                return hops;
+            }
+            assert!(hops < 64, "path longer than 64 hops; routing loop?");
+        }
+    }
+
+    /// Build a k-ary fat-tree (k even): k pods of (k/2 edge + k/2
+    /// aggregation) switches, (k/2)² core switches, k²/4 hosts per pod
+    /// wait — k/2 hosts per edge switch, so k³/4 hosts total. All links
+    /// share `rate_bps`/`prop_ns` (the paper: 1 Gbps, 10 µs).
+    pub fn fat_tree(k: usize, rate_bps: u64, prop_ns: u64) -> Topology {
+        assert!(k >= 2 && k % 2 == 0, "fat-tree requires even k >= 2");
+        let half = k / 2;
+        let mut t = Topology::new();
+
+        // Hosts and edge/agg switches, pod by pod.
+        let mut edges = vec![vec![NodeId(0); half]; k];
+        let mut aggs = vec![vec![NodeId(0); half]; k];
+        for pod in 0..k {
+            for e in 0..half {
+                let edge = t.add_node(NodeKind::Switch);
+                edges[pod][e] = edge;
+                for _ in 0..half {
+                    let host = t.add_node(NodeKind::Host);
+                    t.connect(host, edge, rate_bps, prop_ns);
+                }
+            }
+            for a in 0..half {
+                aggs[pod][a] = t.add_node(NodeKind::Switch);
+            }
+            for e in 0..half {
+                for a in 0..half {
+                    t.connect(edges[pod][e], aggs[pod][a], rate_bps, prop_ns);
+                }
+            }
+        }
+        // Core layer: group g serves aggregation index g of every pod.
+        for g in 0..half {
+            for c in 0..half {
+                let core = t.add_node(NodeKind::Switch);
+                let _ = c;
+                for pod in 0..k {
+                    t.connect(aggs[pod][g], core, rate_bps, prop_ns);
+                }
+            }
+        }
+        t.compute_routes();
+        t
+    }
+
+    /// The edge switch a host hangs off (host's single uplink peer).
+    pub fn edge_switch(&self, host: NodeId) -> NodeId {
+        assert_eq!(self.kind(host), NodeKind::Host);
+        self.ports[host.0 as usize][0].peer
+    }
+
+    /// Whether two hosts share an edge switch ("same rack"); used for
+    /// the paper's replica placement rule (replicas outside the client's
+    /// rack).
+    pub fn same_rack(&self, a: NodeId, b: NodeId) -> bool {
+        self.edge_switch(a) == self.edge_switch(b)
+    }
+
+    /// Base round-trip time between two hosts for a given packet size:
+    /// per hop, store-and-forward serialization plus propagation, both
+    /// ways, with a header-size packet on the return. A convenience for
+    /// transports sizing their initial window to one BDP.
+    pub fn base_rtt_ns(&self, a: NodeId, b: NodeId, data_bytes: u32, ctrl_bytes: u32) -> u64 {
+        let hops = self.path_hops(a, b) as u64;
+        // Uniform fabric assumption (true for fat_tree): use port 0 specs.
+        let p = &self.ports[a.0 as usize][0];
+        let fwd = hops * (crate::time::serialization_ns(data_bytes, p.rate_bps) + p.prop_ns);
+        let back = hops * (crate::time::serialization_ns(ctrl_bytes, p.rate_bps) + p.prop_ns);
+        fwd + back
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fat_tree_counts() {
+        // k=4: 16 hosts, 4 pods × (2+2) switches + 4 cores = 20 switches.
+        let t = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        assert_eq!(t.hosts().len(), 16);
+        assert_eq!(t.node_count(), 16 + 8 + 8 + 4);
+        // k=10: the paper's 250-server fabric.
+        let t10 = Topology::fat_tree(10, 1_000_000_000, 10_000);
+        assert_eq!(t10.hosts().len(), 250);
+        assert_eq!(t10.node_count(), 250 + 50 + 50 + 25);
+    }
+
+    #[test]
+    fn fat_tree_symmetric_ports() {
+        let t = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        for n in 0..t.node_count() as u32 {
+            for (i, p) in t.node_ports(NodeId(n)).iter().enumerate() {
+                let back = t.port(p.peer, p.peer_port);
+                assert_eq!(back.peer, NodeId(n));
+                assert_eq!(back.peer_port as usize, i);
+            }
+        }
+    }
+
+    #[test]
+    fn hosts_have_one_port_switches_k() {
+        let t = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        for &h in t.hosts() {
+            assert_eq!(t.node_ports(h).len(), 1);
+        }
+        for n in 0..t.node_count() as u32 {
+            if t.kind(NodeId(n)) == NodeKind::Switch {
+                assert_eq!(t.node_ports(NodeId(n)).len(), 4, "switch degree");
+            }
+        }
+    }
+
+    #[test]
+    fn path_hops_structure() {
+        let t = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        let hosts = t.hosts().to_vec();
+        // Same rack: 2 hops (host→edge→host).
+        assert_eq!(t.path_hops(hosts[0], hosts[1]), 2);
+        // Same pod, different rack: 4 hops.
+        assert_eq!(t.path_hops(hosts[0], hosts[2]), 4);
+        // Different pod: 6 hops.
+        assert_eq!(t.path_hops(hosts[0], hosts[15]), 6);
+    }
+
+    #[test]
+    fn multipath_counts() {
+        let t = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        let hosts = t.hosts().to_vec();
+        let (src, dst) = (hosts[0], hosts[15]);
+        // At the source edge switch there are k/2 = 2 equal-cost uplinks.
+        let edge = t.edge_switch(src);
+        assert_eq!(t.next_ports(edge, dst).len(), 2);
+        // At the host there is exactly one way out.
+        assert_eq!(t.next_ports(src, dst).len(), 1);
+    }
+
+    #[test]
+    fn same_rack_detection() {
+        let t = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        let hosts = t.hosts().to_vec();
+        assert!(t.same_rack(hosts[0], hosts[1]));
+        assert!(!t.same_rack(hosts[0], hosts[2]));
+    }
+
+    #[test]
+    fn base_rtt_sane() {
+        let t = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        let hosts = t.hosts().to_vec();
+        // Inter-pod: 6 hops × (12µs ser + 10µs prop) forward
+        //          + 6 hops × (0.512µs + 10µs) back.
+        let rtt = t.base_rtt_ns(hosts[0], hosts[15], 1500, 64);
+        assert_eq!(rtt, 6 * (12_000 + 10_000) + 6 * (512 + 10_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_link_panics() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Host);
+        t.connect(a, a, 1, 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests on fabric invariants: routing consistency and
+//! multicast tree correctness over randomized inputs.
+
+use netsim::{NodeId, Topology};
+use proptest::prelude::*;
+
+fn fat_tree_ks() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(4usize), Just(6), Just(8)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every host pair is connected by shortest paths whose hop count is
+    /// one of the three fat-tree distances (2, 4, 6).
+    #[test]
+    fn path_lengths_are_fat_tree_distances(k in fat_tree_ks(), pair_seed in any::<u64>()) {
+        let t = Topology::fat_tree(k, 1_000_000_000, 10_000);
+        let hosts = t.hosts().to_vec();
+        let mut rng = netsim::Pcg32::new(pair_seed);
+        for _ in 0..16 {
+            let a = hosts[rng.below(hosts.len() as u64) as usize];
+            let b = hosts[rng.below(hosts.len() as u64) as usize];
+            if a == b { continue; }
+            let hops = t.path_hops(a, b);
+            prop_assert!(hops == 2 || hops == 4 || hops == 6, "odd hop count {}", hops);
+        }
+    }
+
+    /// next_ports always step strictly closer: following any advertised
+    /// port from any node reaches the destination without loops.
+    #[test]
+    fn all_multipath_choices_reach_destination(k in fat_tree_ks(), seed in any::<u64>()) {
+        let t = Topology::fat_tree(k, 1_000_000_000, 10_000);
+        let hosts = t.hosts().to_vec();
+        let mut rng = netsim::Pcg32::new(seed);
+        let a = hosts[rng.below(hosts.len() as u64) as usize];
+        let b = hosts[(rng.below(hosts.len() as u64 - 1) as usize + 1 + t.host_index(a))
+            % hosts.len()];
+        if a == b { return Ok(()); }
+        // Random walk over advertised next hops must terminate.
+        let mut at = a;
+        let mut steps = 0;
+        while at != b {
+            let choices = t.next_ports(at, b);
+            let pick = choices[rng.below(choices.len() as u64) as usize];
+            at = t.port(at, pick).peer;
+            steps += 1;
+            prop_assert!(steps <= 6, "walk exceeded fat-tree diameter");
+        }
+    }
+
+    /// A multicast tree delivers exactly one copy per member and nothing
+    /// to non-members, for arbitrary member sets.
+    #[test]
+    fn multicast_tree_exactness(k in fat_tree_ks(), seed in any::<u64>()) {
+        use netsim::{Agent, Ctx, Dest, FlowId, Packet, SimConfig, SimPayload, SimTime, Simulator};
+
+        #[derive(Debug, Clone)]
+        struct P;
+        impl SimPayload for P {
+            fn is_control(&self) -> bool { false }
+            fn trim(&self) -> Option<Self> { Some(P) }
+        }
+        struct Counter { got: u64, send_to: Option<netsim::GroupId> }
+        impl Agent<P> for Counter {
+            fn on_packet(&mut self, _p: Packet<P>, _c: &mut Ctx<P>) { self.got += 1; }
+            fn on_timer(&mut self, _t: u64, ctx: &mut Ctx<P>) {
+                let g = self.send_to.expect("only the sender gets a timer");
+                ctx.send(Packet {
+                    src: ctx.node, dst: Dest::Group(g), flow: FlowId(1), size: 1500, payload: P,
+                });
+            }
+        }
+
+        let t = Topology::fat_tree(k, 1_000_000_000, 10_000);
+        let hosts = t.hosts().to_vec();
+        let mut rng = netsim::Pcg32::new(seed);
+        let sender = hosts[rng.below(hosts.len() as u64) as usize];
+        let n_members = 1 + rng.below(6) as usize;
+        let mut members = Vec::new();
+        while members.len() < n_members {
+            let m = hosts[rng.below(hosts.len() as u64) as usize];
+            if m != sender && !members.contains(&m) {
+                members.push(m);
+            }
+        }
+        let mut sim: Simulator<P, Counter> = Simulator::new(t, SimConfig::ndp(seed));
+        for &h in &hosts {
+            sim.set_agent(h, Counter { got: 0, send_to: None });
+        }
+        let gid = sim.register_group(sender, &members);
+        sim.agent_mut(sender).send_to = Some(gid);
+        sim.schedule_timer(sender, SimTime::ZERO, 0);
+        sim.run_to_completion();
+        for &h in &hosts {
+            let expected = u64::from(members.contains(&h));
+            prop_assert_eq!(sim.agent(h).got, expected, "host {} copies", h.0);
+        }
+    }
+}

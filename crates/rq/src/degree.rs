@@ -1,0 +1,96 @@
+//! LT degree distribution.
+//!
+//! The encoding-symbol degree (how many intermediate symbols are XORed into
+//! one LT symbol) is sampled from the Raptor degree distribution of
+//! RFC 5053 §5.4.4.2 — the same distribution family RFC 6330 uses. The
+//! distribution is given as a cumulative table over `v ∈ [0, 2^20)`.
+
+/// Cumulative degree distribution table `(f[j], d[j])`: a uniform
+/// `v < 2^20` maps to the first entry with `v < f[j]`.
+const TABLE: &[(u32, u32)] = &[
+    (10_241, 1),
+    (491_582, 2),
+    (712_794, 3),
+    (831_695, 4),
+    (948_446, 10),
+    (1_032_189, 11),
+    (1 << 20, 40),
+];
+
+/// Upper bound of the sampling domain (`v` is drawn uniformly below this).
+pub const DEGREE_DOMAIN: u32 = 1 << 20;
+
+/// Maximum degree the distribution can produce.
+pub const MAX_DEGREE: u32 = 40;
+
+/// Map a uniform value `v ∈ [0, 2^20)` to an LT degree.
+#[inline]
+pub fn degree(v: u32) -> u32 {
+    debug_assert!(v < DEGREE_DOMAIN, "degree: v out of domain");
+    for &(f, d) in TABLE {
+        if v < f {
+            return d;
+        }
+    }
+    // Unreachable for in-domain v; the last table entry covers 2^20.
+    MAX_DEGREE
+}
+
+/// Average degree of the distribution (used in documentation and tests).
+pub fn mean_degree() -> f64 {
+    let mut prev = 0u32;
+    let mut acc = 0f64;
+    for &(f, d) in TABLE {
+        acc += f64::from(f - prev) * f64::from(d);
+        prev = f;
+    }
+    acc / f64::from(DEGREE_DOMAIN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rand::rand;
+
+    #[test]
+    fn degree_boundaries() {
+        assert_eq!(degree(0), 1);
+        assert_eq!(degree(10_240), 1);
+        assert_eq!(degree(10_241), 2);
+        assert_eq!(degree(491_581), 2);
+        assert_eq!(degree(491_582), 3);
+        assert_eq!(degree((1 << 20) - 1), 40);
+    }
+
+    #[test]
+    fn mean_degree_is_small() {
+        // The Raptor distribution is designed to have a small constant mean
+        // (≈ 4.6), independent of K. This is what makes encoding O(1) per
+        // symbol.
+        let m = mean_degree();
+        assert!((4.0..5.5).contains(&m), "mean degree {m} out of range");
+    }
+
+    #[test]
+    fn sampled_mean_matches_analytic() {
+        let n = 200_000u64;
+        let mut acc = 0u64;
+        for i in 0..n {
+            acc += u64::from(degree(rand(7, i, DEGREE_DOMAIN)));
+        }
+        let sampled = acc as f64 / n as f64;
+        let analytic = mean_degree();
+        assert!(
+            (sampled - analytic).abs() < 0.05,
+            "sampled {sampled} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn degree_one_fraction() {
+        // P(d = 1) = 10241 / 2^20 ≈ 0.98%. Degree-1 symbols seed the
+        // peeling decoder, so the fraction must be positive but small.
+        let p1 = 10_241f64 / f64::from(DEGREE_DOMAIN);
+        assert!(p1 > 0.005 && p1 < 0.02);
+    }
+}

@@ -1,0 +1,270 @@
+//! Arithmetic over GF(2^8).
+//!
+//! The field is constructed modulo the RFC 6330 polynomial
+//! `x^8 + x^4 + x^3 + x^2 + 1` (`0x11D`), with `α = 2` as the multiplicative
+//! generator. Log/exp tables are generated at compile time so multiplication
+//! is two table lookups and an addition.
+//!
+//! Besides scalar arithmetic this module provides the *symbol* operations
+//! the codec is built from: XOR of whole symbols and fused
+//! multiply-accumulate (`dst += c · src`), both with a `u64`-wide fast path.
+
+/// The reduction polynomial, `x^8 + x^4 + x^3 + x^2 + 1`, as the low 9 bits.
+pub const POLY: u16 = 0x11D;
+
+/// Number of elements in the field.
+pub const FIELD_SIZE: usize = 256;
+
+/// Exponent table: `EXP[i] = α^i` for `i` in `0..510`.
+///
+/// The table is doubled in length so `mul` can index `EXP[log a + log b]`
+/// without a modular reduction.
+pub static EXP: [u8; 510] = build_exp();
+
+/// Log table: `LOG[x] = log_α x` for `x != 0`. `LOG[0]` is a sentinel (0)
+/// and must never be used; all callers guard against zero operands.
+pub static LOG: [u8; 256] = build_log();
+
+const fn build_exp() -> [u8; 510] {
+    let mut table = [0u8; 510];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        table[i] = x as u8;
+        table[i + 255] = x as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLY;
+        }
+        i += 1;
+    }
+    table
+}
+
+const fn build_log() -> [u8; 256] {
+    let exp = build_exp();
+    let mut table = [0u8; 256];
+    let mut i = 0;
+    while i < 255 {
+        table[exp[i] as usize] = i as u8;
+        i += 1;
+    }
+    table
+}
+
+/// Multiply two field elements.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+    }
+}
+
+/// Multiplicative inverse. Panics on zero (division by zero is a logic
+/// error in the solver, not a runtime condition).
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "gf256: inverse of zero");
+    EXP[255 - LOG[a as usize] as usize]
+}
+
+/// Divide `a` by `b`. Panics if `b == 0`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    if a == 0 {
+        0
+    } else {
+        assert!(b != 0, "gf256: division by zero");
+        let diff = 255 + LOG[a as usize] as usize - LOG[b as usize] as usize;
+        EXP[diff]
+    }
+}
+
+/// Addition (= subtraction) in GF(2^8) is XOR.
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// `α^i` for arbitrary exponent.
+#[inline]
+pub fn alpha_pow(i: usize) -> u8 {
+    EXP[i % 255]
+}
+
+/// XOR `src` into `dst` (symbol addition). Both slices must be the same
+/// length; this is an invariant of symbol storage, so it is asserted.
+#[inline]
+pub fn xor_assign(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "symbol length mismatch");
+    // u64-wide fast path; the remainder is handled byte by byte.
+    let (dst_chunks, dst_rest) = dst.split_at_mut(dst.len() - dst.len() % 8);
+    let (src_chunks, src_rest) = src.split_at(src.len() - src.len() % 8);
+    for (d, s) in dst_chunks.chunks_exact_mut(8).zip(src_chunks.chunks_exact(8)) {
+        let x = u64::from_ne_bytes(d.try_into().unwrap());
+        let y = u64::from_ne_bytes(s.try_into().unwrap());
+        d.copy_from_slice(&(x ^ y).to_ne_bytes());
+    }
+    for (d, s) in dst_rest.iter_mut().zip(src_rest) {
+        *d ^= s;
+    }
+}
+
+/// Fused multiply-accumulate on symbols: `dst[i] ^= c · src[i]`.
+///
+/// `c == 0` is a no-op and `c == 1` degenerates to [`xor_assign`]; both are
+/// common in the solver so they get dedicated paths.
+#[inline]
+pub fn fma(dst: &mut [u8], src: &[u8], c: u8) {
+    match c {
+        0 => {}
+        1 => xor_assign(dst, src),
+        _ => {
+            assert_eq!(dst.len(), src.len(), "symbol length mismatch");
+            let log_c = LOG[c as usize] as usize;
+            for (d, s) in dst.iter_mut().zip(src) {
+                if *s != 0 {
+                    *d ^= EXP[log_c + LOG[*s as usize] as usize];
+                }
+            }
+        }
+    }
+}
+
+/// Scale a symbol in place: `dst[i] = c · dst[i]`.
+#[inline]
+pub fn scale(dst: &mut [u8], c: u8) {
+    match c {
+        0 => dst.fill(0),
+        1 => {}
+        _ => {
+            let log_c = LOG[c as usize] as usize;
+            for d in dst.iter_mut() {
+                if *d != 0 {
+                    *d = EXP[log_c + LOG[*d as usize] as usize];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_log_roundtrip() {
+        for x in 1..=255u8 {
+            assert_eq!(EXP[LOG[x as usize] as usize], x);
+        }
+    }
+
+    #[test]
+    fn alpha_generates_field() {
+        let mut seen = [false; 256];
+        for i in 0..255 {
+            seen[EXP[i] as usize] = true;
+        }
+        // α generates every nonzero element exactly once.
+        assert!(!seen[0]);
+        assert!(seen[1..].iter().all(|&s| s));
+    }
+
+    #[test]
+    fn mul_commutative_associative() {
+        // Spot-check algebraic laws over a grid (exhaustive over pairs).
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), mul(b, a));
+                assert_eq!(mul(a, 1), a);
+                assert_eq!(mul(a, 0), 0);
+            }
+        }
+        // Associativity on a coarser grid to keep the test fast.
+        for a in (0..=255u8).step_by(7) {
+            for b in (0..=255u8).step_by(11) {
+                for c in (0..=255u8).step_by(13) {
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributive_law() {
+        for a in (0..=255u8).step_by(5) {
+            for b in (0..=255u8).step_by(9) {
+                for c in (0..=255u8).step_by(13) {
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_law() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1);
+            assert_eq!(div(a, a), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse of zero")]
+    fn inverse_of_zero_panics() {
+        inv(0);
+    }
+
+    #[test]
+    fn div_matches_mul_inv() {
+        for a in (0..=255u8).step_by(3) {
+            for b in 1..=255u8 {
+                assert_eq!(div(a, b), mul(a, inv(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn xor_assign_all_lengths() {
+        // Exercise the chunked fast path and the tail for many lengths.
+        for len in 0..70 {
+            let a: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            let b: Vec<u8> = (0..len).map(|i| (i * 53 + 7) as u8).collect();
+            let mut d = a.clone();
+            xor_assign(&mut d, &b);
+            for i in 0..len as usize {
+                assert_eq!(d[i], a[i] ^ b[i]);
+            }
+            // XOR is an involution.
+            xor_assign(&mut d, &b);
+            assert_eq!(d, a);
+        }
+    }
+
+    #[test]
+    fn fma_matches_scalar() {
+        let src: Vec<u8> = (0..100).map(|i| (i * 17) as u8).collect();
+        for c in [0u8, 1, 2, 37, 255] {
+            let mut dst: Vec<u8> = (0..100).map(|i| (i * 29 + 3) as u8).collect();
+            let orig = dst.clone();
+            fma(&mut dst, &src, c);
+            for i in 0..100 {
+                assert_eq!(dst[i], orig[i] ^ mul(c, src[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn scale_matches_scalar() {
+        for c in [0u8, 1, 5, 128, 255] {
+            let mut dst: Vec<u8> = (0..64).map(|i| (i * 41 + 1) as u8).collect();
+            let orig = dst.clone();
+            scale(&mut dst, c);
+            for i in 0..64 {
+                assert_eq!(dst[i], mul(c, orig[i]));
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Constraint-row construction for the systematic code.
+//!
+//! The intermediate block `C[0..L]` is pinned down by three row families
+//! (RFC 6330 architecture):
+//!
+//! * **LDPC rows** (`S`, sparse binary): each source position `i` is folded
+//!   into three LDPC accumulators by a circulant walk; row `j` also carries
+//!   an identity 1 at column `K + j`. These give the peeling decoder cheap
+//!   structure to chew on.
+//! * **HDPC rows** (`H`, dense GF(256)): pseudo-random dense rows over the
+//!   first `K + S` columns plus identity at `K + S + h`. Dense random rows
+//!   over GF(256) are what make residual rank loss collapse by ~2⁻⁸ per
+//!   extra received symbol — the steep failure curve the paper quotes
+//!   ("n + 2 symbols ⇒ failure ≈ 10⁻⁶").
+//! * **LT rows** (one per known encoding symbol, sparse binary): the
+//!   systematic relation `LT(esi) = symbol value`.
+
+use crate::params::BlockParams;
+use crate::rand::{hash2, rand};
+use crate::tuple::lt_columns;
+
+/// The coefficient structure of one constraint row.
+#[derive(Debug, Clone)]
+pub enum RowKind {
+    /// Sparse row with all-ones coefficients at `cols` (indices into the
+    /// intermediate block, each appearing once).
+    Binary {
+        /// Columns with coefficient 1.
+        cols: Vec<u32>,
+    },
+    /// Dense GF(256) row; `coefs.len() == L`.
+    Dense {
+        /// Coefficient per intermediate column.
+        coefs: Vec<u8>,
+    },
+}
+
+/// A constraint row: coefficients plus right-hand-side symbol value.
+#[derive(Debug, Clone)]
+pub struct ConstraintRow {
+    /// Coefficient structure.
+    pub kind: RowKind,
+    /// RHS symbol (`symbol_size` bytes). All-zero for precode constraints.
+    pub value: Vec<u8>,
+}
+
+impl ConstraintRow {
+    /// Sparse binary row with a zero RHS of `symbol_size` bytes.
+    pub fn binary_zero(cols: Vec<u32>, symbol_size: usize) -> Self {
+        Self { kind: RowKind::Binary { cols }, value: vec![0; symbol_size] }
+    }
+}
+
+/// Build the `S` LDPC constraint rows (zero RHS).
+pub fn ldpc_rows(params: &BlockParams, symbol_size: usize) -> Vec<ConstraintRow> {
+    let k = params.k;
+    let s = params.s;
+    let mut cols_per_row: Vec<Vec<u32>> = (0..s)
+        .map(|j| vec![(k + j) as u32]) // identity part
+        .collect();
+    for i in 0..k {
+        // Circulant triple-hit walk (RFC 5053 §5.4.2.3). S >= 2 always,
+        // and for S == 2 the stride degenerates to 1, which is still fine.
+        let a = 1 + (i / s) % (s.saturating_sub(1).max(1));
+        let mut b = i % s;
+        for _ in 0..3 {
+            let row = &mut cols_per_row[b];
+            // The same source column can be hit twice only if S < 3; over
+            // GF(2) a double hit cancels, so toggle membership.
+            if let Some(pos) = row.iter().position(|&c| c == i as u32) {
+                row.swap_remove(pos);
+            } else {
+                row.push(i as u32);
+            }
+            b = (b + a) % s;
+        }
+    }
+    cols_per_row
+        .into_iter()
+        .map(|cols| ConstraintRow::binary_zero(cols, symbol_size))
+        .collect()
+}
+
+/// Build the `H` dense HDPC constraint rows (zero RHS).
+///
+/// Coefficients over columns `[0, K+S)` come from the deterministic hash
+/// (`tweak` participates so a construction retry reshuffles them too);
+/// column `K+S+h` carries the identity 1.
+pub fn hdpc_rows(params: &BlockParams, tweak: u8, symbol_size: usize) -> Vec<ConstraintRow> {
+    let ks = params.k + params.s;
+    (0..params.h)
+        .map(|h| {
+            let seed = hash2(u64::from(tweak) << 8 | 0x4844, h as u64); // 0x4844 = "HD"
+            let mut coefs = vec![0u8; params.l];
+            for (j, c) in coefs.iter_mut().enumerate().take(ks) {
+                *c = rand(seed, j as u64, 256) as u8;
+            }
+            coefs[ks + h] = 1;
+            ConstraintRow { kind: RowKind::Dense { coefs }, value: vec![0; symbol_size] }
+        })
+        .collect()
+}
+
+/// Build the LT row for encoding symbol `esi` with RHS `value`.
+pub fn lt_row(params: &BlockParams, tweak: u8, esi: u32, value: Vec<u8>) -> ConstraintRow {
+    ConstraintRow { kind: RowKind::Binary { cols: lt_columns(params, tweak, esi) }, value }
+}

@@ -1,0 +1,98 @@
+//! TCP wire model.
+//!
+//! A byte-stream abstraction sufficient for data-transfer simulation:
+//! SYN/SYN-ACK handshake, data segments addressed by byte sequence,
+//! cumulative ACKs. No FIN teardown — the application knows the transfer
+//! length, which is how the paper's storage workloads behave.
+
+use netsim::SimPayload;
+
+/// Connection identifier (unique across the run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u32);
+
+/// TCP packet payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcpPayload {
+    /// Connection request.
+    Syn {
+        /// Connection.
+        conn: ConnId,
+    },
+    /// Connection accept.
+    SynAck {
+        /// Connection.
+        conn: ConnId,
+    },
+    /// A data segment carrying stream bytes `[seq, seq + len)`.
+    Data {
+        /// Connection.
+        conn: ConnId,
+        /// First byte's sequence number.
+        seq: u64,
+        /// Payload bytes.
+        len: u32,
+        /// Retransmission flag (diagnostics only; receivers don't care).
+        rtx: bool,
+    },
+    /// Cumulative acknowledgement: receiver has all bytes below `ack`.
+    Ack {
+        /// Connection.
+        conn: ConnId,
+        /// Next expected byte.
+        ack: u64,
+    },
+}
+
+impl TcpPayload {
+    /// The connection this packet belongs to.
+    pub fn conn(&self) -> ConnId {
+        match self {
+            TcpPayload::Syn { conn }
+            | TcpPayload::SynAck { conn }
+            | TcpPayload::Data { conn, .. }
+            | TcpPayload::Ack { conn, .. } => *conn,
+        }
+    }
+}
+
+impl SimPayload for TcpPayload {
+    fn is_control(&self) -> bool {
+        !matches!(self, TcpPayload::Data { .. })
+    }
+
+    /// TCP has no notion of payload trimming: under an NDP queue a full
+    /// data queue would *drop* TCP segments (which is also exactly what
+    /// the drop-tail queues used in the TCP experiments do).
+    fn trim(&self) -> Option<Self> {
+        match self {
+            TcpPayload::Data { .. } => None,
+            other => Some(other.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_is_not_control_and_untrimmable() {
+        let d = TcpPayload::Data { conn: ConnId(1), seq: 0, len: 1440, rtx: false };
+        assert!(!d.is_control());
+        assert!(d.trim().is_none());
+    }
+
+    #[test]
+    fn control_classified() {
+        for p in [
+            TcpPayload::Syn { conn: ConnId(1) },
+            TcpPayload::SynAck { conn: ConnId(1) },
+            TcpPayload::Ack { conn: ConnId(1), ack: 99 },
+        ] {
+            assert!(p.is_control());
+            assert_eq!(p.trim().unwrap(), p);
+            assert_eq!(p.conn(), ConnId(1));
+        }
+    }
+}

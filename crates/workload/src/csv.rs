@@ -1,0 +1,60 @@
+//! Minimal CSV emission for experiment outputs (hand-rolled: the only
+//! output is numeric series, no quoting or escaping needed).
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Serialize rows of `f64`-convertible cells under a header line.
+pub fn to_csv<R, C>(header: &[&str], rows: R) -> String
+where
+    R: IntoIterator<Item = C>,
+    C: IntoIterator<Item = f64>,
+{
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        let mut first = true;
+        for cell in row {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            // Trim trailing zeros for readability but keep precision.
+            let _ = write!(out, "{cell:.6}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a CSV produced by [`to_csv`] to disk.
+pub fn write_csv<R, C>(path: &Path, header: &[&str], rows: R) -> io::Result<()>
+where
+    R: IntoIterator<Item = C>,
+    C: IntoIterator<Item = f64>,
+{
+    std::fs::write(path, to_csv(header, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_shape() {
+        let s = to_csv(&["a", "b"], vec![vec![1.0, 2.0], vec![3.5, 4.25]]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "1.000000,2.000000");
+        assert_eq!(lines[2], "3.500000,4.250000");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn empty_rows_ok() {
+        let s = to_csv(&["x"], Vec::<Vec<f64>>::new());
+        assert_eq!(s, "x\n");
+    }
+}

@@ -1,0 +1,33 @@
+//! # `workload` — scenarios, runners and metrics for the Polyraptor
+//! reproduction
+//!
+//! Everything the paper's §3 evaluation needs around the transports:
+//!
+//! * [`scenario`] — seeded logical workload generation (Poisson arrivals
+//!   with λ = 2560 s⁻¹, permutation traffic matrix, 20 % background
+//!   sessions, replica placement outside the client's rack, synchronized
+//!   Incast), shared bit-for-bit between protocol runs;
+//! * [`runner`] — mapping logical sessions onto Polyraptor
+//!   (multicast / multi-source) or TCP (multi-unicast / partitioned
+//!   fetch) simulations and aggregating per-session goodput;
+//! * [`stats`] — rank curves (Figures 1a/1b) and mean ± 95 % CI over
+//!   seeded repetitions (Figure 1c's error bars);
+//! * [`csv`] — plain CSV emission for the figure binaries.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod csv;
+pub mod hotspot;
+pub mod runner;
+pub mod scenario;
+pub mod stats;
+
+pub use runner::{
+    build_rq_specs, build_tcp_conns, foreground_goodputs, install_rq, op_results, run_incast_rq,
+    run_incast_tcp, run_storage_rq, run_storage_tcp, stripe, Fabric, RqRunOptions,
+    TcpRunOptions, TransferResult,
+};
+pub use hotspot::{run_hotspot_rq, HotspotScenario};
+pub use scenario::{IncastScenario, LogicalSession, Pattern, StorageScenario};
+pub use stats::{mean, mean_ci95, std_dev, RankCurve};

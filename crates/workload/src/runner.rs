@@ -1,0 +1,564 @@
+//! Experiment runners: map logical scenarios onto Polyraptor or TCP
+//! simulations, run them to completion, and aggregate per-session
+//! goodput the way the paper plots it.
+
+use std::collections::BTreeMap;
+
+use netsim::{NodeId, Pcg32, QueueConfig, RouteMode, SimConfig, SimTime, Simulator, Topology};
+use polyraptor::{start_token, PolyraptorAgent, PrConfig, SessionId, SessionSpec};
+use tcpsim::{conn_start_token, ConnId, ConnSpec, TcpAgent, TcpConfig};
+
+use crate::scenario::{IncastScenario, LogicalSession, Pattern, StorageScenario};
+
+/// Fabric parameters of the paper's evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct Fabric {
+    /// Fat-tree arity (paper: k = 10 → 250 hosts).
+    pub k: usize,
+    /// Link rate (paper: 1 Gbps).
+    pub rate_bps: u64,
+    /// Per-link propagation delay (paper: 10 µs).
+    pub prop_ns: u64,
+}
+
+impl Fabric {
+    /// The paper's 250-server fabric.
+    pub fn paper() -> Self {
+        Self { k: 10, rate_bps: 1_000_000_000, prop_ns: 10_000 }
+    }
+
+    /// A 16-host fabric for tests and quick runs.
+    pub fn small() -> Self {
+        Self { k: 4, rate_bps: 1_000_000_000, prop_ns: 10_000 }
+    }
+
+    /// Build the routed topology.
+    pub fn build(&self) -> Topology {
+        Topology::fat_tree(self.k, self.rate_bps, self.prop_ns)
+    }
+}
+
+/// One transport-flow result: the unit the paper's figures plot.
+///
+/// The paper ranks "transport sessions (flows)": in a replication write
+/// with R replicas every sender→replica flow is its own point (R points
+/// per op); a multi-source read is one flow at the client. The op-level
+/// view (replication complete when the *last* replica holds the object)
+/// is available via [`op_results`].
+#[derive(Debug, Clone)]
+pub struct TransferResult {
+    /// Logical session index (shared by the flows of one op).
+    pub session: u32,
+    /// Bytes this flow delivered to its application endpoint.
+    pub bytes: usize,
+    /// Initiation time.
+    pub start: SimTime,
+    /// When this flow's endpoint finished.
+    pub finish: SimTime,
+    /// Background flag.
+    pub background: bool,
+}
+
+impl TransferResult {
+    /// Application goodput in Gbit/s.
+    pub fn goodput_gbps(&self) -> f64 {
+        (self.bytes as f64 * 8.0) / (self.finish - self.start) as f64
+    }
+}
+
+/// Foreground goodputs from a result set (what the figures show).
+pub fn foreground_goodputs(results: &[TransferResult]) -> Vec<f64> {
+    results.iter().filter(|r| !r.background).map(|r| r.goodput_gbps()).collect()
+}
+
+/// Collapse per-flow results into op-level results: an op starts with
+/// its session and finishes when the last of its flows finishes; its
+/// byte count is one object copy. This is the stricter "all replicas
+/// durable" metric used by the ablation benches.
+pub fn op_results(flows: &[TransferResult], object_bytes: usize) -> Vec<TransferResult> {
+    let mut ops: BTreeMap<u32, TransferResult> = BTreeMap::new();
+    for f in flows {
+        let e = ops.entry(f.session).or_insert_with(|| TransferResult {
+            session: f.session,
+            bytes: object_bytes,
+            start: f.start,
+            finish: f.finish,
+            background: f.background,
+        });
+        e.finish = e.finish.max(f.finish);
+        e.start = e.start.min(f.start);
+    }
+    ops.into_values().collect()
+}
+
+// ---------------------------------------------------------------------------
+// Polyraptor runner
+// ---------------------------------------------------------------------------
+
+/// Polyraptor-side knobs for a run.
+#[derive(Debug, Clone, Copy)]
+pub struct RqRunOptions {
+    /// Protocol configuration.
+    pub pr: PrConfig,
+    /// Switch queue (default NDP trimming).
+    pub switch_queue: QueueConfig,
+    /// Path selection (default per-packet spraying).
+    pub route: RouteMode,
+}
+
+impl Default for RqRunOptions {
+    fn default() -> Self {
+        Self {
+            pr: PrConfig::paper_default(),
+            switch_queue: QueueConfig::NDP_DEFAULT,
+            route: RouteMode::Spray,
+        }
+    }
+}
+
+/// Run a storage scenario under Polyraptor and aggregate per-session
+/// results. `pattern` Write ⇒ multicast replication; Read ⇒ multi-source
+/// fetch. Background sessions are unicast writes to the session's first
+/// replica.
+pub fn run_storage_rq(
+    scenario: &StorageScenario,
+    fabric: &Fabric,
+    opts: &RqRunOptions,
+) -> Vec<TransferResult> {
+    let topo = fabric.build();
+    let sessions = scenario.generate(&topo);
+    let mut sim_cfg = SimConfig::ndp(scenario.seed ^ 0xFAB);
+    sim_cfg.switch_queue = opts.switch_queue;
+    sim_cfg.route = opts.route;
+    let mut sim: Simulator<_, PolyraptorAgent> = Simulator::new(topo, sim_cfg);
+
+    let hosts = sim.topology().hosts().to_vec();
+    let mut seed_rng = Pcg32::new(scenario.seed ^ 0xA6E27);
+    for &h in &hosts {
+        let s = seed_rng.next_u64();
+        sim.set_agent(h, PolyraptorAgent::new(h, opts.pr, s));
+    }
+
+    let specs = build_rq_specs(&mut sim, &sessions, scenario.pattern);
+    for spec in &specs {
+        install_rq(&mut sim, spec);
+    }
+    sim.run_to_completion();
+    collect_rq_results(&sim, &sessions, scenario.pattern)
+}
+
+/// Trees registered per multicast session — symbols are sprayed across
+/// them, the multicast analogue of NDP's per-packet multipath.
+pub const MULTICAST_TREES: usize = 8;
+
+/// Translate logical sessions into Polyraptor session specs (registering
+/// multicast groups as needed).
+pub fn build_rq_specs<A: netsim::Agent<polyraptor::PrPayload>>(
+    sim: &mut Simulator<polyraptor::PrPayload, A>,
+    sessions: &[LogicalSession],
+    pattern: Pattern,
+) -> Vec<SessionSpec> {
+    sessions
+        .iter()
+        .map(|ls| {
+            let id = SessionId(ls.index);
+            let mut spec = if ls.background {
+                // Background load: plain unicast push to the primary.
+                SessionSpec::unicast(id, ls.bytes, ls.client, ls.replicas[0], ls.start)
+            } else {
+                match pattern {
+                    Pattern::Write => {
+                        if ls.replicas.len() == 1 {
+                            SessionSpec::unicast(id, ls.bytes, ls.client, ls.replicas[0], ls.start)
+                        } else {
+                            // Several trees per group: symbols spray
+                            // across them (multipath multicast).
+                            let groups: Vec<_> = (0..MULTICAST_TREES)
+                                .map(|_| sim.register_group(ls.client, &ls.replicas))
+                                .collect();
+                            SessionSpec::multicast(
+                                id,
+                                ls.bytes,
+                                ls.client,
+                                ls.replicas.clone(),
+                                groups,
+                                ls.start,
+                            )
+                        }
+                    }
+                    Pattern::Read => SessionSpec::multi_source(
+                        id,
+                        ls.bytes,
+                        ls.replicas.clone(),
+                        ls.client,
+                        ls.start,
+                    ),
+                }
+            };
+            spec.background = ls.background;
+            spec
+        })
+        .collect()
+}
+
+/// Install a Polyraptor session at every participant and schedule its
+/// start timer everywhere (receivers need it to arm their keep-alive).
+pub fn install_rq(
+    sim: &mut Simulator<polyraptor::PrPayload, PolyraptorAgent>,
+    spec: &SessionSpec,
+) {
+    for &h in spec.senders.iter().chain(&spec.receivers) {
+        sim.agent_mut(h).install(spec.clone());
+        sim.schedule_timer(h, spec.start, start_token(spec.id));
+    }
+}
+
+fn collect_rq_results(
+    sim: &Simulator<polyraptor::PrPayload, PolyraptorAgent>,
+    sessions: &[LogicalSession],
+    pattern: Pattern,
+) -> Vec<TransferResult> {
+    // One result per receiver-side record — the paper's "transport
+    // session (flow)" unit: each replica of a write is its own flow.
+    let mut flows: Vec<TransferResult> = Vec::new();
+    let mut per_session: BTreeMap<u32, usize> = BTreeMap::new();
+    for (_, agent) in sim.agents() {
+        for rec in &agent.records {
+            *per_session.entry(rec.session.0).or_insert(0) += 1;
+            flows.push(TransferResult {
+                session: rec.session.0,
+                bytes: rec.data_len,
+                start: rec.start,
+                finish: rec.finish,
+                background: rec.background,
+            });
+        }
+    }
+    // Every session must have completed at every endpoint.
+    for ls in sessions {
+        let expected = expected_rq_records(ls, pattern);
+        let got = per_session.get(&ls.index).copied().unwrap_or(0);
+        assert_eq!(got, expected, "session {} incomplete ({got}/{expected})", ls.index);
+    }
+    flows.sort_by_key(|f| f.session);
+    flows
+}
+
+fn expected_rq_records(ls: &LogicalSession, pattern: Pattern) -> usize {
+    if ls.background {
+        return 1;
+    }
+    match pattern {
+        // Write: one record per replica receiver.
+        Pattern::Write => ls.replicas.len(),
+        // Read: the client is the only receiver.
+        Pattern::Read => 1,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP runner
+// ---------------------------------------------------------------------------
+
+/// TCP-side knobs for a run.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpRunOptions {
+    /// TCP parameters.
+    pub tcp: TcpConfig,
+    /// Switch queue (default deep drop-tail).
+    pub switch_queue: QueueConfig,
+    /// Path selection (default per-flow ECMP).
+    pub route: RouteMode,
+}
+
+impl Default for TcpRunOptions {
+    fn default() -> Self {
+        Self {
+            tcp: TcpConfig::paper_default(),
+            switch_queue: QueueConfig::DROPTAIL_DEFAULT,
+            route: RouteMode::EcmpFlow,
+        }
+    }
+}
+
+/// Run a storage scenario under TCP, emulating the paper's baselines:
+/// Write ⇒ multi-unicast (the client sends one full copy per replica);
+/// Read ⇒ partitioned fetch (each replica returns `1/R` of the object,
+/// no coordination). Background sessions are single connections.
+pub fn run_storage_tcp(
+    scenario: &StorageScenario,
+    fabric: &Fabric,
+    opts: &TcpRunOptions,
+) -> Vec<TransferResult> {
+    let topo = fabric.build();
+    let sessions = scenario.generate(&topo);
+    let mut sim_cfg = SimConfig::classic(scenario.seed ^ 0xFAB);
+    sim_cfg.switch_queue = opts.switch_queue;
+    sim_cfg.route = opts.route;
+    let mut sim: Simulator<_, TcpAgent> = Simulator::new(topo, sim_cfg);
+    let hosts = sim.topology().hosts().to_vec();
+    for &h in &hosts {
+        sim.set_agent(h, TcpAgent::new(h, opts.tcp));
+    }
+
+    let conns = build_tcp_conns(&sessions, scenario.pattern);
+    for c in &conns {
+        sim.agent_mut(c.sender).install(c.clone());
+        sim.agent_mut(c.receiver).install(c.clone());
+        sim.schedule_timer(c.sender, c.start, conn_start_token(c.id));
+    }
+    sim.run_to_completion();
+    collect_tcp_results(&sim, &sessions)
+}
+
+/// Translate logical sessions into TCP connection sets.
+pub fn build_tcp_conns(sessions: &[LogicalSession], pattern: Pattern) -> Vec<ConnSpec> {
+    let mut conns = Vec::new();
+    let mut next_id = 0u32;
+    for ls in sessions {
+        let mut add = |sender: NodeId, receiver: NodeId, bytes: u64| {
+            conns.push(ConnSpec {
+                id: ConnId(next_id),
+                session: ls.index,
+                bytes,
+                sender,
+                receiver,
+                start: ls.start,
+                background: ls.background,
+            });
+            next_id += 1;
+        };
+        if ls.background {
+            add(ls.client, ls.replicas[0], ls.bytes as u64);
+            continue;
+        }
+        match pattern {
+            Pattern::Write => {
+                // Multi-unicast: one full copy per replica.
+                for &r in &ls.replicas {
+                    add(ls.client, r, ls.bytes as u64);
+                }
+            }
+            Pattern::Read => {
+                // Partitioned fetch: replica i returns its stripe.
+                let shares = stripe(ls.bytes as u64, ls.replicas.len());
+                for (&r, &sh) in ls.replicas.iter().zip(&shares) {
+                    add(r, ls.client, sh);
+                }
+            }
+        }
+    }
+    conns
+}
+
+/// Split `bytes` into `n` near-equal positive stripes.
+pub fn stripe(bytes: u64, n: usize) -> Vec<u64> {
+    assert!(n >= 1 && bytes >= n as u64, "stripe too small");
+    let base = bytes / n as u64;
+    let extra = (bytes % n as u64) as usize;
+    (0..n).map(|i| base + u64::from(i < extra)).collect()
+}
+
+fn collect_tcp_results(
+    sim: &Simulator<tcpsim::TcpPayload, TcpAgent>,
+    sessions: &[LogicalSession],
+) -> Vec<TransferResult> {
+    // One result per connection — each copy/stripe is its own flow,
+    // mirroring the Polyraptor accounting.
+    let mut flows: Vec<TransferResult> = Vec::new();
+    let mut per_session: BTreeMap<u32, usize> = BTreeMap::new();
+    for (_, agent) in sim.agents() {
+        for rec in &agent.records {
+            *per_session.entry(rec.session).or_insert(0) += 1;
+            flows.push(TransferResult {
+                session: rec.session,
+                bytes: rec.bytes as usize,
+                start: rec.start,
+                finish: rec.finish,
+                background: rec.background,
+            });
+        }
+    }
+    for ls in sessions {
+        assert!(
+            per_session.get(&ls.index).copied().unwrap_or(0) > 0,
+            "TCP session {} never completed",
+            ls.index
+        );
+    }
+    flows.sort_by_key(|f| f.session);
+    flows
+}
+
+// ---------------------------------------------------------------------------
+// Incast runners (Figure 1c)
+// ---------------------------------------------------------------------------
+
+/// Run one Incast exchange under Polyraptor: a single multi-source
+/// session striped over `senders` hosts. Returns goodput in Gbit/s.
+pub fn run_incast_rq(
+    scenario: &IncastScenario,
+    fabric: &Fabric,
+    opts: &RqRunOptions,
+) -> f64 {
+    let topo = fabric.build();
+    let (client, senders) = scenario.place(&topo);
+    let mut sim_cfg = SimConfig::ndp(scenario.seed ^ 0x1C);
+    sim_cfg.switch_queue = opts.switch_queue;
+    sim_cfg.route = opts.route;
+    let mut sim: Simulator<_, PolyraptorAgent> = Simulator::new(topo, sim_cfg);
+    let hosts = sim.topology().hosts().to_vec();
+    let mut seed_rng = Pcg32::new(scenario.seed ^ 0xA6E27);
+    for &h in &hosts {
+        let s = seed_rng.next_u64();
+        sim.set_agent(h, PolyraptorAgent::new(h, opts.pr, s));
+    }
+    let spec = SessionSpec::multi_source(
+        SessionId(0),
+        scenario.block_bytes,
+        senders,
+        client,
+        SimTime::ZERO,
+    );
+    install_rq(&mut sim, &spec);
+    sim.run_to_completion();
+    let rec = sim
+        .agent(client)
+        .records
+        .first()
+        .expect("incast session must complete");
+    rec.goodput_gbps()
+}
+
+/// Run one Incast exchange under TCP: `senders` synchronized connections
+/// each carrying one stripe. Returns goodput in Gbit/s over the whole
+/// exchange (finish = last stripe).
+pub fn run_incast_tcp(
+    scenario: &IncastScenario,
+    fabric: &Fabric,
+    opts: &TcpRunOptions,
+) -> f64 {
+    let topo = fabric.build();
+    let (client, senders) = scenario.place(&topo);
+    let mut sim_cfg = SimConfig::classic(scenario.seed ^ 0x1C);
+    sim_cfg.switch_queue = opts.switch_queue;
+    sim_cfg.route = opts.route;
+    let mut sim: Simulator<_, TcpAgent> = Simulator::new(topo, sim_cfg);
+    let hosts = sim.topology().hosts().to_vec();
+    for &h in &hosts {
+        sim.set_agent(h, TcpAgent::new(h, opts.tcp));
+    }
+    let shares = stripe(scenario.block_bytes as u64, senders.len());
+    for (i, (&s, &sh)) in senders.iter().zip(&shares).enumerate() {
+        let spec = ConnSpec {
+            id: ConnId(i as u32),
+            session: 0,
+            bytes: sh,
+            sender: s,
+            receiver: client,
+            start: SimTime::ZERO,
+            background: false,
+        };
+        sim.agent_mut(spec.sender).install(spec.clone());
+        sim.agent_mut(spec.receiver).install(spec.clone());
+        sim.schedule_timer(spec.sender, spec.start, conn_start_token(spec.id));
+    }
+    sim.run_to_completion();
+    let finish = sim
+        .agent(client)
+        .records
+        .iter()
+        .map(|r| r.finish)
+        .max()
+        .expect("incast connections must complete");
+    (scenario.block_bytes as f64 * 8.0) / (finish - SimTime::ZERO) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripe_sums_and_balances() {
+        for (bytes, n) in [(100u64, 3usize), (70 << 10, 7), (256 << 10, 64)] {
+            let s = stripe(bytes, n);
+            assert_eq!(s.iter().sum::<u64>(), bytes);
+            let max = *s.iter().max().unwrap();
+            let min = *s.iter().min().unwrap();
+            assert!(max - min <= 1);
+        }
+    }
+
+    #[test]
+    fn small_write_scenario_rq_completes() {
+        let sc = StorageScenario {
+            sessions: 30,
+            object_bytes: 256 << 10,
+            replicas: 3,
+            lambda_per_host: crate::scenario::PAPER_LAMBDA_PER_HOST,
+            normalize_load: true,
+            background_frac: 0.2,
+            pattern: Pattern::Write,
+            seed: 7,
+        };
+        let results = run_storage_rq(&sc, &Fabric::small(), &RqRunOptions::default());
+        // One flow per replica receiver + one per background session.
+        assert!(results.len() >= 30, "per-flow accounting yields >= one point per op");
+        for r in &results {
+            assert!(r.finish > r.start);
+            let g = r.goodput_gbps();
+            assert!(g > 0.01 && g <= 1.0, "goodput {g} out of range");
+        }
+        // Op-level view covers every logical session exactly once.
+        let ops = op_results(&results, sc.object_bytes);
+        assert_eq!(ops.len(), 30);
+    }
+
+    #[test]
+    fn small_read_scenario_rq_completes() {
+        let sc = StorageScenario {
+            sessions: 30,
+            object_bytes: 256 << 10,
+            replicas: 3,
+            lambda_per_host: crate::scenario::PAPER_LAMBDA_PER_HOST,
+            normalize_load: true,
+            background_frac: 0.2,
+            pattern: Pattern::Read,
+            seed: 8,
+        };
+        let results = run_storage_rq(&sc, &Fabric::small(), &RqRunOptions::default());
+        assert_eq!(results.len(), 30);
+        assert!(foreground_goodputs(&results).iter().all(|&g| g > 0.0));
+    }
+
+    #[test]
+    fn small_write_scenario_tcp_completes() {
+        let sc = StorageScenario {
+            sessions: 30,
+            object_bytes: 256 << 10,
+            replicas: 3,
+            lambda_per_host: crate::scenario::PAPER_LAMBDA_PER_HOST,
+            normalize_load: true,
+            background_frac: 0.2,
+            pattern: Pattern::Write,
+            seed: 7,
+        };
+        let results = run_storage_tcp(&sc, &Fabric::small(), &TcpRunOptions::default());
+        assert!(results.len() >= 30);
+        // Multi-unicast replication: 3 copies share the 1 Gbps uplink, so
+        // no flow of a foreground op can beat ~1/3 Gbps by much.
+        for r in results.iter().filter(|r| !r.background) {
+            assert!(r.goodput_gbps() < 0.45, "3-replica TCP can't exceed uplink/3");
+        }
+        assert_eq!(op_results(&results, sc.object_bytes).len(), 30);
+    }
+
+    #[test]
+    fn incast_runners_produce_goodput() {
+        let sc = IncastScenario { senders: 8, block_bytes: 256 << 10, seed: 3 };
+        let g_rq = run_incast_rq(&sc, &Fabric::small(), &RqRunOptions::default());
+        let g_tcp = run_incast_tcp(&sc, &Fabric::small(), &TcpRunOptions::default());
+        assert!(g_rq > 0.0 && g_rq <= 1.0);
+        assert!(g_tcp > 0.0 && g_tcp <= 1.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Statistics for the experiment harness: rank curves, means,
+//! small-sample 95% confidence intervals (the paper's error bars are the
+//! 95% CI over 5 seeded repetitions).
+
+/// A goodput rank curve: values sorted descending, exactly the y-series
+/// of Figures 1a/1b ("Rank of transport session" on x).
+#[derive(Debug, Clone)]
+pub struct RankCurve {
+    values: Vec<f64>,
+}
+
+impl RankCurve {
+    /// Build from unsorted per-session values.
+    pub fn new(mut values: Vec<f64>) -> Self {
+        values.sort_by(|a, b| b.partial_cmp(a).expect("no NaN goodputs"));
+        Self { values }
+    }
+
+    /// Number of sessions.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value at a rank (0 = best session).
+    pub fn at(&self, rank: usize) -> f64 {
+        self.values[rank]
+    }
+
+    /// The sorted series.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Median value.
+    pub fn median(&self) -> f64 {
+        percentile_sorted_desc(&self.values, 50.0)
+    }
+
+    /// p-th percentile (0 = best, 100 = worst session).
+    pub fn percentile(&self, p: f64) -> f64 {
+        percentile_sorted_desc(&self.values, p)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        mean(&self.values)
+    }
+
+    /// Downsample to `n` evenly spaced (rank, value) points for plotting.
+    pub fn sampled(&self, n: usize) -> Vec<(usize, f64)> {
+        assert!(n >= 2, "need at least endpoints");
+        if self.values.is_empty() {
+            return Vec::new();
+        }
+        let last = self.values.len() - 1;
+        (0..n)
+            .map(|i| {
+                let rank = i * last / (n - 1);
+                (rank, self.values[rank])
+            })
+            .collect()
+    }
+}
+
+fn percentile_sorted_desc(sorted_desc: &[f64], p: f64) -> f64 {
+    assert!(!sorted_desc.is_empty(), "percentile of empty series");
+    assert!((0.0..=100.0).contains(&p));
+    let idx = ((p / 100.0) * (sorted_desc.len() - 1) as f64).round() as usize;
+    sorted_desc[idx]
+}
+
+/// Arithmetic mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty series");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    assert!(xs.len() >= 2, "std dev needs >= 2 samples");
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Two-sided 95% Student-t critical values for n−1 degrees of freedom
+/// (n = sample count, 2..=30), then the normal approximation.
+fn t95(n: usize) -> f64 {
+    const TABLE: [f64; 29] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045,
+    ];
+    assert!(n >= 2, "CI needs >= 2 samples");
+    if n - 2 < TABLE.len() {
+        TABLE[n - 2]
+    } else {
+        1.96
+    }
+}
+
+/// Mean and 95% confidence half-width over repetitions — the error bars
+/// of Figure 1c (5 seeds ⇒ t = 2.776).
+pub fn mean_ci95(xs: &[f64]) -> (f64, f64) {
+    let m = mean(xs);
+    if xs.len() < 2 {
+        return (m, 0.0);
+    }
+    let half = t95(xs.len()) * std_dev(xs) / (xs.len() as f64).sqrt();
+    (m, half)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_curve_sorted_descending() {
+        let c = RankCurve::new(vec![0.1, 0.9, 0.5]);
+        assert_eq!(c.values(), &[0.9, 0.5, 0.1]);
+        assert_eq!(c.at(0), 0.9);
+        assert_eq!(c.median(), 0.5);
+    }
+
+    #[test]
+    fn sampled_endpoints() {
+        let c = RankCurve::new((0..100).map(|i| i as f64).collect());
+        let s = c.sampled(5);
+        assert_eq!(s.first().unwrap().0, 0);
+        assert_eq!(s.last().unwrap().0, 99);
+        assert_eq!(s.len(), 5);
+        // Descending values.
+        assert!(s.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ci_five_repetitions_uses_t_2776() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let (m, half) = mean_ci95(&xs);
+        assert!((m - 3.0).abs() < 1e-12);
+        let sd = std_dev(&xs);
+        assert!((half - 2.776 * sd / 5f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles() {
+        let c = RankCurve::new((1..=101).map(|i| i as f64).collect());
+        assert_eq!(c.percentile(0.0), 101.0);
+        assert_eq!(c.percentile(100.0), 1.0);
+        assert_eq!(c.percentile(50.0), 51.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_mean_panics() {
+        mean(&[]);
+    }
+}

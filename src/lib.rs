@@ -1,0 +1,18 @@
+//! # Polyraptor reproduction — facade crate
+//!
+//! This crate re-exports the public API of every crate in the workspace so
+//! that examples and integration tests can use a single dependency. See the
+//! individual crates for full documentation:
+//!
+//! * [`rq`] — systematic rateless fountain code (RaptorQ family).
+//! * [`netsim`] — deterministic packet-level data-centre network simulator.
+//! * [`polyraptor`] — the Polyraptor transport protocol (the paper's
+//!   contribution).
+//! * [`tcpsim`] — TCP NewReno baseline transport.
+//! * [`workload`] — workload generators and experiment metrics.
+
+pub use netsim;
+pub use polyraptor;
+pub use rq;
+pub use tcpsim;
+pub use workload;

@@ -1,0 +1,246 @@
+//! Cross-crate integration tests: the full stack (codec → protocol →
+//! fabric → workload) exercised end to end.
+
+use polyraptor_repro::netsim::{NodeKind, SimConfig, SimTime, Simulator, Topology};
+use polyraptor_repro::polyraptor::{
+    start_token, MulticastPull, PolyraptorAgent, PrConfig, SessionId, SessionSpec,
+};
+use polyraptor_repro::workload::{
+    foreground_goodputs, op_results, run_incast_rq, run_incast_tcp, run_storage_rq,
+    run_storage_tcp, Fabric, IncastScenario, Pattern, RankCurve, RqRunOptions, StorageScenario,
+    TcpRunOptions,
+};
+
+fn small_scenario(pattern: Pattern, replicas: usize, seed: u64) -> StorageScenario {
+    StorageScenario {
+        sessions: 20,
+        object_bytes: 256 << 10,
+        replicas,
+        lambda_per_host: polyraptor_repro::workload::scenario::PAPER_LAMBDA_PER_HOST,
+        background_frac: 0.2,
+        pattern,
+        seed,
+        normalize_load: true,
+    }
+}
+
+/// A real-decoder (no counting shortcut) multicast write on a fat-tree:
+/// every replica must reconstruct the exact object bytes.
+#[test]
+fn real_oracle_multicast_write() {
+    let topo = Topology::fat_tree(4, 1_000_000_000, 10_000);
+    let hosts = topo.hosts().to_vec();
+    let cfg = PrConfig::real_oracle();
+    let mut sim: Simulator<_, PolyraptorAgent> = Simulator::new(topo, SimConfig::ndp(11));
+    for &h in &hosts {
+        sim.set_agent(h, PolyraptorAgent::new(h, cfg, u64::from(h.0)));
+    }
+    let (sender, receivers) = (hosts[0], vec![hosts[4], hosts[8], hosts[12]]);
+    let groups: Vec<_> = (0..4).map(|_| sim.register_group(sender, &receivers)).collect();
+    let spec = SessionSpec::multicast(
+        SessionId(5),
+        300_000,
+        sender,
+        receivers.clone(),
+        groups,
+        SimTime::ZERO,
+    );
+    for &h in spec.senders.iter().chain(&spec.receivers) {
+        sim.agent_mut(h).install(spec.clone());
+        sim.schedule_timer(h, spec.start, start_token(spec.id));
+    }
+    sim.run_to_completion();
+    // The real oracle asserts decoded bytes internally; here we check
+    // every replica finished and at a sane rate.
+    for &r in &receivers {
+        let rec = &sim.agent(r).records[0];
+        assert_eq!(rec.data_len, 300_000);
+        assert!(rec.goodput_gbps() > 0.4, "goodput {}", rec.goodput_gbps());
+    }
+}
+
+/// Real-decoder multi-source fetch: symbols from three independent
+/// senders must assemble into one decodable object (no duplicate ESIs).
+#[test]
+fn real_oracle_multi_source_fetch() {
+    let topo = Topology::fat_tree(4, 1_000_000_000, 10_000);
+    let hosts = topo.hosts().to_vec();
+    let cfg = PrConfig::real_oracle();
+    let mut sim: Simulator<_, PolyraptorAgent> = Simulator::new(topo, SimConfig::ndp(13));
+    for &h in &hosts {
+        sim.set_agent(h, PolyraptorAgent::new(h, cfg, u64::from(h.0)));
+    }
+    let spec = SessionSpec::multi_source(
+        SessionId(9),
+        400_000,
+        vec![hosts[5], hosts[9], hosts[13]],
+        hosts[0],
+        SimTime::ZERO,
+    );
+    for &h in spec.senders.iter().chain(&spec.receivers) {
+        sim.agent_mut(h).install(spec.clone());
+        sim.schedule_timer(h, spec.start, start_token(spec.id));
+    }
+    sim.run_to_completion();
+    let rec = &sim.agent(hosts[0]).records[0];
+    assert_eq!(rec.data_len, 400_000);
+    assert!(rec.goodput_gbps() > 0.4);
+}
+
+/// Determinism across identical runs — the simulator's contract.
+#[test]
+fn identical_seeds_identical_results() {
+    let sc = small_scenario(Pattern::Write, 3, 21);
+    let a = run_storage_rq(&sc, &Fabric::small(), &RqRunOptions::default());
+    let b = run_storage_rq(&sc, &Fabric::small(), &RqRunOptions::default());
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.session, y.session);
+        assert_eq!(x.start, y.start);
+        assert_eq!(x.finish, y.finish, "nondeterminism in session {}", x.session);
+    }
+}
+
+/// Different seeds must actually change the run.
+#[test]
+fn different_seeds_differ() {
+    let a = run_storage_rq(&small_scenario(Pattern::Write, 3, 1), &Fabric::small(), &RqRunOptions::default());
+    let b = run_storage_rq(&small_scenario(Pattern::Write, 3, 2), &Fabric::small(), &RqRunOptions::default());
+    assert!(a.iter().zip(&b).any(|(x, y)| x.finish != y.finish));
+}
+
+/// Figure-1a shape at test scale: RQ replication flows beat TCP
+/// multi-unicast flows, which are capped near uplink/3.
+#[test]
+fn fig1a_shape_holds_at_small_scale() {
+    let sc = small_scenario(Pattern::Write, 3, 5);
+    let rq = RankCurve::new(foreground_goodputs(&run_storage_rq(
+        &sc,
+        &Fabric::small(),
+        &RqRunOptions::default(),
+    )));
+    let tcp = RankCurve::new(foreground_goodputs(&run_storage_tcp(
+        &sc,
+        &Fabric::small(),
+        &TcpRunOptions::default(),
+    )));
+    assert!(
+        rq.median() > 1.5 * tcp.median(),
+        "RQ median {} should clearly beat TCP multi-unicast median {}",
+        rq.median(),
+        tcp.median()
+    );
+    assert!(tcp.at(0) < 0.45, "TCP 3-replica flows are capped near uplink/3");
+}
+
+/// Figure-1c shape: Polyraptor keeps Incast goodput near line rate where
+/// TCP collapses.
+#[test]
+fn incast_eliminated_for_rq_only() {
+    let sc = IncastScenario { senders: 12, block_bytes: 256 << 10, seed: 3 };
+    let rq = run_incast_rq(&sc, &Fabric::small(), &RqRunOptions::default());
+    let tcp = run_incast_tcp(&sc, &Fabric::small(), &TcpRunOptions::default());
+    assert!(rq > 0.7, "RQ incast goodput {rq}");
+    assert!(tcp < 0.2, "TCP should collapse, got {tcp}");
+}
+
+/// No packet is ever dropped in an NDP-configured Polyraptor run —
+/// overflow becomes trimmed headers instead (the Incast-free mechanism).
+#[test]
+fn ndp_fabric_never_drops() {
+    let topo = Topology::fat_tree(4, 1_000_000_000, 10_000);
+    let hosts = topo.hosts().to_vec();
+    let cfg = PrConfig::paper_default();
+    let mut sim: Simulator<_, PolyraptorAgent> = Simulator::new(topo, SimConfig::ndp(17));
+    for &h in &hosts {
+        sim.set_agent(h, PolyraptorAgent::new(h, cfg, u64::from(h.0)));
+    }
+    // Hard incast: 12 senders blast one receiver simultaneously.
+    let spec = SessionSpec::multi_source(
+        SessionId(1),
+        2 << 20,
+        hosts[1..13].to_vec(),
+        hosts[0],
+        SimTime::ZERO,
+    );
+    for &h in spec.senders.iter().chain(&spec.receivers) {
+        sim.agent_mut(h).install(spec.clone());
+        sim.schedule_timer(h, spec.start, start_token(spec.id));
+    }
+    sim.run_to_completion();
+    assert_eq!(sim.stats().dropped, 0, "trimming fabric must not drop");
+    assert!(sim.stats().trimmed > 0, "overload must trim");
+    assert_eq!(sim.agent(hosts[0]).records.len(), 1);
+}
+
+/// Multicast pull policies: both complete; strict aggregation is never
+/// faster on the op metric.
+#[test]
+fn multicast_policies_both_complete() {
+    let sc = small_scenario(Pattern::Write, 3, 9);
+    let any = run_storage_rq(&sc, &Fabric::small(), &RqRunOptions::default());
+    let mut strict_opts = RqRunOptions::default();
+    strict_opts.pr.multicast = MulticastPull::All;
+    let all = run_storage_rq(&sc, &Fabric::small(), &strict_opts);
+    let any_ops = op_results(&any, sc.object_bytes);
+    let all_ops = op_results(&all, sc.object_bytes);
+    assert_eq!(any_ops.len(), all_ops.len());
+    let mean_any = polyraptor_repro::workload::mean(
+        &any_ops.iter().map(|o| o.goodput_gbps()).collect::<Vec<_>>(),
+    );
+    let mean_all = polyraptor_repro::workload::mean(
+        &all_ops.iter().map(|o| o.goodput_gbps()).collect::<Vec<_>>(),
+    );
+    assert!(
+        mean_any >= mean_all * 0.9,
+        "pull coalescing should not lose to strict aggregation ({mean_any} vs {mean_all})"
+    );
+}
+
+/// Read pattern under TCP: partitioned fetch emulation completes and
+/// produces one flow per replica.
+#[test]
+fn tcp_partitioned_fetch_completes() {
+    let sc = small_scenario(Pattern::Read, 3, 4);
+    let res = run_storage_tcp(&sc, &Fabric::small(), &TcpRunOptions::default());
+    let fg: Vec<_> = res.iter().filter(|r| !r.background).collect();
+    // Each foreground op yields 3 stripe flows.
+    let ops = op_results(&res, sc.object_bytes);
+    assert_eq!(ops.len(), 20);
+    assert!(fg.len() > 20);
+}
+
+/// Mixed roles: one host acting simultaneously as sender, receiver and
+/// replica across overlapping sessions.
+#[test]
+fn overlapping_roles_on_one_host() {
+    let topo = Topology::fat_tree(4, 1_000_000_000, 10_000);
+    let hosts = topo.hosts().to_vec();
+    let cfg = PrConfig::paper_default();
+    let mut sim: Simulator<_, PolyraptorAgent> = Simulator::new(topo, SimConfig::ndp(23));
+    for &h in &hosts {
+        sim.set_agent(h, PolyraptorAgent::new(h, cfg, u64::from(h.0)));
+    }
+    let pivot = hosts[0];
+    let specs = vec![
+        SessionSpec::unicast(SessionId(1), 200_000, pivot, hosts[5], SimTime::ZERO),
+        SessionSpec::unicast(SessionId(2), 200_000, hosts[9], pivot, SimTime::from_micros(50)),
+        SessionSpec::multi_source(
+            SessionId(3),
+            200_000,
+            vec![hosts[5], hosts[9]],
+            hosts[13],
+            SimTime::from_micros(100),
+        ),
+    ];
+    for spec in &specs {
+        for &h in spec.senders.iter().chain(&spec.receivers) {
+            sim.agent_mut(h).install(spec.clone());
+            sim.schedule_timer(h, spec.start, start_token(spec.id));
+        }
+    }
+    sim.run_to_completion();
+    assert_eq!(sim.agent(hosts[5]).records.len(), 1);
+    assert_eq!(sim.agent(pivot).records.len(), 1);
+    assert_eq!(sim.agent(hosts[13]).records.len(), 1);
+}
