@@ -28,16 +28,20 @@ fn median_with(opts: &RqRunOptions, replicas: usize) -> f64 {
 
 fn ablation_trimming() {
     let ndp = median_with(&RqRunOptions::default(), 1);
-    let mut opts = RqRunOptions::default();
-    opts.switch_queue = QueueConfig::DROPTAIL_DEFAULT;
+    let opts = RqRunOptions {
+        switch_queue: QueueConfig::DROPTAIL_DEFAULT,
+        ..Default::default()
+    };
     let droptail = median_with(&opts, 1);
     println!("# ablation trimming: NDP queue median {ndp:.3} vs drop-tail {droptail:.3} Gbps");
 }
 
 fn ablation_spray() {
     let spray = median_with(&RqRunOptions::default(), 1);
-    let mut opts = RqRunOptions::default();
-    opts.route = netsim::RouteMode::EcmpFlow;
+    let opts = RqRunOptions {
+        route: netsim::RouteMode::EcmpFlow,
+        ..Default::default()
+    };
     let ecmp = median_with(&opts, 1);
     println!("# ablation path selection: spray median {spray:.3} vs per-flow ECMP {ecmp:.3} Gbps");
 }
@@ -65,10 +69,16 @@ fn ablation_window() {
 }
 
 fn ablation_incast_trimming() {
-    let sc = IncastScenario { senders: 8, block_bytes: 256 << 10, seed: 1 };
+    let sc = IncastScenario {
+        senders: 8,
+        block_bytes: 256 << 10,
+        seed: 1,
+    };
     let ndp = run_incast_rq(&sc, &Fabric::small(), &RqRunOptions::default());
-    let mut opts = RqRunOptions::default();
-    opts.switch_queue = QueueConfig::DROPTAIL_DEFAULT;
+    let opts = RqRunOptions {
+        switch_queue: QueueConfig::DROPTAIL_DEFAULT,
+        ..Default::default()
+    };
     let droptail = run_incast_rq(&sc, &Fabric::small(), &opts);
     println!("# ablation incast queue: trimming {ndp:.3} vs drop-tail {droptail:.3} Gbps");
 }
@@ -116,8 +126,10 @@ fn ablation_hotspot() {
         seed: 11,
     };
     let spray = run_hotspot_rq(&sc, &Fabric::small(), &RqRunOptions::default());
-    let mut opts = RqRunOptions::default();
-    opts.route = netsim::RouteMode::EcmpFlow;
+    let opts = RqRunOptions {
+        route: netsim::RouteMode::EcmpFlow,
+        ..Default::default()
+    };
     let ecmp = run_hotspot_rq(&sc, &Fabric::small(), &opts);
     let worst = |r: &Vec<workload::TransferResult>| {
         RankCurve::new(r.iter().map(|t| t.goodput_gbps()).collect())

@@ -6,11 +6,17 @@
 //! over 5 seeds) is `--bin fig1c`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use workload::{run_incast_rq, run_incast_tcp, Fabric, IncastScenario, RqRunOptions, TcpRunOptions};
+use workload::{
+    run_incast_rq, run_incast_tcp, Fabric, IncastScenario, RqRunOptions, TcpRunOptions,
+};
 
 fn print_point() {
     for (label, block) in [("256KB", 256usize << 10), ("70KB", 70 << 10)] {
-        let sc = IncastScenario { senders: 8, block_bytes: block, seed: 1 };
+        let sc = IncastScenario {
+            senders: 8,
+            block_bytes: block,
+            seed: 1,
+        };
         let rq = run_incast_rq(&sc, &Fabric::small(), &RqRunOptions::default());
         let tcp = run_incast_tcp(&sc, &Fabric::small(), &TcpRunOptions::default());
         println!("# fig1c(scaled) 8 senders {label}: RQ {rq:.3} Gbps vs TCP {tcp:.3} Gbps");
@@ -23,13 +29,21 @@ fn fig1c_scaled(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("rq_8senders_256KB", |b| {
         b.iter(|| {
-            let sc = IncastScenario { senders: 8, block_bytes: 256 << 10, seed: 1 };
+            let sc = IncastScenario {
+                senders: 8,
+                block_bytes: 256 << 10,
+                seed: 1,
+            };
             run_incast_rq(&sc, &Fabric::small(), &RqRunOptions::default())
         })
     });
     g.bench_function("tcp_8senders_256KB", |b| {
         b.iter(|| {
-            let sc = IncastScenario { senders: 8, block_bytes: 256 << 10, seed: 1 };
+            let sc = IncastScenario {
+                senders: 8,
+                block_bytes: 256 << 10,
+                seed: 1,
+            };
             run_incast_tcp(&sc, &Fabric::small(), &TcpRunOptions::default())
         })
     });

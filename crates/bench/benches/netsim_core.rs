@@ -3,8 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use netsim::{
-    Agent, Ctx, Dest, FlowId, NodeKind, Packet, SimConfig, SimPayload, SimTime, Simulator,
-    Topology,
+    Agent, Ctx, Dest, FlowId, NodeKind, Packet, SimConfig, SimPayload, SimTime, Simulator, Topology,
 };
 
 #[derive(Debug, Clone)]
@@ -58,7 +57,14 @@ fn event_throughput(c: &mut Criterion) {
             let victim = hosts[0];
             let mut sim: Simulator<P, Blaster> = Simulator::new(topo, SimConfig::ndp(7));
             for &h in &hosts {
-                sim.set_agent(h, Blaster { dst: victim, n: 200, received: 0 });
+                sim.set_agent(
+                    h,
+                    Blaster {
+                        dst: victim,
+                        n: 200,
+                        received: 0,
+                    },
+                );
             }
             for &h in &hosts[1..] {
                 sim.schedule_timer(h, SimTime::ZERO, 0);
@@ -107,5 +113,10 @@ fn routing_lookup(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, event_throughput, fat_tree_construction, routing_lookup);
+criterion_group!(
+    benches,
+    event_throughput,
+    fat_tree_construction,
+    routing_lookup
+);
 criterion_main!(benches);

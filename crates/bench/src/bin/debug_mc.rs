@@ -5,12 +5,19 @@ use polyraptor::{PolyraptorAgent, PrConfig, SessionId, SessionSpec};
 use workload::{install_rq, Fabric};
 
 fn main() {
-    let fabric = Fabric { k: 6, rate_bps: 1_000_000_000, prop_ns: 10_000 };
+    let fabric = Fabric {
+        k: 6,
+        rate_bps: 1_000_000_000,
+        prop_ns: 10_000,
+    };
     let topo = fabric.build();
     let hosts = topo.hosts().to_vec();
     let mut sim: Simulator<_, PolyraptorAgent> = Simulator::new(topo, SimConfig::ndp(1));
     for &h in &hosts {
-        sim.set_agent(h, PolyraptorAgent::new(h, PrConfig::paper_default(), h.0 as u64));
+        sim.set_agent(
+            h,
+            PolyraptorAgent::new(h, PrConfig::paper_default(), h.0 as u64),
+        );
     }
     let (client, replicas) = (hosts[0], vec![hosts[10], hosts[20], hosts[40]]);
 
@@ -28,7 +35,9 @@ fn main() {
     );
 
     // Multicast, 3 replicas, idle fabric, 8 sprayed trees.
-    let groups: Vec<_> = (0..8).map(|_| sim.register_group(client, &replicas)).collect();
+    let groups: Vec<_> = (0..8)
+        .map(|_| sim.register_group(client, &replicas))
+        .collect();
     let start = sim.now() + 1000;
     let spec_m = SessionSpec::multicast(
         SessionId(1),
@@ -53,5 +62,8 @@ fn main() {
         );
     }
     let s = sim.stats();
-    println!("fabric: delivered={} trimmed={} dropped={}", s.delivered, s.trimmed, s.dropped);
+    println!(
+        "fabric: delivered={} trimmed={} dropped={}",
+        s.delivered, s.trimmed, s.dropped
+    );
 }

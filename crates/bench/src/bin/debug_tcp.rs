@@ -3,12 +3,16 @@
 use netsim::{Pcg32, SimConfig, Simulator};
 use tcpsim::{conn_start_token, TcpAgent, TcpConfig};
 use workload::{
-    build_tcp_conns, foreground_goodputs, run_storage_rq, Fabric, Pattern, RankCurve,
-    RqRunOptions, StorageScenario,
+    build_tcp_conns, foreground_goodputs, run_storage_rq, Fabric, Pattern, RankCurve, RqRunOptions,
+    StorageScenario,
 };
 
 fn main() {
-    let fabric = Fabric { k: 6, rate_bps: 1_000_000_000, prop_ns: 10_000 };
+    let fabric = Fabric {
+        k: 6,
+        rate_bps: 1_000_000_000,
+        prop_ns: 10_000,
+    };
     let mut sc = StorageScenario::fig1a(300, 1, 1);
 
     // ---- TCP instrumented run -----------------------------------------
@@ -69,7 +73,11 @@ fn main() {
 
     // ---- RQ multicast under load: strict aggregation vs detach ---------
     sc.replicas = 3;
-    for (label, lag) in [("strict", None), ("detach64", Some(64)), ("detach8", Some(8))] {
+    for (label, lag) in [
+        ("strict", None),
+        ("detach64", Some(64)),
+        ("detach8", Some(8)),
+    ] {
         let mut opts = RqRunOptions::default();
         opts.pr.straggler_lag = lag;
         let results = run_storage_rq(&sc, &fabric, &opts);

@@ -9,8 +9,8 @@
 
 use polyraptor_bench::{average_rank_curves, print_series_table, run_parallel, FigOptions};
 use workload::{
-    foreground_goodputs, run_storage_rq, run_storage_tcp, RankCurve, RqRunOptions,
-    StorageScenario, TcpRunOptions,
+    foreground_goodputs, run_storage_rq, run_storage_tcp, RankCurve, RqRunOptions, StorageScenario,
+    TcpRunOptions,
 };
 
 fn main() {

@@ -7,7 +7,9 @@
 //! TCP collapses as N grows (RTOmin-driven Incast).
 
 use polyraptor_bench::{print_series_table, run_parallel, FigOptions};
-use workload::{mean_ci95, run_incast_rq, run_incast_tcp, IncastScenario, RqRunOptions, TcpRunOptions};
+use workload::{
+    mean_ci95, run_incast_rq, run_incast_tcp, IncastScenario, RqRunOptions, TcpRunOptions,
+};
 
 fn main() {
     let mut o = FigOptions::parse(std::env::args().skip(1));
@@ -36,13 +38,29 @@ fn main() {
                 let fabric = o.fabric;
                 // RQ job.
                 jobs.push(Box::new(move || {
-                    let sc = IncastScenario { senders: n, block_bytes: block, seed };
-                    (bi * 2, ni, run_incast_rq(&sc, &fabric, &RqRunOptions::default()))
+                    let sc = IncastScenario {
+                        senders: n,
+                        block_bytes: block,
+                        seed,
+                    };
+                    (
+                        bi * 2,
+                        ni,
+                        run_incast_rq(&sc, &fabric, &RqRunOptions::default()),
+                    )
                 }));
                 // TCP job.
                 jobs.push(Box::new(move || {
-                    let sc = IncastScenario { senders: n, block_bytes: block, seed };
-                    (bi * 2 + 1, ni, run_incast_tcp(&sc, &fabric, &TcpRunOptions::default()))
+                    let sc = IncastScenario {
+                        senders: n,
+                        block_bytes: block,
+                        seed,
+                    };
+                    (
+                        bi * 2 + 1,
+                        ni,
+                        run_incast_tcp(&sc, &fabric, &TcpRunOptions::default()),
+                    )
                 }));
             }
         }

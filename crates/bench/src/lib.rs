@@ -53,7 +53,8 @@ impl FigOptions {
         let mut o = Self::default();
         while let Some(a) = args.next() {
             let mut take = |name: &str| {
-                args.next().unwrap_or_else(|| panic!("{name} needs a value"))
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} needs a value"))
             };
             match a.as_str() {
                 "--sessions" => o.sessions = take("--sessions").parse().expect("usize"),
@@ -94,7 +95,7 @@ impl FigOptions {
 
 /// Run `jobs` closures in parallel across available cores and collect
 /// results in input order. Each job is independent (own simulator), so
-/// this is embarrassingly parallel; crossbeam channels carry results
+/// this is embarrassingly parallel; an mpsc channel carries results
 /// back to preserve determinism of the *output order*.
 pub fn run_parallel<T, F>(jobs: Vec<F>) -> Vec<T>
 where
@@ -102,7 +103,7 @@ where
     F: FnOnce() -> T + Send,
 {
     let n = jobs.len();
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, T)>();
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
     std::thread::scope(|scope| {
         for (i, job) in jobs.into_iter().enumerate() {
             let tx = tx.clone();
@@ -117,7 +118,10 @@ where
     for (i, v) in rx {
         slots[i] = Some(v);
     }
-    slots.into_iter().map(|s| s.expect("every job reports")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job reports"))
+        .collect()
 }
 
 /// Average rank curves pointwise across seeds (the paper averages 5
@@ -128,8 +132,8 @@ pub fn average_rank_curves(curves: &[RankCurve], points: usize) -> Vec<(f64, f64
     (0..points)
         .map(|i| {
             let frac = i as f64 / (points - 1) as f64;
-            let mean_rank = frac * (curves.iter().map(|c| c.len()).sum::<usize>() as f64)
-                / curves.len() as f64;
+            let mean_rank =
+                frac * (curves.iter().map(|c| c.len()).sum::<usize>() as f64) / curves.len() as f64;
             let v = workload::mean(
                 &curves
                     .iter()

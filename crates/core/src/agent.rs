@@ -52,7 +52,11 @@ struct PullScheduler {
 
 impl PullScheduler {
     fn new(cap: usize) -> Self {
-        Self { per_session: BTreeMap::new(), rotation: VecDeque::new(), cap }
+        Self {
+            per_session: BTreeMap::new(),
+            rotation: VecDeque::new(),
+            cap,
+        }
     }
 
     /// Queue a pull towards `target`; silently coalesced when the
@@ -72,7 +76,10 @@ impl PullScheduler {
     /// Next (session, target, nudge) in round-robin order.
     fn next(&mut self) -> Option<(SessionId, NodeId, bool)> {
         let session = self.rotation.pop_front()?;
-        let q = self.per_session.get_mut(&session).expect("rotation entry has a queue");
+        let q = self
+            .per_session
+            .get_mut(&session)
+            .expect("rotation entry has a queue");
         let (target, nudge) = q.pop_front().expect("queued session has a pull");
         if q.is_empty() {
             self.per_session.remove(&session);
@@ -177,11 +184,15 @@ impl PolyraptorAgent {
     fn pacer_tick(&mut self, ctx: &mut Ctx<PrPayload>) {
         // Drop stale entries (completed sessions) without pacing cost.
         while let Some((sid, target, nudge)) = self.pulls.next() {
-            let Some(rs) = self.recv_sessions.get_mut(&sid) else { continue };
+            let Some(rs) = self.recv_sessions.get_mut(&sid) else {
+                continue;
+            };
             if rs.done {
                 continue;
             }
-            let Some(sender_idx) = rs.spec.sender_index(target) else { continue };
+            let Some(sender_idx) = rs.spec.sender_index(target) else {
+                continue;
+            };
             rs.pulls_sent += 1;
             // Cumulative count, read *now* — a delayed pull carries the
             // freshest information at the moment it leaves.
@@ -189,9 +200,16 @@ impl PolyraptorAgent {
             ctx.send(Packet {
                 src: self.node,
                 dst: Dest::Host(target),
-                flow: FlowId(rq::rand::hash2(u64::from(sid.0), u64::from(self.node.0) ^ 0x9011)),
+                flow: FlowId(rq::rand::hash2(
+                    u64::from(sid.0),
+                    u64::from(self.node.0) ^ 0x9011,
+                )),
                 size: CONTROL_BYTES,
-                payload: PrPayload::Pull { session: sid, count, nudge },
+                payload: PrPayload::Pull {
+                    session: sid,
+                    count,
+                    nudge,
+                },
             });
             // One pull per spacing interval: re-arm and stop.
             ctx.timer_after(self.cfg.pull_spacing_ns, pacer_token());
@@ -233,7 +251,10 @@ impl PolyraptorAgent {
     // ---- receiver-side completion ---------------------------------------
 
     fn complete_session(&mut self, sid: SessionId, ctx: &mut Ctx<PrPayload>) {
-        let rs = self.recv_sessions.get_mut(&sid).expect("completing unknown session");
+        let rs = self
+            .recv_sessions
+            .get_mut(&sid)
+            .expect("completing unknown session");
         rs.done = true;
         self.active_recv -= 1;
         self.pulls.forget(sid);
@@ -252,7 +273,9 @@ impl PolyraptorAgent {
     }
 
     fn start_as_receiver(&mut self, sid: SessionId, ctx: &mut Ctx<PrPayload>) {
-        let Some(rs) = self.recv_sessions.get_mut(&sid) else { return };
+        let Some(rs) = self.recv_sessions.get_mut(&sid) else {
+            return;
+        };
         if rs.done {
             return;
         }
@@ -276,8 +299,16 @@ impl PolyraptorAgent {
 impl Agent<PrPayload> for PolyraptorAgent {
     fn on_packet(&mut self, pkt: Packet<PrPayload>, ctx: &mut Ctx<PrPayload>) {
         match pkt.payload {
-            PrPayload::Symbol { session, esi, sender_idx, trimmed, body } => {
-                let Some(rs) = self.recv_sessions.get_mut(&session) else { return };
+            PrPayload::Symbol {
+                session,
+                esi,
+                sender_idx,
+                trimmed,
+                body,
+            } => {
+                let Some(rs) = self.recv_sessions.get_mut(&session) else {
+                    return;
+                };
                 if rs.done {
                     return; // late tail symbols after completion
                 }
@@ -291,7 +322,11 @@ impl Agent<PrPayload> for PolyraptorAgent {
                 }
                 self.arm_sweep(ctx);
             }
-            PrPayload::Pull { session, count, nudge } => {
+            PrPayload::Pull {
+                session,
+                count,
+                nudge,
+            } => {
                 if let Some(ss) = self.send_sessions.get_mut(&session) {
                     ss.on_pull(pkt.src, count, nudge, self.node, &self.cfg, ctx);
                 }

@@ -85,8 +85,8 @@ impl PrConfig {
             initial_window: 16,
             pull_spacing_ns: serialization_ns(pkt, rate),
             oracle: OracleMode::Counting,
-            retransmit_timeout_ns: 2_000_000,  // 2 ms
-            sweep_interval_ns: 1_000_000,      // 1 ms
+            retransmit_timeout_ns: 2_000_000, // 2 ms
+            sweep_interval_ns: 1_000_000,     // 1 ms
             straggler_lag: None,
             multicast: MulticastPull::Any,
             pull_queue_cap: 32,
@@ -96,7 +96,10 @@ impl PrConfig {
     /// Same as [`PrConfig::paper_default`] but with the real decoder —
     /// for tests and examples on small objects.
     pub fn real_oracle() -> Self {
-        Self { oracle: OracleMode::Real, ..Self::paper_default() }
+        Self {
+            oracle: OracleMode::Real,
+            ..Self::paper_default()
+        }
     }
 
     /// Number of source symbols for an object of `len` bytes.

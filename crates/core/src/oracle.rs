@@ -78,7 +78,11 @@ impl Oracle {
     pub fn real(session: SessionId, data_len: usize, symbol_size: usize) -> Self {
         let data = session_object(session, data_len);
         let enc = Encoder::new(&data, symbol_size).expect("session object is non-empty");
-        Oracle::Real { decoder: Decoder::new(enc.params()), expected: data, done: false }
+        Oracle::Real {
+            decoder: Decoder::new(enc.params()),
+            expected: data,
+            done: false,
+        }
     }
 
     /// Record a received symbol. `bytes` is `None` under counting mode
@@ -86,7 +90,12 @@ impl Oracle {
     /// Returns `true` if the object just became recoverable.
     pub fn add(&mut self, esi: u32, bytes: Option<Vec<u8>>) -> bool {
         match self {
-            Oracle::Counting { k, required_overhead, seen, source_seen } => {
+            Oracle::Counting {
+                k,
+                required_overhead,
+                seen,
+                source_seen,
+            } => {
                 if seen.insert(esi) && (esi as usize) < *k {
                     *source_seen += 1;
                 }
@@ -94,7 +103,11 @@ impl Oracle {
                 // distinct symbols.
                 *source_seen == *k || seen.len() >= *k + *required_overhead
             }
-            Oracle::Real { decoder, expected, done } => {
+            Oracle::Real {
+                decoder,
+                expected,
+                done,
+            } => {
                 if *done {
                     return true;
                 }
@@ -151,7 +164,10 @@ mod tests {
         let frac0 = extra[0] as f64 / n as f64;
         assert!(frac0 > 0.985 && frac0 < 0.995, "P(+0) = {frac0}");
         assert!(extra[1] > 0, "some sessions should need +1");
-        assert!(extra[3] + extra[4] + extra[5] == 0, "overhead beyond +2 at n=20k is absurd");
+        assert!(
+            extra[3] + extra[4] + extra[5] == 0,
+            "overhead beyond +2 at n=20k is absurd"
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ pub struct ReceiverSession {
 impl ReceiverSession {
     /// Build receiver state for `node`'s role in `spec`.
     pub fn new(spec: SessionSpec, node: NodeId, cfg: &PrConfig, seed: u64) -> Self {
-        assert!(spec.receiver_index(node).is_some(), "node is not a receiver");
+        assert!(
+            spec.receiver_index(node).is_some(),
+            "node is not a receiver"
+        );
         let k = cfg.k_for(spec.data_len);
         let oracle = match cfg.oracle {
             OracleMode::Counting => Oracle::counting(spec.id, k, seed),
@@ -128,13 +131,7 @@ mod tests {
     use crate::wire::SessionId;
 
     fn recv_session(k_bytes: usize) -> ReceiverSession {
-        let spec = SessionSpec::unicast(
-            SessionId(3),
-            k_bytes,
-            NodeId(1),
-            NodeId(0),
-            SimTime::ZERO,
-        );
+        let spec = SessionSpec::unicast(SessionId(3), k_bytes, NodeId(1), NodeId(0), SimTime::ZERO);
         ReceiverSession::new(spec, NodeId(0), &PrConfig::paper_default(), 42)
     }
 
@@ -157,7 +154,11 @@ mod tests {
         rs.on_trimmed(0, SimTime::from_micros(7));
         assert_eq!(rs.trimmed_seen, 1);
         assert_eq!(rs.symbols_received(), 0);
-        assert_eq!(rs.arrivals_from(0), 1, "trimmed headers advance the pull clock");
+        assert_eq!(
+            rs.arrivals_from(0),
+            1,
+            "trimmed headers advance the pull clock"
+        );
         assert_eq!(rs.last_activity, SimTime::from_micros(7));
     }
 

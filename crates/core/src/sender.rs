@@ -65,7 +65,9 @@ pub struct SenderSession {
 impl SenderSession {
     /// Build sender state for `node`'s role in `spec`.
     pub fn new(spec: SessionSpec, node: NodeId, cfg: &PrConfig) -> Self {
-        let idx = spec.sender_index(node).expect("node is not a sender of this session");
+        let idx = spec
+            .sender_index(node)
+            .expect("node is not a sender of this session");
         let k = cfg.k_for(spec.data_len) as u32;
         let s = spec.senders.len();
         // Contiguous source partition: first `jl` parts of size `il`,
@@ -300,7 +302,9 @@ impl SenderSession {
     /// past the configured threshold the receiver is detached and served
     /// unicast at its own pace.
     fn detect_stragglers(&mut self, w: u64, cfg: &PrConfig) {
-        let Some(threshold) = cfg.straggler_lag else { return };
+        let Some(threshold) = cfg.straggler_lag else {
+            return;
+        };
         let mut blockers = Vec::new();
         let mut any_current = false;
         for r in 0..self.latest.len() {
@@ -422,7 +426,8 @@ mod tests {
     #[test]
     fn esi_order_is_source_first() {
         let c = cfg();
-        let spec = SessionSpec::unicast(SessionId(1), 10 * 1440, NodeId(0), NodeId(1), SimTime::ZERO);
+        let spec =
+            SessionSpec::unicast(SessionId(1), 10 * 1440, NodeId(0), NodeId(1), SimTime::ZERO);
         let mut ss = SenderSession::new(spec, NodeId(0), &c);
         let esis: Vec<u32> = (0..12).map(|_| ss.alloc_esi()).collect();
         assert_eq!(&esis[..10], &(0..10).collect::<Vec<u32>>()[..]);
@@ -448,7 +453,13 @@ mod tests {
     #[test]
     fn pull_drives_window_refill() {
         let c = cfg();
-        let spec = SessionSpec::unicast(SessionId(1), 100 * 1440, NodeId(0), NodeId(1), SimTime::ZERO);
+        let spec = SessionSpec::unicast(
+            SessionId(1),
+            100 * 1440,
+            NodeId(0),
+            NodeId(1),
+            SimTime::ZERO,
+        );
         let mut ss = SenderSession::new(spec, NodeId(0), &c);
         let mut ctx = Ctx::detached(SimTime::ZERO, NodeId(0));
         ss.start(NodeId(0), &c, &mut ctx);
@@ -467,7 +478,13 @@ mod tests {
     #[test]
     fn nudge_forces_single_emission() {
         let c = cfg();
-        let spec = SessionSpec::unicast(SessionId(1), 100 * 1440, NodeId(0), NodeId(1), SimTime::ZERO);
+        let spec = SessionSpec::unicast(
+            SessionId(1),
+            100 * 1440,
+            NodeId(0),
+            NodeId(1),
+            SimTime::ZERO,
+        );
         let mut ss = SenderSession::new(spec, NodeId(0), &c);
         let mut ctx = Ctx::detached(SimTime::ZERO, NodeId(0));
         ss.start(NodeId(0), &c, &mut ctx);

@@ -79,7 +79,10 @@ impl SessionSpec {
         groups: Vec<GroupId>,
         start: SimTime,
     ) -> Self {
-        assert!(receivers.len() > 1, "multicast needs >1 receivers (use unicast)");
+        assert!(
+            receivers.len() > 1,
+            "multicast needs >1 receivers (use unicast)"
+        );
         assert!(!groups.is_empty(), "multicast needs at least one tree");
         Self {
             id,
@@ -145,7 +148,11 @@ impl SessionSpec {
             "multicast trees required iff >1 receivers"
         );
         if self.senders.len() > 1 {
-            assert_eq!(self.initiator, Initiator::Receiver, "multi-source must be receiver-initiated");
+            assert_eq!(
+                self.initiator,
+                Initiator::Receiver,
+                "multi-source must be receiver-initiated"
+            );
         }
         for s in &self.senders {
             assert!(!self.receivers.contains(s), "host cannot send to itself");

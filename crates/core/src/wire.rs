@@ -89,7 +89,12 @@ impl SimPayload for PrPayload {
 
     fn trim(&self) -> Option<Self> {
         match self {
-            PrPayload::Symbol { session, esi, sender_idx, .. } => Some(PrPayload::Symbol {
+            PrPayload::Symbol {
+                session,
+                esi,
+                sender_idx,
+                ..
+            } => Some(PrPayload::Symbol {
                 session: *session,
                 esi: *esi,
                 sender_idx: *sender_idx,
@@ -126,14 +131,23 @@ mod tests {
         let t = s.trim().unwrap();
         assert!(t.is_control());
         match t {
-            PrPayload::Symbol { esi: 9, trimmed: true, body: None, .. } => {}
+            PrPayload::Symbol {
+                esi: 9,
+                trimmed: true,
+                body: None,
+                ..
+            } => {}
             other => panic!("trim changed identity: {other:?}"),
         }
     }
 
     #[test]
     fn control_packets_survive_trim_unchanged() {
-        let p = PrPayload::Pull { session: SessionId(3), count: 7, nudge: false };
+        let p = PrPayload::Pull {
+            session: SessionId(3),
+            count: 7,
+            nudge: false,
+        };
         assert!(p.is_control());
         assert_eq!(p.trim().unwrap(), p);
     }
@@ -148,9 +162,17 @@ mod tests {
                 trimmed: false,
                 body: None,
             },
-            PrPayload::Pull { session: SessionId(5), count: 0, nudge: false },
-            PrPayload::Req { session: SessionId(5) },
-            PrPayload::Fin { session: SessionId(5) },
+            PrPayload::Pull {
+                session: SessionId(5),
+                count: 0,
+                nudge: false,
+            },
+            PrPayload::Req {
+                session: SessionId(5),
+            },
+            PrPayload::Fin {
+                session: SessionId(5),
+            },
         ] {
             assert_eq!(p.session(), SessionId(5));
         }

@@ -123,4 +123,13 @@ mod tests {
     fn untrimmable_payload_yields_none() {
         assert!(pkt(P::Untrimmable).trimmed().is_none());
     }
+
+    #[test]
+    fn control_payload_trims_to_itself() {
+        let p = pkt(P::Ctrl);
+        assert!(p.payload.is_control());
+        let t = p.trimmed().expect("control packets survive trimming");
+        assert_eq!(t.payload, P::Ctrl);
+        assert_eq!(t.size, HEADER_BYTES);
+    }
 }

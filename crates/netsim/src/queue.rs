@@ -35,7 +35,10 @@ pub enum QueueConfig {
 
 impl QueueConfig {
     /// The NDP configuration used throughout the paper's experiments.
-    pub const NDP_DEFAULT: QueueConfig = QueueConfig::Ndp { data_cap_pkts: 8, header_cap_pkts: 1024 };
+    pub const NDP_DEFAULT: QueueConfig = QueueConfig::Ndp {
+        data_cap_pkts: 8,
+        header_cap_pkts: 1024,
+    };
     /// A shallow drop-tail queue typical of commodity data-centre
     /// switches (~48 KB per port at 1500 B packets); both the paper and
     /// the classic Incast studies assume this regime.
@@ -80,7 +83,12 @@ pub struct PortQueue<P> {
 impl<P: SimPayload> PortQueue<P> {
     /// New empty queue with the given discipline.
     pub fn new(config: QueueConfig) -> Self {
-        Self { config, data: VecDeque::new(), headers: VecDeque::new(), stats: QueueStats::default() }
+        Self {
+            config,
+            data: VecDeque::new(),
+            headers: VecDeque::new(),
+            stats: QueueStats::default(),
+        }
     }
 
     /// Offer a packet to the queue.
@@ -97,7 +105,10 @@ impl<P: SimPayload> PortQueue<P> {
                     Enqueued::Queued
                 }
             }
-            QueueConfig::Ndp { data_cap_pkts, header_cap_pkts } => {
+            QueueConfig::Ndp {
+                data_cap_pkts,
+                header_cap_pkts,
+            } => {
                 if pkt.payload.is_control() {
                     if self.headers.len() >= header_cap_pkts {
                         self.stats.dropped += 1;
@@ -186,8 +197,18 @@ mod tests {
     }
 
     fn pkt(payload: P) -> Packet<P> {
-        let size = if payload.is_control() { HEADER_BYTES } else { 1500 };
-        Packet { src: NodeId(0), dst: Dest::Host(NodeId(1)), flow: FlowId(1), size, payload }
+        let size = if payload.is_control() {
+            HEADER_BYTES
+        } else {
+            1500
+        };
+        Packet {
+            src: NodeId(0),
+            dst: Dest::Host(NodeId(1)),
+            flow: FlowId(1),
+            size,
+            payload,
+        }
     }
 
     #[test]
@@ -202,7 +223,10 @@ mod tests {
 
     #[test]
     fn ndp_trims_on_overflow() {
-        let mut q = PortQueue::new(QueueConfig::Ndp { data_cap_pkts: 1, header_cap_pkts: 10 });
+        let mut q = PortQueue::new(QueueConfig::Ndp {
+            data_cap_pkts: 1,
+            header_cap_pkts: 10,
+        });
         assert_eq!(q.enqueue(pkt(P::Data)), Enqueued::Queued);
         assert_eq!(q.enqueue(pkt(P::Data)), Enqueued::Trimmed);
         assert_eq!(q.stats().trimmed, 1);
@@ -225,7 +249,10 @@ mod tests {
 
     #[test]
     fn ndp_header_queue_overflow_drops() {
-        let mut q = PortQueue::new(QueueConfig::Ndp { data_cap_pkts: 1, header_cap_pkts: 1 });
+        let mut q = PortQueue::new(QueueConfig::Ndp {
+            data_cap_pkts: 1,
+            header_cap_pkts: 1,
+        });
         assert_eq!(q.enqueue(pkt(P::Pull)), Enqueued::Queued);
         assert_eq!(q.enqueue(pkt(P::Pull)), Enqueued::Dropped);
         // Data overflow with full header queue also drops.

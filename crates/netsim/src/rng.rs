@@ -28,7 +28,10 @@ impl Pcg32 {
         let mut sm = seed;
         let initstate = splitmix64(&mut sm);
         let initseq = splitmix64(&mut sm);
-        let mut rng = Pcg32 { state: 0, inc: (initseq << 1) | 1 };
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (initseq << 1) | 1,
+        };
         rng.next_u32();
         rng.state = rng.state.wrapping_add(initstate);
         rng.next_u32();
@@ -44,7 +47,9 @@ impl Pcg32 {
     #[inline]
     pub fn next_u32(&mut self) -> u32 {
         let old = self.state;
-        self.state = old.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(self.inc);
+        self.state = old
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(self.inc);
         let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
         let rot = (old >> 59) as u32;
         xorshifted.rotate_right(rot)
@@ -138,7 +143,10 @@ mod tests {
             counts[rng.below(10) as usize] += 1;
         }
         for &c in &counts {
-            assert!((8_000..12_000).contains(&c), "bucket count {c} far from uniform");
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} far from uniform"
+            );
         }
     }
 
@@ -173,7 +181,10 @@ mod tests {
             let mut sorted = p.clone();
             sorted.sort_unstable();
             assert_eq!(sorted, (0..n).collect::<Vec<_>>(), "not a permutation");
-            assert!(p.iter().enumerate().all(|(i, &x)| i != x), "fixed point found");
+            assert!(
+                p.iter().enumerate().all(|(i, &x)| i != x),
+                "fixed point found"
+            );
         }
     }
 

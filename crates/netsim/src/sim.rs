@@ -43,7 +43,12 @@ pub struct Ctx<P> {
 
 impl<P> Ctx<P> {
     fn new(now: SimTime, node: NodeId) -> Self {
-        Self { now, node, sends: Vec::new(), timers: Vec::new() }
+        Self {
+            now,
+            node,
+            sends: Vec::new(),
+            timers: Vec::new(),
+        }
     }
 
     /// A detached context for unit-testing agents outside a simulator.
@@ -202,7 +207,10 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
                     NodeKind::Host => config.host_queue,
                     NodeKind::Switch => config.switch_queue,
                 };
-                topo.node_ports(node).iter().map(|_| PortQueue::new(qc)).collect()
+                topo.node_ports(node)
+                    .iter()
+                    .map(|_| PortQueue::new(qc))
+                    .collect()
             })
             .collect();
         let busy = (0..topo.node_count())
@@ -233,7 +241,10 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
     /// kind). Used for hotspot/failure-injection experiments; call
     /// between `run_until` slices to script changes over time.
     pub fn set_link_rate(&mut self, node: NodeId, port: u16, rate_bps: u64) {
-        assert!((port as usize) < self.topo.node_ports(node).len(), "no such port");
+        assert!(
+            (port as usize) < self.topo.node_ports(node).len(),
+            "no such port"
+        );
         if rate_bps == self.topo.port(node, port).rate_bps {
             self.rate_overrides.remove(&(node.0, port));
         } else {
@@ -304,12 +315,16 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
 
     /// Immutable access to a host's agent.
     pub fn agent(&self, host: NodeId) -> &A {
-        self.agents[host.0 as usize].as_ref().expect("no agent installed")
+        self.agents[host.0 as usize]
+            .as_ref()
+            .expect("no agent installed")
     }
 
     /// Mutable access to a host's agent (between runs).
     pub fn agent_mut(&mut self, host: NodeId) -> &mut A {
-        self.agents[host.0 as usize].as_mut().expect("no agent installed")
+        self.agents[host.0 as usize]
+            .as_mut()
+            .expect("no agent installed")
     }
 
     /// Iterate over installed agents.
@@ -339,10 +354,9 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
                 let choices = self.topo.next_ports(at, r);
                 // Deterministic choice keyed by (group, node): paths to
                 // different receivers share their upward prefix.
-                let pick = choices[(crate::rng::Pcg32::new(
-                    (u64::from(gid.0) << 32) ^ u64::from(at.0),
-                )
-                .below(choices.len() as u64)) as usize];
+                let pick =
+                    choices[(crate::rng::Pcg32::new((u64::from(gid.0) << 32) ^ u64::from(at.0))
+                        .below(choices.len() as u64)) as usize];
                 let entry = table.entry(at).or_default();
                 if !entry.contains(&pick) {
                     entry.push(pick);
@@ -362,7 +376,11 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
 
     fn push_event(&mut self, at: SimTime, kind: EventKind<P>) {
         debug_assert!(at >= self.now, "scheduling into the past");
-        self.events.push(Reverse(Event { at, seq: self.seq, kind }));
+        self.events.push(Reverse(Event {
+            at,
+            seq: self.seq,
+            kind,
+        }));
         self.seq += 1;
     }
 
@@ -493,7 +511,10 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
         self.busy[node.0 as usize][port as usize] = true;
         let link = *self.topo.port(node, port);
         let ser = serialization_ns(pkt.size, rate);
-        self.push_event(self.now + ser + link.prop_ns, EventKind::Arrive(link.peer, pkt));
+        self.push_event(
+            self.now + ser + link.prop_ns,
+            EventKind::Arrive(link.peer, pkt),
+        );
         self.push_event(self.now + ser, EventKind::Dequeue(node, port));
     }
 }
@@ -540,7 +561,13 @@ mod tests {
     }
 
     fn data_pkt(src: NodeId, dst: NodeId, i: u32) -> Packet<P> {
-        Packet { src, dst: Dest::Host(dst), flow: FlowId(7), size: 1500, payload: P::Data(i) }
+        Packet {
+            src,
+            dst: Dest::Host(dst),
+            flow: FlowId(7),
+            size: 1500,
+            payload: P::Data(i),
+        }
     }
 
     fn two_host_sim(config: SimConfig) -> (Simulator<P, Echo>, NodeId, NodeId) {
@@ -553,8 +580,20 @@ mod tests {
         t.connect(b, s, 1_000_000_000, 10_000);
         t.compute_routes();
         let mut sim = Simulator::new(t, config);
-        sim.set_agent(a, Echo { to_send: vec![], received: vec![] });
-        sim.set_agent(b, Echo { to_send: vec![], received: vec![] });
+        sim.set_agent(
+            a,
+            Echo {
+                to_send: vec![],
+                received: vec![],
+            },
+        );
+        sim.set_agent(
+            b,
+            Echo {
+                to_send: vec![],
+                received: vec![],
+            },
+        );
         (sim, a, b)
     }
 
@@ -572,7 +611,13 @@ mod tests {
         t.compute_routes();
         let mut sim = Simulator::new(t, config);
         for h in [a, b, c] {
-            sim.set_agent(h, Echo { to_send: vec![], received: vec![] });
+            sim.set_agent(
+                h,
+                Echo {
+                    to_send: vec![],
+                    received: vec![],
+                },
+            );
         }
         (sim, a, c, b)
     }
@@ -623,7 +668,10 @@ mod tests {
         let full = rec.iter().filter(|(_, p)| matches!(p, P::Data(_))).count();
         let trimmed = rec.iter().filter(|(_, p)| matches!(p, P::Hdr(_))).count();
         assert_eq!(full + trimmed, 40);
-        assert!(trimmed > 0, "2:1 overload must overflow the 8-packet data queue");
+        assert!(
+            trimmed > 0,
+            "2:1 overload must overflow the 8-packet data queue"
+        );
         assert_eq!(sim.stats().trimmed as usize, trimmed);
         assert_eq!(sim.stats().dropped, 0);
         assert_eq!(sim.switch_queue_totals().trimmed as usize, trimmed);
@@ -669,7 +717,10 @@ mod tests {
         sim.run_to_completion();
         let rec = &sim.agent(b).received;
         let pull_pos = rec.iter().position(|(_, p)| *p == P::Pull).unwrap();
-        assert!(pull_pos < rec.len() - 1, "pull should overtake queued data at the switch");
+        assert!(
+            pull_pos < rec.len() - 1,
+            "pull should overtake queued data at the switch"
+        );
     }
 
     #[test]
@@ -679,7 +730,13 @@ mod tests {
         let hosts = t.hosts().to_vec();
         let mut sim: Simulator<P, Echo> = Simulator::new(t, SimConfig::ndp(3));
         for &h in &hosts {
-            sim.set_agent(h, Echo { to_send: vec![], received: vec![] });
+            sim.set_agent(
+                h,
+                Echo {
+                    to_send: vec![],
+                    received: vec![],
+                },
+            );
         }
         let (s, r1, r2, r3) = (hosts[0], hosts[3], hosts[7], hosts[12]);
         let gid = sim.register_group(s, &[r1, r2, r3]);
@@ -707,7 +764,13 @@ mod tests {
         let hosts = t.hosts().to_vec();
         let mut sim: Simulator<P, Echo> = Simulator::new(t, SimConfig::ndp(3));
         for &h in &hosts {
-            sim.set_agent(h, Echo { to_send: vec![], received: vec![] });
+            sim.set_agent(
+                h,
+                Echo {
+                    to_send: vec![],
+                    received: vec![],
+                },
+            );
         }
         let s = hosts[0];
         let receivers = [hosts[5], hosts[9], hosts[13]];
@@ -741,7 +804,13 @@ mod tests {
         assert_eq!(up_ports.len(), 2);
         let mut sim: Simulator<P, Echo> = Simulator::new(t, SimConfig::ndp(5));
         for &h in &hosts {
-            sim.set_agent(h, Echo { to_send: vec![], received: vec![] });
+            sim.set_agent(
+                h,
+                Echo {
+                    to_send: vec![],
+                    received: vec![],
+                },
+            );
         }
         for i in 0..100 {
             sim.agent_mut(src).to_send.push(data_pkt(src, dst, i));
@@ -750,7 +819,10 @@ mod tests {
         sim.run_to_completion();
         let tx0 = sim.queue_stats(edge, up_ports[0]).tx_bytes;
         let tx1 = sim.queue_stats(edge, up_ports[1]).tx_bytes;
-        assert!(tx0 > 0 && tx1 > 0, "spraying must use both uplinks ({tx0}, {tx1})");
+        assert!(
+            tx0 > 0 && tx1 > 0,
+            "spraying must use both uplinks ({tx0}, {tx1})"
+        );
     }
 
     #[test]
@@ -762,7 +834,13 @@ mod tests {
         let up_ports: Vec<u16> = t.next_ports(edge, dst).to_vec();
         let mut sim: Simulator<P, Echo> = Simulator::new(t, SimConfig::classic(5));
         for &h in &hosts {
-            sim.set_agent(h, Echo { to_send: vec![], received: vec![] });
+            sim.set_agent(
+                h,
+                Echo {
+                    to_send: vec![],
+                    received: vec![],
+                },
+            );
         }
         for i in 0..100 {
             sim.agent_mut(src).to_send.push(data_pkt(src, dst, i));

@@ -84,8 +84,18 @@ impl Topology {
         assert_ne!(a, b, "self-links are not allowed");
         let pa = self.ports[a.0 as usize].len() as u16;
         let pb = self.ports[b.0 as usize].len() as u16;
-        self.ports[a.0 as usize].push(Port { peer: b, peer_port: pb, rate_bps, prop_ns });
-        self.ports[b.0 as usize].push(Port { peer: a, peer_port: pa, rate_bps, prop_ns });
+        self.ports[a.0 as usize].push(Port {
+            peer: b,
+            peer_port: pb,
+            rate_bps,
+            prop_ns,
+        });
+        self.ports[b.0 as usize].push(Port {
+            peer: a,
+            peer_port: pa,
+            rate_bps,
+            prop_ns,
+        });
     }
 
     /// Node kind accessor.
@@ -196,8 +206,14 @@ impl Topology {
     /// aggregation) switches, (k/2)² core switches, k²/4 hosts per pod
     /// wait — k/2 hosts per edge switch, so k³/4 hosts total. All links
     /// share `rate_bps`/`prop_ns` (the paper: 1 Gbps, 10 µs).
+    // Index loops mirror the fat-tree's (pod, column) coordinate system;
+    // iterator chains over the nested vecs obscure the symmetry.
+    #[allow(clippy::needless_range_loop)]
     pub fn fat_tree(k: usize, rate_bps: u64, prop_ns: u64) -> Topology {
-        assert!(k >= 2 && k % 2 == 0, "fat-tree requires even k >= 2");
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat-tree requires even k >= 2"
+        );
         let half = k / 2;
         let mut t = Topology::new();
 

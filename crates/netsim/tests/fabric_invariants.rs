@@ -1,7 +1,7 @@
 //! Property tests on fabric invariants: routing consistency and
 //! multicast tree correctness over randomized inputs.
 
-use netsim::{NodeId, Topology};
+use netsim::Topology;
 use proptest::prelude::*;
 
 fn fat_tree_ks() -> impl Strategy<Value = usize> {

@@ -67,7 +67,11 @@ impl ObjectEncoder {
         }
         debug_assert_eq!(offset, data.len());
         Ok(Self {
-            params: ObjectParams { object_len: data.len(), symbol_size, blocks },
+            params: ObjectParams {
+                object_len: data.len(),
+                symbol_size,
+                blocks,
+            },
             encoders,
         })
     }
@@ -141,7 +145,10 @@ mod tests {
         assert_eq!(enc.block_count(), 1);
         let mut dec = ObjectDecoder::new(enc.params().clone());
         for esi in 0..enc.params().blocks[0].k as u32 {
-            dec.push(PayloadId { sbn: 0, esi }, enc.symbol(PayloadId { sbn: 0, esi }));
+            dec.push(
+                PayloadId { sbn: 0, esi },
+                enc.symbol(PayloadId { sbn: 0, esi }),
+            );
         }
         assert_eq!(dec.try_decode().unwrap(), d);
     }
@@ -157,11 +164,17 @@ mod tests {
             // Lose one source symbol per block, add two repairs.
             let k = block.k as u32;
             for esi in 1..k {
-                let id = PayloadId { sbn: sbn as u8, esi };
+                let id = PayloadId {
+                    sbn: sbn as u8,
+                    esi,
+                };
                 dec.push(id, enc.symbol(id));
             }
             for esi in k..k + 3 {
-                let id = PayloadId { sbn: sbn as u8, esi };
+                let id = PayloadId {
+                    sbn: sbn as u8,
+                    esi,
+                };
                 dec.push(id, enc.symbol(id));
             }
         }
@@ -181,6 +194,9 @@ mod tests {
         let d = data(5000);
         let enc = ObjectEncoder::new(&d, 100).unwrap();
         let dec = ObjectDecoder::new(enc.params().clone());
-        assert!(matches!(dec.try_decode(), Err(DecodeError::NeedMoreSymbols { .. })));
+        assert!(matches!(
+            dec.try_decode(),
+            Err(DecodeError::NeedMoreSymbols { .. })
+        ));
     }
 }

@@ -137,7 +137,10 @@ impl Decoder {
         }
 
         if self.received.len() < k {
-            return Err(DecodeError::NeedMoreSymbols { have: self.received.len(), need: k });
+            return Err(DecodeError::NeedMoreSymbols {
+                have: self.received.len(),
+                need: k,
+            });
         }
 
         // Full solve: precode constraints + one LT row per received symbol.
@@ -151,7 +154,9 @@ impl Decoder {
         let intermediates = match solve(self.params.l, rows, t) {
             Ok(c) => c,
             Err(SolveError::Singular) => {
-                return Err(DecodeError::RankDeficient { have: self.received.len() })
+                return Err(DecodeError::RankDeficient {
+                    have: self.received.len(),
+                })
             }
         };
 

@@ -44,7 +44,10 @@ impl std::fmt::Display for EncodeError {
         match self {
             EncodeError::EmptyData => write!(f, "cannot encode an empty block"),
             EncodeError::BlockTooLarge { k } => {
-                write!(f, "block needs K={k} symbols, above MAX_K; use ObjectEncoder")
+                write!(
+                    f,
+                    "block needs K={k} symbols, above MAX_K; use ObjectEncoder"
+                )
             }
             EncodeError::ConstructionFailed => {
                 write!(f, "no construction tweak yields an invertible matrix")
@@ -108,8 +111,18 @@ impl Encoder {
         for tweak in 0u8..=255 {
             match Self::derive_intermediates(&params, tweak, &source, symbol_size) {
                 Ok(intermediates) => {
-                    let code = CodeParams { k, symbol_size, data_len: data.len(), tweak };
-                    return Ok(Self { params, code, source, intermediates });
+                    let code = CodeParams {
+                        k,
+                        symbol_size,
+                        data_len: data.len(),
+                        tweak,
+                    };
+                    return Ok(Self {
+                        params,
+                        code,
+                        source,
+                        intermediates,
+                    });
                 }
                 Err(SolveError::Singular) => continue,
             }
@@ -125,8 +138,7 @@ impl Encoder {
         source: &[Vec<u8>],
         symbol_size: usize,
     ) -> Result<Vec<Vec<u8>>, SolveError> {
-        let mut rows: Vec<ConstraintRow> =
-            Vec::with_capacity(params.s + params.h + params.k);
+        let mut rows: Vec<ConstraintRow> = Vec::with_capacity(params.s + params.h + params.k);
         rows.extend(ldpc_rows(params, symbol_size));
         rows.extend(hdpc_rows(params, tweak, symbol_size));
         for (i, sym) in source.iter().enumerate() {
@@ -219,7 +231,11 @@ mod tests {
             for esi in 2 * k as u32..2 * k as u32 + 5 {
                 dec.push(esi, enc.symbol(esi));
             }
-            assert_eq!(dec.try_decode().unwrap(), d, "tweak>0 roundtrip failed at k={k}");
+            assert_eq!(
+                dec.try_decode().unwrap(),
+                d,
+                "tweak>0 roundtrip failed at k={k}"
+            );
             break;
         }
         if !exercised {

@@ -102,7 +102,10 @@ pub fn xor_assign(dst: &mut [u8], src: &[u8]) {
     // u64-wide fast path; the remainder is handled byte by byte.
     let (dst_chunks, dst_rest) = dst.split_at_mut(dst.len() - dst.len() % 8);
     let (src_chunks, src_rest) = src.split_at(src.len() - src.len() % 8);
-    for (d, s) in dst_chunks.chunks_exact_mut(8).zip(src_chunks.chunks_exact(8)) {
+    for (d, s) in dst_chunks
+        .chunks_exact_mut(8)
+        .zip(src_chunks.chunks_exact(8))
+    {
         let x = u64::from_ne_bytes(d.try_into().unwrap());
         let y = u64::from_ne_bytes(s.try_into().unwrap());
         d.copy_from_slice(&(x ^ y).to_ne_bytes());

@@ -56,7 +56,10 @@ impl RobustSoliton {
 
     /// Sample a degree from a uniform `u ∈ [0, 1)`.
     pub fn sample(&self, u: f64) -> usize {
-        match self.cumulative.binary_search_by(|p| p.partial_cmp(&u).expect("no NaN")) {
+        match self
+            .cumulative
+            .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN"))
+        {
             Ok(i) | Err(i) => i + 1,
         }
     }

@@ -47,7 +47,10 @@ pub struct ConstraintRow {
 impl ConstraintRow {
     /// Sparse binary row with a zero RHS of `symbol_size` bytes.
     pub fn binary_zero(cols: Vec<u32>, symbol_size: usize) -> Self {
-        Self { kind: RowKind::Binary { cols }, value: vec![0; symbol_size] }
+        Self {
+            kind: RowKind::Binary { cols },
+            value: vec![0; symbol_size],
+        }
     }
 }
 
@@ -96,12 +99,20 @@ pub fn hdpc_rows(params: &BlockParams, tweak: u8, symbol_size: usize) -> Vec<Con
                 *c = rand(seed, j as u64, 256) as u8;
             }
             coefs[ks + h] = 1;
-            ConstraintRow { kind: RowKind::Dense { coefs }, value: vec![0; symbol_size] }
+            ConstraintRow {
+                kind: RowKind::Dense { coefs },
+                value: vec![0; symbol_size],
+            }
         })
         .collect()
 }
 
 /// Build the LT row for encoding symbol `esi` with RHS `value`.
 pub fn lt_row(params: &BlockParams, tweak: u8, esi: u32, value: Vec<u8>) -> ConstraintRow {
-    ConstraintRow { kind: RowKind::Binary { cols: lt_columns(params, tweak, esi) }, value }
+    ConstraintRow {
+        kind: RowKind::Binary {
+            cols: lt_columns(params, tweak, esi),
+        },
+        value,
+    }
 }

@@ -70,7 +70,14 @@ impl BlockParams {
         // PI range: grows slowly with K so the per-construction
         // dependency rate stays flat (birthday terms scale ~K/pi).
         let pi = (h + k / 512).min(l / 2).max(4);
-        Self { k, s, h, l, l_prime, pi }
+        Self {
+            k,
+            s,
+            h,
+            l,
+            l_prime,
+            pi,
+        }
     }
 }
 
@@ -90,12 +97,12 @@ pub fn is_prime(n: usize) -> bool {
     if n < 2 {
         return false;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return n == 2;
     }
     let mut d = 3usize;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return false;
         }
         d += 2;

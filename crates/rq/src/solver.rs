@@ -120,10 +120,10 @@ pub fn solve(
     loop {
         // Pop the lowest-degree live row (degree >= 1).
         let mut chosen: Option<u32> = None;
-        'outer: for d in 1..buckets.len() {
-            while let Some(&r) = buckets[d].last() {
+        'outer: for (d, bucket) in buckets.iter_mut().enumerate().skip(1) {
+            while let Some(&r) = bucket.last() {
                 if selected[r as usize] || degree[r as usize] as usize != d {
-                    buckets[d].pop();
+                    bucket.pop();
                     continue;
                 }
                 chosen = Some(r);
@@ -243,13 +243,17 @@ pub fn solve(
         // The pivot row is read-only below while targets are mutated, but
         // they live in the same vectors; a clone of the (short) inactive
         // projection and the symbol keeps the borrow checker honest.
-        let (p_inact, p_value) = (bin_inact[prow as usize].clone(), bin_values[prow as usize].clone());
+        let (p_inact, p_value) = (
+            bin_inact[prow as usize].clone(),
+            bin_values[prow as usize].clone(),
+        );
         for &t in targets {
             gf256::xor_assign(&mut bin_values[t as usize], &p_value);
             gf256::xor_assign(&mut bin_inact[t as usize], &p_inact);
         }
-        for (d_coefs, (d_inact, d_value)) in
-            dense_coefs.iter().zip(dense_inact.iter_mut().zip(dense_values.iter_mut()))
+        for (d_coefs, (d_inact, d_value)) in dense_coefs
+            .iter()
+            .zip(dense_inact.iter_mut().zip(dense_values.iter_mut()))
         {
             let beta = d_coefs[pcol as usize];
             if beta != 0 {
@@ -341,7 +345,10 @@ fn gaussian_solve(
             }
         }
     }
-    Ok(pivot_row_of.into_iter().map(|r| std::mem::take(&mut values[r])).collect())
+    Ok(pivot_row_of
+        .into_iter()
+        .map(|r| std::mem::take(&mut values[r]))
+        .collect())
 }
 
 #[cfg(test)]
@@ -350,11 +357,19 @@ mod tests {
     use crate::matrix::RowKind;
 
     fn bin(cols: &[u32], value: Vec<u8>) -> ConstraintRow {
-        ConstraintRow { kind: RowKind::Binary { cols: cols.to_vec() }, value }
+        ConstraintRow {
+            kind: RowKind::Binary {
+                cols: cols.to_vec(),
+            },
+            value,
+        }
     }
 
     fn dense(coefs: Vec<u8>, value: Vec<u8>) -> ConstraintRow {
-        ConstraintRow { kind: RowKind::Dense { coefs }, value }
+        ConstraintRow {
+            kind: RowKind::Dense { coefs },
+            value,
+        }
     }
 
     #[test]

@@ -109,7 +109,11 @@ mod tests {
                 let mut sorted = cols.clone();
                 sorted.sort_unstable();
                 sorted.dedup();
-                assert_eq!(sorted.len(), cols.len(), "duplicate column for esi={esi} k={k}");
+                assert_eq!(
+                    sorted.len(),
+                    cols.len(),
+                    "duplicate column for esi={esi} k={k}"
+                );
                 assert!(cols.iter().all(|&c| (c as usize) < p.l));
             }
         }

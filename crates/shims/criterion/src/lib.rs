@@ -1,0 +1,246 @@
+//! Offline shim for the [`criterion`](https://docs.rs/criterion) bench
+//! harness.
+//!
+//! The build container has no registry access, so this crate implements
+//! the subset of criterion's API that the workspace benches use, with
+//! the same names and shapes: [`Criterion`], [`BenchmarkGroup`],
+//! [`Bencher`] (`iter` / `iter_batched`), [`Throughput`], [`BatchSize`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros. Swapping
+//! in the real crate is a `Cargo.toml`-only change.
+//!
+//! Measurement model: each benchmark is warmed up for a short fixed
+//! wall-clock budget, then timed over a fixed measurement budget, and
+//! the mean ns/iter (plus derived throughput, when declared) is printed
+//! in a `cargo bench`-style line. `sample_size` scales the measurement
+//! budget so "heavier" groups get proportionally more time, mirroring
+//! how the benches already tune it.
+
+use std::time::{Duration, Instant};
+
+/// How an `iter_batched` routine's per-batch setup cost is amortised.
+///
+/// The shim times the routine per element regardless of variant; the
+/// variants exist so call sites match the real API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small input: batch size chosen so setup cost is negligible.
+    SmallInput,
+    /// Large input: one setup per routine invocation.
+    LargeInput,
+    /// Exactly one setup per iteration.
+    PerIteration,
+}
+
+/// Declared work per iteration, used to derive throughput lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+    /// Iteration processes this many abstract elements.
+    Elements(u64),
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Self {
+            iters,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Time `routine` with fresh per-iteration input from `setup`;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing throughput/size config.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the nominal sample count (scales this group's time budget).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration work so results also print as throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let budget = self.criterion.measurement_time / 10 * self.sample_size.min(50) as u32;
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, budget, throughput, f);
+        self
+    }
+
+    /// End the group (kept for API parity; no summary state to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver, handed to every `criterion_group!` target.
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up_time: Duration::from_millis(30),
+            measurement_time: Duration::from_millis(300),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Parse `cargo bench`-style CLI args (`--bench`, an optional name
+    /// filter, `--quick`); unknown flags are ignored so harness
+    /// plumbing never breaks a run.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" | "--noplot" => {}
+                "--quick" => self.measurement_time = Duration::from_millis(30),
+                "--warm-up-time" | "--measurement-time" | "--sample-size" | "--save-baseline"
+                | "--baseline" => {
+                    let _ = args.next();
+                }
+                flag if flag.starts_with('-') => {}
+                filter => self.filter = Some(filter.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Start a named [`BenchmarkGroup`].
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        f: F,
+    ) -> &mut Self {
+        let budget = self.measurement_time;
+        self.run_one(&id.into(), budget, None, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        budget: Duration,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up with single iterations to estimate per-iter cost.
+        let mut probe_iters: u64 = 0;
+        let warm_start = Instant::now();
+        let mut probe = Bencher::new(1);
+        while warm_start.elapsed() < self.warm_up_time || probe_iters == 0 {
+            f(&mut probe);
+            probe_iters += 1;
+        }
+        let per_iter = probe.elapsed / probe_iters as u32;
+        let iters = if per_iter.is_zero() {
+            1000
+        } else {
+            (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        let mut bencher = Bencher::new(iters);
+        f(&mut bencher);
+        let ns = bencher.elapsed.as_nanos() as f64 / iters as f64;
+        match throughput {
+            Some(Throughput::Bytes(b)) => {
+                let gbps = (b as f64 * 8.0) / ns.max(f64::MIN_POSITIVE);
+                println!("bench: {name:<50} {ns:>14.1} ns/iter {gbps:>10.3} Gbit/s");
+            }
+            Some(Throughput::Elements(e)) => {
+                let meps = (e as f64 * 1e3) / ns.max(f64::MIN_POSITIVE);
+                println!("bench: {name:<50} {ns:>14.1} ns/iter {meps:>10.3} Melem/s");
+            }
+            None => println!("bench: {name:<50} {ns:>14.1} ns/iter"),
+        }
+    }
+
+    /// Finalise a run (API parity with the real crate's summary step).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declare a bench group: `criterion_group!(name, target, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declare the bench `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}

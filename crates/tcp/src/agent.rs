@@ -53,7 +53,10 @@ impl TcpAgent {
         } else if spec.receiver == self.node {
             self.receivers.insert(spec.id, TcpReceiver::new(spec));
         } else {
-            panic!("host {} is not an endpoint of conn {}", self.node.0, spec.id.0);
+            panic!(
+                "host {} is not an endpoint of conn {}",
+                self.node.0, spec.id.0
+            );
         }
     }
 
@@ -64,7 +67,10 @@ impl TcpAgent {
 
     /// Number of sender connections still moving data.
     pub fn active_sends(&self) -> usize {
-        self.senders.values().filter(|s| s.phase != SenderPhase::Done).count()
+        self.senders
+            .values()
+            .filter(|s| s.phase != SenderPhase::Done)
+            .count()
     }
 
     /// Re-arm the simulator-facing RTO timer if the sender has one
@@ -136,10 +142,8 @@ impl Agent<TcpPayload> for TcpAgent {
 
 /// Convenience: install a connection at both endpoints and schedule its
 /// start timer.
-pub fn install_connection<S>(
-    sim: &mut netsim::Simulator<TcpPayload, S>,
-    spec: &ConnSpec,
-) where
+pub fn install_connection<S>(sim: &mut netsim::Simulator<TcpPayload, S>, spec: &ConnSpec)
+where
     S: netsim::Agent<TcpPayload> + AsMut<TcpAgent>,
 {
     let start = spec.start;
@@ -213,7 +217,11 @@ mod tests {
         let rec = &sim.agent(b).records;
         assert_eq!(rec.len(), 1);
         // 4 segments fit in IW10: handshake RTT + one data RTT ≈ 150 µs.
-        assert!(rec[0].finish < SimTime::from_micros(300), "took {}", rec[0].finish);
+        assert!(
+            rec[0].finish < SimTime::from_micros(300),
+            "took {}",
+            rec[0].finish
+        );
     }
 
     #[test]

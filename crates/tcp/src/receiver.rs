@@ -25,7 +25,13 @@ impl TcpReceiver {
     /// Fresh receiver for `spec`.
     pub fn new(spec: ConnSpec) -> Self {
         spec.validate();
-        Self { spec, rcv_nxt: 0, ooo: BTreeMap::new(), finished: None, dup_segments: 0 }
+        Self {
+            spec,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            finished: None,
+            dup_segments: 0,
+        }
     }
 
     fn flow(&self) -> FlowId {
@@ -64,7 +70,10 @@ impl TcpReceiver {
             dst: Dest::Host(self.spec.sender),
             flow: self.flow(),
             size: HEADER_BYTES,
-            payload: TcpPayload::Ack { conn: self.spec.id, ack: self.rcv_nxt },
+            payload: TcpPayload::Ack {
+                conn: self.spec.id,
+                ack: self.rcv_nxt,
+            },
         });
         if self.rcv_nxt >= self.spec.bytes && self.finished.is_none() {
             self.finished = Some(ctx.now);
@@ -123,8 +132,8 @@ impl TcpReceiver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsim::NodeId;
     use crate::wire::ConnId;
+    use netsim::NodeId;
 
     fn spec(bytes: u64) -> ConnSpec {
         ConnSpec {

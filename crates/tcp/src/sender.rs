@@ -268,7 +268,12 @@ impl TcpSender {
             dst: Dest::Host(self.spec.receiver),
             flow: self.flow(),
             size: len + HEADER_BYTES,
-            payload: TcpPayload::Data { conn: self.spec.id, seq, len, rtx },
+            payload: TcpPayload::Data {
+                conn: self.spec.id,
+                seq,
+                len,
+                rtx,
+            },
         });
     }
 

@@ -35,10 +35,10 @@ impl TcpConfig {
         Self {
             mss: 1440,
             init_cwnd_segs: 10,
-            rto_min_ns: 200_000_000,   // 200 ms
+            rto_min_ns: 200_000_000,    // 200 ms
             rto_init_ns: 1_000_000_000, // 1 s
             rto_max_ns: 60_000_000_000, // 60 s
-            recv_window_segs: 14,      // INET advertisedWindow default
+            recv_window_segs: 14,       // INET advertisedWindow default
         }
     }
 
@@ -89,7 +89,10 @@ impl ConnSpec {
     /// Validate structural invariants.
     pub fn validate(&self) {
         assert!(self.bytes > 0, "empty TCP transfer");
-        assert_ne!(self.sender, self.receiver, "loopback connections not modelled");
+        assert_ne!(
+            self.sender, self.receiver,
+            "loopback connections not modelled"
+        );
     }
 }
 

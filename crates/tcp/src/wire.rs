@@ -78,7 +78,12 @@ mod tests {
 
     #[test]
     fn data_is_not_control_and_untrimmable() {
-        let d = TcpPayload::Data { conn: ConnId(1), seq: 0, len: 1440, rtx: false };
+        let d = TcpPayload::Data {
+            conn: ConnId(1),
+            seq: 0,
+            len: 1440,
+            rtx: false,
+        };
         assert!(!d.is_control());
         assert!(d.trim().is_none());
     }
@@ -88,7 +93,10 @@ mod tests {
         for p in [
             TcpPayload::Syn { conn: ConnId(1) },
             TcpPayload::SynAck { conn: ConnId(1) },
-            TcpPayload::Ack { conn: ConnId(1), ack: 99 },
+            TcpPayload::Ack {
+                conn: ConnId(1),
+                ack: 99,
+            },
         ] {
             assert!(p.is_control());
             assert_eq!(p.trim().unwrap(), p);

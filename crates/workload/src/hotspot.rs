@@ -37,7 +37,10 @@ pub fn run_hotspot_rq(
 ) -> Vec<TransferResult> {
     let topo = fabric.build();
     let hosts = topo.hosts().to_vec();
-    assert!(hosts.len() >= 2 * scenario.transfers, "need disjoint host pairs");
+    assert!(
+        hosts.len() >= 2 * scenario.transfers,
+        "need disjoint host pairs"
+    );
     let mut sim_cfg = netsim::SimConfig::ndp(scenario.seed ^ 0x407);
     sim_cfg.switch_queue = opts.switch_queue;
     sim_cfg.route = opts.route;
@@ -149,12 +152,13 @@ mod tests {
         // 30% of fabric links at 10% rate: sprayed transfers degrade
         // gracefully (bounded by the average path capacity)…
         let spray = run_hotspot_rq(&scenario(0.3), &Fabric::small(), &RqRunOptions::default());
-        let spray_curve =
-            RankCurve::new(spray.iter().map(|r| r.goodput_gbps()).collect());
+        let spray_curve = RankCurve::new(spray.iter().map(|r| r.goodput_gbps()).collect());
         // …while per-flow ECMP pins some flows onto slow paths for their
         // whole lifetime, cratering the tail.
-        let mut ecmp_opts = RqRunOptions::default();
-        ecmp_opts.route = RouteMode::EcmpFlow;
+        let ecmp_opts = RqRunOptions {
+            route: RouteMode::EcmpFlow,
+            ..Default::default()
+        };
         let ecmp = run_hotspot_rq(&scenario(0.3), &Fabric::small(), &ecmp_opts);
         let ecmp_curve = RankCurve::new(ecmp.iter().map(|r| r.goodput_gbps()).collect());
         let spray_worst = spray_curve.at(spray_curve.len() - 1);
@@ -177,7 +181,11 @@ mod tests {
             seed: 3,
         };
         let res = run_hotspot_rq(&sc, &Fabric::small(), &RqRunOptions::default());
-        assert_eq!(res.len(), 4, "all transfers must complete despite dead links");
+        assert_eq!(
+            res.len(),
+            4,
+            "all transfers must complete despite dead links"
+        );
         for r in &res {
             assert!(r.goodput_gbps() > 0.0);
         }

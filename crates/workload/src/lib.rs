@@ -23,11 +23,11 @@ pub mod runner;
 pub mod scenario;
 pub mod stats;
 
+pub use hotspot::{run_hotspot_rq, HotspotScenario};
 pub use runner::{
     build_rq_specs, build_tcp_conns, foreground_goodputs, install_rq, op_results, run_incast_rq,
-    run_incast_tcp, run_storage_rq, run_storage_tcp, stripe, Fabric, RqRunOptions,
-    TcpRunOptions, TransferResult,
+    run_incast_tcp, run_storage_rq, run_storage_tcp, stripe, Fabric, RqRunOptions, TcpRunOptions,
+    TransferResult,
 };
-pub use hotspot::{run_hotspot_rq, HotspotScenario};
 pub use scenario::{IncastScenario, LogicalSession, Pattern, StorageScenario};
 pub use stats::{mean, mean_ci95, std_dev, RankCurve};

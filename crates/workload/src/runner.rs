@@ -24,12 +24,20 @@ pub struct Fabric {
 impl Fabric {
     /// The paper's 250-server fabric.
     pub fn paper() -> Self {
-        Self { k: 10, rate_bps: 1_000_000_000, prop_ns: 10_000 }
+        Self {
+            k: 10,
+            rate_bps: 1_000_000_000,
+            prop_ns: 10_000,
+        }
     }
 
     /// A 16-host fabric for tests and quick runs.
     pub fn small() -> Self {
-        Self { k: 4, rate_bps: 1_000_000_000, prop_ns: 10_000 }
+        Self {
+            k: 4,
+            rate_bps: 1_000_000_000,
+            prop_ns: 10_000,
+        }
     }
 
     /// Build the routed topology.
@@ -68,7 +76,11 @@ impl TransferResult {
 
 /// Foreground goodputs from a result set (what the figures show).
 pub fn foreground_goodputs(results: &[TransferResult]) -> Vec<f64> {
-    results.iter().filter(|r| !r.background).map(|r| r.goodput_gbps()).collect()
+    results
+        .iter()
+        .filter(|r| !r.background)
+        .map(|r| r.goodput_gbps())
+        .collect()
 }
 
 /// Collapse per-flow results into op-level results: an op starts with
@@ -203,10 +215,7 @@ pub fn build_rq_specs<A: netsim::Agent<polyraptor::PrPayload>>(
 
 /// Install a Polyraptor session at every participant and schedule its
 /// start timer everywhere (receivers need it to arm their keep-alive).
-pub fn install_rq(
-    sim: &mut Simulator<polyraptor::PrPayload, PolyraptorAgent>,
-    spec: &SessionSpec,
-) {
+pub fn install_rq(sim: &mut Simulator<polyraptor::PrPayload, PolyraptorAgent>, spec: &SessionSpec) {
     for &h in spec.senders.iter().chain(&spec.receivers) {
         sim.agent_mut(h).install(spec.clone());
         sim.schedule_timer(h, spec.start, start_token(spec.id));
@@ -238,7 +247,11 @@ fn collect_rq_results(
     for ls in sessions {
         let expected = expected_rq_records(ls, pattern);
         let got = per_session.get(&ls.index).copied().unwrap_or(0);
-        assert_eq!(got, expected, "session {} incomplete ({got}/{expected})", ls.index);
+        assert_eq!(
+            got, expected,
+            "session {} incomplete ({got}/{expected})",
+            ls.index
+        );
     }
     flows.sort_by_key(|f| f.session);
     flows
@@ -396,11 +409,7 @@ fn collect_tcp_results(
 
 /// Run one Incast exchange under Polyraptor: a single multi-source
 /// session striped over `senders` hosts. Returns goodput in Gbit/s.
-pub fn run_incast_rq(
-    scenario: &IncastScenario,
-    fabric: &Fabric,
-    opts: &RqRunOptions,
-) -> f64 {
+pub fn run_incast_rq(scenario: &IncastScenario, fabric: &Fabric, opts: &RqRunOptions) -> f64 {
     let topo = fabric.build();
     let (client, senders) = scenario.place(&topo);
     let mut sim_cfg = SimConfig::ndp(scenario.seed ^ 0x1C);
@@ -433,11 +442,7 @@ pub fn run_incast_rq(
 /// Run one Incast exchange under TCP: `senders` synchronized connections
 /// each carrying one stripe. Returns goodput in Gbit/s over the whole
 /// exchange (finish = last stripe).
-pub fn run_incast_tcp(
-    scenario: &IncastScenario,
-    fabric: &Fabric,
-    opts: &TcpRunOptions,
-) -> f64 {
+pub fn run_incast_tcp(scenario: &IncastScenario, fabric: &Fabric, opts: &TcpRunOptions) -> f64 {
     let topo = fabric.build();
     let (client, senders) = scenario.place(&topo);
     let mut sim_cfg = SimConfig::classic(scenario.seed ^ 0x1C);
@@ -503,7 +508,10 @@ mod tests {
         };
         let results = run_storage_rq(&sc, &Fabric::small(), &RqRunOptions::default());
         // One flow per replica receiver + one per background session.
-        assert!(results.len() >= 30, "per-flow accounting yields >= one point per op");
+        assert!(
+            results.len() >= 30,
+            "per-flow accounting yields >= one point per op"
+        );
         for r in &results {
             assert!(r.finish > r.start);
             let g = r.goodput_gbps();
@@ -548,14 +556,21 @@ mod tests {
         // Multi-unicast replication: 3 copies share the 1 Gbps uplink, so
         // no flow of a foreground op can beat ~1/3 Gbps by much.
         for r in results.iter().filter(|r| !r.background) {
-            assert!(r.goodput_gbps() < 0.45, "3-replica TCP can't exceed uplink/3");
+            assert!(
+                r.goodput_gbps() < 0.45,
+                "3-replica TCP can't exceed uplink/3"
+            );
         }
         assert_eq!(op_results(&results, sc.object_bytes).len(), 30);
     }
 
     #[test]
     fn incast_runners_produce_goodput() {
-        let sc = IncastScenario { senders: 8, block_bytes: 256 << 10, seed: 3 };
+        let sc = IncastScenario {
+            senders: 8,
+            block_bytes: 256 << 10,
+            seed: 3,
+        };
         let g_rq = run_incast_rq(&sc, &Fabric::small(), &RqRunOptions::default());
         let g_tcp = run_incast_tcp(&sc, &Fabric::small(), &TcpRunOptions::default());
         assert!(g_rq > 0.0 && g_rq <= 1.0);

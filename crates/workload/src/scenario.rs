@@ -89,7 +89,10 @@ impl StorageScenario {
 
     /// The paper's Figure 1b configuration at a given scale.
     pub fn fig1b(sessions: usize, replicas: usize, seed: u64) -> Self {
-        Self { pattern: Pattern::Read, ..Self::fig1a(sessions, replicas, seed) }
+        Self {
+            pattern: Pattern::Read,
+            ..Self::fig1a(sessions, replicas, seed)
+        }
     }
 
     /// Generate the logical sessions over a topology.
@@ -102,7 +105,10 @@ impl StorageScenario {
         assert!(self.replicas >= 1);
         assert!((0.0..1.0).contains(&self.background_frac));
         let hosts = topo.hosts().to_vec();
-        assert!(hosts.len() >= self.replicas + 1, "not enough hosts for replica count");
+        assert!(
+            hosts.len() > self.replicas,
+            "not enough hosts for replica count"
+        );
         let mut rng = Pcg32::new(self.seed ^ 0x5CE0_A210);
 
         // Permutation matrix: client order and primary peer mapping.
@@ -246,7 +252,10 @@ mod tests {
         let span_s = sessions.last().unwrap().start.as_secs_f64();
         let rate = 4000.0 / span_s;
         let expected = PAPER_LAMBDA_PER_HOST * 16.0;
-        assert!((rate - expected).abs() / expected < 0.1, "arrival rate {rate}");
+        assert!(
+            (rate - expected).abs() / expected < 0.1,
+            "arrival rate {rate}"
+        );
     }
 
     #[test]
@@ -260,7 +269,10 @@ mod tests {
             assert_eq!(x.replicas, y.replicas);
             assert_eq!(x.start, y.start);
         }
-        assert!(a.iter().zip(&c).any(|(x, y)| x.client != y.client || x.start != y.start));
+        assert!(a
+            .iter()
+            .zip(&c)
+            .any(|(x, y)| x.client != y.client || x.start != y.start));
     }
 
     #[test]
@@ -281,7 +293,11 @@ mod tests {
     #[test]
     fn incast_placement_distinct() {
         let t = topo();
-        let sc = IncastScenario { senders: 10, block_bytes: 256 << 10, seed: 4 };
+        let sc = IncastScenario {
+            senders: 10,
+            block_bytes: 256 << 10,
+            seed: 4,
+        };
         let (client, senders) = sc.place(&t);
         assert_eq!(senders.len(), 10);
         assert!(!senders.contains(&client));

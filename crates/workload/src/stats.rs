@@ -92,9 +92,9 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 /// (n = sample count, 2..=30), then the normal approximation.
 fn t95(n: usize) -> f64 {
     const TABLE: [f64; 29] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045,
     ];
     assert!(n >= 2, "CI needs >= 2 samples");
     if n - 2 < TABLE.len() {

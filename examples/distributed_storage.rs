@@ -11,8 +11,8 @@
 //! ```
 
 use polyraptor_repro::workload::{
-    foreground_goodputs, run_storage_rq, run_storage_tcp, Fabric, Pattern, RankCurve,
-    RqRunOptions, StorageScenario, TcpRunOptions,
+    foreground_goodputs, run_storage_rq, run_storage_tcp, Fabric, Pattern, RankCurve, RqRunOptions,
+    StorageScenario, TcpRunOptions,
 };
 
 fn main() {
@@ -28,7 +28,10 @@ fn main() {
         normalize_load: true,
     };
 
-    println!("replicating 60 x 4MB blocks to 3 replicas on a {}-host fat-tree…", 16);
+    println!(
+        "replicating 60 x 4MB blocks to 3 replicas on a {}-host fat-tree…",
+        16
+    );
 
     let rq = run_storage_rq(&scenario, &fabric, &RqRunOptions::default());
     let rq_curve = RankCurve::new(foreground_goodputs(&rq));

@@ -24,12 +24,15 @@ fn main() {
         degraded_rate_frac: 0.1,
         seed: 11,
     };
-    println!(
-        "8 x 2MB transfers on a 16-host fat-tree; 30% of fabric links at 10% rate\n"
-    );
-    for (label, route) in [("spray (Polyraptor)", RouteMode::Spray), ("per-flow ECMP", RouteMode::EcmpFlow)] {
-        let mut opts = RqRunOptions::default();
-        opts.route = route;
+    println!("8 x 2MB transfers on a 16-host fat-tree; 30% of fabric links at 10% rate\n");
+    for (label, route) in [
+        ("spray (Polyraptor)", RouteMode::Spray),
+        ("per-flow ECMP", RouteMode::EcmpFlow),
+    ] {
+        let opts = RqRunOptions {
+            route,
+            ..Default::default()
+        };
         let res = run_hotspot_rq(&sc, &Fabric::small(), &opts);
         let curve = RankCurve::new(res.iter().map(|r| r.goodput_gbps()).collect());
         println!(

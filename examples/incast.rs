@@ -19,7 +19,11 @@ fn main() {
     println!("Incast on a 16-host fat-tree, 256 KB striped across N senders:\n");
     println!("  N senders   Polyraptor (Gbps)   TCP (Gbps)");
     for senders in [2usize, 4, 8, 12] {
-        let sc = IncastScenario { senders, block_bytes: 256 << 10, seed: 1 };
+        let sc = IncastScenario {
+            senders,
+            block_bytes: 256 << 10,
+            seed: 1,
+        };
         let rq = run_incast_rq(&sc, &fabric, &RqRunOptions::default());
         let tcp = run_incast_tcp(&sc, &fabric, &TcpRunOptions::default());
         println!("  {senders:>9}   {rq:>17.3}   {tcp:>10.3}");

@@ -31,7 +31,8 @@ fn main() {
     }
 
     let bytes = 1 << 20; // 1 MB block
-    let spec = SessionSpec::multi_source(SessionId(1), bytes, replicas.clone(), client, SimTime::ZERO);
+    let spec =
+        SessionSpec::multi_source(SessionId(1), bytes, replicas.clone(), client, SimTime::ZERO);
     for &h in spec.senders.iter().chain(spec.receivers.iter()) {
         sim.agent_mut(h).install(spec.clone());
         sim.schedule_timer(h, spec.start, start_token(spec.id));
@@ -47,7 +48,10 @@ fn main() {
         netsim::SimTime::from_nanos(rec.duration_ns()),
         rec.goodput_gbps()
     );
-    println!("decode verified by the real-oracle receiver ({} distinct symbols).", rec.symbols);
+    println!(
+        "decode verified by the real-oracle receiver ({} distinct symbols).",
+        rec.symbols
+    );
     println!("\nload balancing (symbols contributed per replica):");
     // The receiver's per-sender arrival counters show the natural
     // balancing the paper describes.
@@ -55,5 +59,8 @@ fn main() {
     // pure symbol deliveries.)
     let k = cfg.k_for(bytes);
     println!("  K = {k}; with 3 replicas each partition is ~{}", k / 3);
-    assert!(rec.goodput_gbps() > 0.5, "uncontended fetch should run near line rate");
+    assert!(
+        rec.goodput_gbps() > 0.5,
+        "uncontended fetch should run near line rate"
+    );
 }

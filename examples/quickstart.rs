@@ -19,7 +19,10 @@ fn main() {
     let object: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
     let encoder = Encoder::new(&object, 1440).expect("encode");
     let k = encoder.params().k;
-    println!("object: {} bytes → K = {k} source symbols of 1440 B", object.len());
+    println!(
+        "object: {} bytes → K = {k} source symbols of 1440 B",
+        object.len()
+    );
 
     // Simulate a lossy channel: drop 10% of source symbols, top up with
     // repair symbols (any repair replaces any loss — rateless).
@@ -39,7 +42,11 @@ fn main() {
     }
     let decoded = decoder.try_decode().expect("k+2 symbols decode");
     assert_eq!(decoded, object);
-    println!("decoded after 10% loss with {} symbols (k+{})", received, received - k);
+    println!(
+        "decoded after 10% loss with {} symbols (k+{})",
+        received,
+        received - k
+    );
 
     // ---- Part 2: a transfer over the simulated fabric ------------------
     let mut topo = Topology::new();
@@ -75,5 +82,9 @@ fn main() {
     );
     // The object the receiver decoded is the canonical session object.
     let expected = session_object(SessionId(7), bytes);
-    println!("decoded object verified: {} bytes, first byte {:#04x}", expected.len(), expected[0]);
+    println!(
+        "decoded object verified: {} bytes, first byte {:#04x}",
+        expected.len(),
+        expected[0]
+    );
 }

@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the full stack (codec → protocol →
 //! fabric → workload) exercised end to end.
 
-use polyraptor_repro::netsim::{NodeKind, SimConfig, SimTime, Simulator, Topology};
+use polyraptor_repro::netsim::{SimConfig, SimTime, Simulator, Topology};
 use polyraptor_repro::polyraptor::{
     start_token, MulticastPull, PolyraptorAgent, PrConfig, SessionId, SessionSpec,
 };
@@ -36,7 +36,9 @@ fn real_oracle_multicast_write() {
         sim.set_agent(h, PolyraptorAgent::new(h, cfg, u64::from(h.0)));
     }
     let (sender, receivers) = (hosts[0], vec![hosts[4], hosts[8], hosts[12]]);
-    let groups: Vec<_> = (0..4).map(|_| sim.register_group(sender, &receivers)).collect();
+    let groups: Vec<_> = (0..4)
+        .map(|_| sim.register_group(sender, &receivers))
+        .collect();
     let spec = SessionSpec::multicast(
         SessionId(5),
         300_000,
@@ -97,15 +99,27 @@ fn identical_seeds_identical_results() {
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(x.session, y.session);
         assert_eq!(x.start, y.start);
-        assert_eq!(x.finish, y.finish, "nondeterminism in session {}", x.session);
+        assert_eq!(
+            x.finish, y.finish,
+            "nondeterminism in session {}",
+            x.session
+        );
     }
 }
 
 /// Different seeds must actually change the run.
 #[test]
 fn different_seeds_differ() {
-    let a = run_storage_rq(&small_scenario(Pattern::Write, 3, 1), &Fabric::small(), &RqRunOptions::default());
-    let b = run_storage_rq(&small_scenario(Pattern::Write, 3, 2), &Fabric::small(), &RqRunOptions::default());
+    let a = run_storage_rq(
+        &small_scenario(Pattern::Write, 3, 1),
+        &Fabric::small(),
+        &RqRunOptions::default(),
+    );
+    let b = run_storage_rq(
+        &small_scenario(Pattern::Write, 3, 2),
+        &Fabric::small(),
+        &RqRunOptions::default(),
+    );
     assert!(a.iter().zip(&b).any(|(x, y)| x.finish != y.finish));
 }
 
@@ -130,14 +144,21 @@ fn fig1a_shape_holds_at_small_scale() {
         rq.median(),
         tcp.median()
     );
-    assert!(tcp.at(0) < 0.45, "TCP 3-replica flows are capped near uplink/3");
+    assert!(
+        tcp.at(0) < 0.45,
+        "TCP 3-replica flows are capped near uplink/3"
+    );
 }
 
 /// Figure-1c shape: Polyraptor keeps Incast goodput near line rate where
 /// TCP collapses.
 #[test]
 fn incast_eliminated_for_rq_only() {
-    let sc = IncastScenario { senders: 12, block_bytes: 256 << 10, seed: 3 };
+    let sc = IncastScenario {
+        senders: 12,
+        block_bytes: 256 << 10,
+        seed: 3,
+    };
     let rq = run_incast_rq(&sc, &Fabric::small(), &RqRunOptions::default());
     let tcp = run_incast_tcp(&sc, &Fabric::small(), &TcpRunOptions::default());
     assert!(rq > 0.7, "RQ incast goodput {rq}");
@@ -224,7 +245,13 @@ fn overlapping_roles_on_one_host() {
     let pivot = hosts[0];
     let specs = vec![
         SessionSpec::unicast(SessionId(1), 200_000, pivot, hosts[5], SimTime::ZERO),
-        SessionSpec::unicast(SessionId(2), 200_000, hosts[9], pivot, SimTime::from_micros(50)),
+        SessionSpec::unicast(
+            SessionId(2),
+            200_000,
+            hosts[9],
+            pivot,
+            SimTime::from_micros(50),
+        ),
         SessionSpec::multi_source(
             SessionId(3),
             200_000,
