@@ -1,0 +1,40 @@
+//! Fabric-dynamics benchmarks: the cost of surviving a core-switch
+//! failure, and the raw cost of a masked route recomputation (the
+//! operation every mid-run fault pays for).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use netsim::{FaultMask, Topology};
+use workload::{run_fault_rq, Fabric, FaultScenario, RqRunOptions};
+
+fn fault_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fault/recovery");
+    g.sample_size(10);
+    // A full Polyraptor fault run on the 16-host fabric: 4 x 128 KB
+    // 3-replica writes, busiest core dies mid-transfer, all sessions
+    // must complete.
+    let sc = FaultScenario::fig1_failure(4, 128 << 10, 11);
+    let fabric = Fabric::small();
+    g.throughput(Throughput::Bytes((4 * 3 * (128 << 10)) as u64));
+    g.bench_function("core_failure_rq_k4", |b| {
+        b.iter(|| run_fault_rq(&sc, &fabric, &RqRunOptions::default()));
+    });
+    g.finish();
+}
+
+fn reroute_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fault/reroute");
+    g.sample_size(10);
+    // Masked all-pairs route recomputation on the paper's 250-host
+    // fat-tree — the per-fault control-plane bill.
+    let mut topo = Topology::fat_tree(10, 1_000_000_000, 10_000);
+    let core = topo.core_switches()[0];
+    let mut mask = FaultMask::new();
+    mask.fail_node(core);
+    g.bench_function("masked_recompute_k10", |b| {
+        b.iter(|| topo.compute_routes_masked(&mask));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fault_recovery, reroute_cost);
+criterion_main!(benches);

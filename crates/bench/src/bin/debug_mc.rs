@@ -5,11 +5,7 @@ use polyraptor::{PolyraptorAgent, PrConfig, SessionId, SessionSpec};
 use workload::{install_rq, Fabric};
 
 fn main() {
-    let fabric = Fabric {
-        k: 6,
-        rate_bps: 1_000_000_000,
-        prop_ns: 10_000,
-    };
+    let fabric = Fabric::fat_tree(6);
     let topo = fabric.build();
     let hosts = topo.hosts().to_vec();
     let mut sim: Simulator<_, PolyraptorAgent> = Simulator::new(topo, SimConfig::ndp(1));

@@ -8,11 +8,7 @@ use workload::{
 };
 
 fn main() {
-    let fabric = Fabric {
-        k: 6,
-        rate_bps: 1_000_000_000,
-        prop_ns: 10_000,
-    };
+    let fabric = Fabric::fat_tree(6);
     let mut sc = StorageScenario::fig1a(300, 1, 1);
 
     // ---- TCP instrumented run -----------------------------------------

@@ -17,11 +17,10 @@ fn main() {
     let o = FigOptions::parse(std::env::args().skip(1));
     std::fs::create_dir_all(&o.out).expect("create out dir");
     eprintln!(
-        "fig1a: {} sessions x {} seeds on k={} fat-tree ({} hosts)",
+        "fig1a: {} sessions x {} seeds on {}",
         o.sessions,
         o.seeds.len(),
-        o.fabric.k,
-        o.fabric.k * o.fabric.k * o.fabric.k / 4
+        o.fabric.describe()
     );
 
     // (label, replicas, rq?) — the four curves of the figure.

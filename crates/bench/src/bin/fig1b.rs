@@ -15,10 +15,10 @@ fn main() {
     let o = FigOptions::parse(std::env::args().skip(1));
     std::fs::create_dir_all(&o.out).expect("create out dir");
     eprintln!(
-        "fig1b: {} sessions x {} seeds on k={} fat-tree",
+        "fig1b: {} sessions x {} seeds on {}",
         o.sessions,
         o.seeds.len(),
-        o.fabric.k
+        o.fabric.describe()
     );
 
     let configs: [(&str, usize, bool); 4] = [

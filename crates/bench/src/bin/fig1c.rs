@@ -18,15 +18,15 @@ fn main() {
         o.seeds = vec![1, 2, 3, 4, 5];
     }
     std::fs::create_dir_all(&o.out).expect("create out dir");
-    let hosts = o.fabric.k * o.fabric.k * o.fabric.k / 4;
+    let hosts = o.fabric.host_count();
     let mut sender_counts: Vec<usize> = vec![2, 4, 8, 16, 24, 32, 40, 48, 56, 64, 70];
     sender_counts.retain(|&n| n < hosts); // small fabrics cap the sweep
     let blocks: [(&str, usize); 2] = [("256KB", 256 << 10), ("70KB", 70 << 10)];
     eprintln!(
-        "fig1c: senders {:?} x {} seeds on k={} fat-tree",
+        "fig1c: senders {:?} x {} seeds on {}",
         sender_counts,
         o.seeds.len(),
-        o.fabric.k
+        o.fabric.describe()
     );
 
     // Jobs: (config, senders, seed) → goodput.

@@ -66,7 +66,7 @@ impl FigOptions {
                 }
                 "--k" => {
                     let k = take("--k").parse().expect("even usize");
-                    o.fabric = Fabric { k, ..o.fabric };
+                    o.fabric = Fabric::fat_tree(k);
                 }
                 "--out" => o.out = PathBuf::from(take("--out")),
                 "--points" => o.points = take("--points").parse().expect("usize"),
@@ -178,7 +178,8 @@ mod tests {
         );
         assert_eq!(o.sessions, 42);
         assert_eq!(o.seeds, vec![7, 8]);
-        assert_eq!(o.fabric.k, 4);
+        assert_eq!(o.fabric.host_count(), 16);
+        assert!(matches!(o.fabric, Fabric::FatTree { k: 4, .. }));
     }
 
     #[test]

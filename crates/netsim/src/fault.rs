@@ -1,0 +1,283 @@
+//! Fault injection: deterministic plans of timed fabric events.
+//!
+//! A [`FaultPlan`] is a scripted sequence of link/switch failures,
+//! repairs, and rate changes that the simulator executes **mid-run** at
+//! their scheduled times (see `Simulator::schedule_faults`). Failures
+//! are *detected* faults: the fabric recomputes its routing tables and
+//! repairs multicast trees against the live [`FaultMask`], queued and
+//! in-flight packets on the dead element are lost, and the simulator
+//! counts both the losses and the reroutes. A [`FaultAction::RateChange`]
+//! to zero, by contrast, models a *silent* failure — the link blackholes
+//! traffic without the control plane noticing, which is the hardest case
+//! for a transport (the `workload::hotspot` degradation uses this).
+//!
+//! The [`FaultMask`] is also usable standalone against
+//! `Topology::compute_routes_masked` for what-if analysis (the
+//! `fabric_invariants` property tests exercise single-failure
+//! recoverability this way).
+
+use std::collections::BTreeSet;
+
+use crate::time::SimTime;
+use crate::topology::{NodeId, Topology};
+
+/// The set of links and nodes currently failed.
+///
+/// Links are tracked as *directed* `(node, port)` entries; the
+/// `fail_link`/`restore_link` helpers insert both directions, so a
+/// failed link is dead both ways. Determinism note: the sets are
+/// `BTreeSet`s so iteration (and hence any derived recomputation) is
+/// seed-stable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultMask {
+    links: BTreeSet<(u32, u16)>,
+    nodes: BTreeSet<u32>,
+}
+
+impl FaultMask {
+    /// A mask with nothing failed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether nothing is failed.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty() && self.nodes.is_empty()
+    }
+
+    /// Fail the link behind `(node, port)`, both directions.
+    pub fn fail_link(&mut self, topo: &Topology, node: NodeId, port: u16) {
+        let p = topo.port(node, port);
+        self.links.insert((node.0, port));
+        self.links.insert((p.peer.0, p.peer_port));
+    }
+
+    /// Restore the link behind `(node, port)`, both directions.
+    pub fn restore_link(&mut self, topo: &Topology, node: NodeId, port: u16) {
+        let p = topo.port(node, port);
+        self.links.remove(&(node.0, port));
+        self.links.remove(&(p.peer.0, p.peer_port));
+    }
+
+    /// Fail a node (all its links become unusable).
+    pub fn fail_node(&mut self, node: NodeId) {
+        self.nodes.insert(node.0);
+    }
+
+    /// Restore a failed node.
+    pub fn restore_node(&mut self, node: NodeId) {
+        self.nodes.remove(&node.0);
+    }
+
+    /// Whether the link leaving `node` through `port` is failed.
+    pub fn link_is_down(&self, node: NodeId, port: u16) -> bool {
+        self.links.contains(&(node.0, port))
+    }
+
+    /// Whether a node is failed.
+    pub fn node_is_down(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node.0)
+    }
+
+    /// Whether the directed hop `(node, port)` is fully usable: the node
+    /// itself, the link, and the far end are all up.
+    pub fn port_is_up(&self, topo: &Topology, node: NodeId, port: u16) -> bool {
+        !self.node_is_down(node)
+            && !self.link_is_down(node, port)
+            && !self.node_is_down(topo.port(node, port).peer)
+    }
+
+    /// Every failed directed `(node, port)` entry, in deterministic
+    /// order. The simulator flushes these queues when routes converge:
+    /// packets forwarded onto a dead link during the convergence window
+    /// would otherwise strand there unaccounted.
+    pub fn down_links(&self) -> impl Iterator<Item = (NodeId, u16)> + '_ {
+        self.links.iter().map(|&(n, p)| (NodeId(n), p))
+    }
+}
+
+/// One scripted fabric event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Detected link failure (both directions): queued packets on the
+    /// two port queues are lost, in-flight packets on the wire are lost
+    /// on arrival, and routes/multicast trees are recomputed.
+    LinkDown {
+        /// One endpoint of the link.
+        node: NodeId,
+        /// The failing port on `node`.
+        port: u16,
+    },
+    /// Link repair (both directions); routes are recomputed.
+    LinkUp {
+        /// One endpoint of the link.
+        node: NodeId,
+        /// The repaired port on `node`.
+        port: u16,
+    },
+    /// Detected switch failure: everything queued at the switch is lost,
+    /// packets arriving at it (or in flight on its links) are lost, and
+    /// routes/multicast trees are recomputed around it.
+    SwitchDown {
+        /// The failing switch (must be a switch, not a host).
+        switch: NodeId,
+    },
+    /// Switch repair; routes are recomputed.
+    SwitchUp {
+        /// The repaired switch.
+        switch: NodeId,
+    },
+    /// Set both directions of a link to `rate_bps` (the topology rate
+    /// restores it). Zero blackholes the link **silently**: packets
+    /// queue until overflow and no reroute happens — an undetected
+    /// failure, unlike [`FaultAction::LinkDown`].
+    RateChange {
+        /// One endpoint of the link.
+        node: NodeId,
+        /// The affected port on `node`.
+        port: u16,
+        /// New rate in bits per second (0 = silent blackhole).
+        rate_bps: u64,
+    },
+}
+
+/// A scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Absolute simulation time the action executes.
+    pub at: SimTime,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// A deterministic script of timed fabric events.
+///
+/// Build one with the chainable helpers, hand it to
+/// `Simulator::schedule_faults` before (or between) runs. Events firing
+/// at the same instant execute in insertion order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, at: SimTime, action: FaultAction) {
+        self.events.push(FaultEvent { at, action });
+    }
+
+    /// Chainable: detected link failure at `at`.
+    pub fn link_down(mut self, at: SimTime, node: NodeId, port: u16) -> Self {
+        self.push(at, FaultAction::LinkDown { node, port });
+        self
+    }
+
+    /// Chainable: link repair at `at`.
+    pub fn link_up(mut self, at: SimTime, node: NodeId, port: u16) -> Self {
+        self.push(at, FaultAction::LinkUp { node, port });
+        self
+    }
+
+    /// Chainable: detected switch failure at `at`.
+    pub fn switch_down(mut self, at: SimTime, switch: NodeId) -> Self {
+        self.push(at, FaultAction::SwitchDown { switch });
+        self
+    }
+
+    /// Chainable: switch repair at `at`.
+    pub fn switch_up(mut self, at: SimTime, switch: NodeId) -> Self {
+        self.push(at, FaultAction::SwitchUp { switch });
+        self
+    }
+
+    /// Chainable: rate change (0 = silent blackhole) at `at`.
+    pub fn rate_change(mut self, at: SimTime, node: NodeId, port: u16, rate_bps: u64) -> Self {
+        self.push(
+            at,
+            FaultAction::RateChange {
+                node,
+                port,
+                rate_bps,
+            },
+        );
+        self
+    }
+
+    /// The scripted events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scripted events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NodeKind;
+
+    fn line_topo() -> Topology {
+        // h0 — s1 — h2
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Host);
+        let s = t.add_node(NodeKind::Switch);
+        let b = t.add_node(NodeKind::Host);
+        t.connect(a, s, 1_000_000_000, 10_000);
+        t.connect(b, s, 1_000_000_000, 10_000);
+        t.compute_routes();
+        t
+    }
+
+    #[test]
+    fn mask_fail_link_is_bidirectional() {
+        let t = line_topo();
+        let mut m = FaultMask::new();
+        let (a, s) = (NodeId(0), NodeId(1));
+        m.fail_link(&t, a, 0);
+        assert!(m.link_is_down(a, 0));
+        assert!(m.link_is_down(s, 0), "reverse direction also down");
+        assert!(!m.port_is_up(&t, a, 0));
+        m.restore_link(&t, a, 0);
+        assert!(m.is_empty());
+        assert!(m.port_is_up(&t, a, 0));
+    }
+
+    #[test]
+    fn mask_node_down_kills_adjacent_hops() {
+        let t = line_topo();
+        let mut m = FaultMask::new();
+        m.fail_node(NodeId(1));
+        // Host -> dead switch hop unusable even though the link is fine.
+        assert!(!m.port_is_up(&t, NodeId(0), 0));
+        m.restore_node(NodeId(1));
+        assert!(m.port_is_up(&t, NodeId(0), 0));
+    }
+
+    #[test]
+    fn plan_builder_preserves_order() {
+        let plan = FaultPlan::new()
+            .switch_down(SimTime::from_nanos(10), NodeId(1))
+            .switch_up(SimTime::from_nanos(20), NodeId(1))
+            .rate_change(SimTime::from_nanos(10), NodeId(0), 0, 0);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(
+            plan.events()[0].action,
+            FaultAction::SwitchDown { switch: NodeId(1) }
+        );
+        // Same-time events keep insertion order.
+        assert_eq!(plan.events()[2].at, SimTime::from_nanos(10));
+    }
+}

@@ -7,8 +7,13 @@
 //! * integer-nanosecond clock (1 Gbps ⇒ 1 bit/ns, all delays exact);
 //! * store-and-forward links with per-link rate and propagation delay;
 //! * drop-tail **and** NDP trimming/dual-priority switch queues;
-//! * k-ary fat-tree topology builder and general multipath (BFS) routing
-//!   with per-flow ECMP or per-packet spraying;
+//! * fat-tree, leaf–spine, and Jellyfish (random regular graph)
+//!   topology builders with pluggable multipath path sets
+//!   ([`topology::RouteSet`]: shortest-path ECMP or FatPaths-style
+//!   non-minimal) and per-flow ECMP or per-packet spraying forwarding;
+//! * scripted mid-run fault injection ([`fault::FaultPlan`]): link and
+//!   switch failures with route recomputation, multicast-tree repair,
+//!   and fault-aware loss accounting;
 //! * in-network multicast over deterministic forwarding trees;
 //! * a transport-agnostic [`sim::Agent`] hook — Polyraptor and the TCP
 //!   baseline plug in without `netsim` knowing either.
@@ -59,6 +64,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fault;
 pub mod packet;
 pub mod queue;
 pub mod rng;
@@ -66,9 +72,10 @@ pub mod sim;
 pub mod time;
 pub mod topology;
 
+pub use fault::{FaultAction, FaultEvent, FaultMask, FaultPlan};
 pub use packet::{Dest, FlowId, GroupId, Packet, SimPayload, HEADER_BYTES};
 pub use queue::{Enqueued, PortQueue, QueueConfig, QueueStats};
 pub use rng::Pcg32;
-pub use sim::{Agent, Ctx, FabricStats, RouteMode, SimConfig, Simulator};
+pub use sim::{ecmp_choice, Agent, Ctx, FabricStats, RouteMode, SimConfig, Simulator};
 pub use time::{serialization_ns, SimTime};
-pub use topology::{NodeId, NodeKind, Port, Topology};
+pub use topology::{NodeId, NodeKind, Port, RouteSet, Topology};

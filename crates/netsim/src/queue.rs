@@ -155,6 +155,17 @@ impl<P: SimPayload> PortQueue<P> {
         pkt
     }
 
+    /// Discard everything queued (fault injection: the port's link or
+    /// switch died with packets waiting). Returns the number of packets
+    /// lost; the simulator accounts them as fault losses, so the queue's
+    /// own `dropped` counter (congestion drops) is not touched.
+    pub fn flush(&mut self) -> usize {
+        let n = self.data.len() + self.headers.len();
+        self.data.clear();
+        self.headers.clear();
+        n
+    }
+
     /// Whether nothing is waiting.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty() && self.headers.is_empty()

@@ -2,18 +2,27 @@
 //!
 //! The simulator owns the topology, one [`PortQueue`] per (node, port),
 //! the multicast group tables, and one transport [`Agent`] per host. It
-//! processes three event kinds in deterministic `(time, sequence)` order:
-//! packet arrivals, port transmissions, and agent timers.
+//! processes four event kinds in deterministic `(time, sequence)` order:
+//! packet arrivals, port transmissions, agent timers, and scripted
+//! fabric faults (see [`crate::fault`]).
 //!
 //! Hosts hand packets to their NIC queue; switches forward by shortest
 //! path (per-flow ECMP hash or per-packet spraying across equal-cost
 //! ports) or along a registered multicast tree. The link model is
 //! store-and-forward: a packet arrives at the next node after
 //! serialization + propagation.
+//!
+//! When a fault event executes mid-run, the simulator flushes the dead
+//! element's queues, recomputes the routing tables against the live
+//! [`FaultMask`], repairs every registered multicast tree, and drops
+//! packets that were in flight on the failed link (they "arrive" on a
+//! wire that no longer exists). All of it is accounted in
+//! [`FabricStats`]: `lost_to_fault`, `reroutes`, `trees_repaired`.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
+use crate::fault::{FaultAction, FaultMask, FaultPlan};
 use crate::packet::{Dest, GroupId, Packet, SimPayload};
 use crate::queue::{Enqueued, PortQueue, QueueConfig, QueueStats};
 use crate::rng::Pcg32;
@@ -106,6 +115,12 @@ pub struct SimConfig {
     pub host_queue: QueueConfig,
     /// Path selection policy.
     pub route: RouteMode,
+    /// Control-plane convergence time: a detected fault kills traffic
+    /// immediately, but routes (and multicast trees) are only recomputed
+    /// this many nanoseconds later — during the window, packets keep
+    /// being forwarded into the dead element and are lost. 0 = instant
+    /// reroute (an idealised control plane).
+    pub reroute_delay_ns: u64,
     /// RNG seed (spraying decisions).
     pub seed: u64,
 }
@@ -117,6 +132,7 @@ impl SimConfig {
             switch_queue: QueueConfig::NDP_DEFAULT,
             host_queue: QueueConfig::DropTail { cap_pkts: 100_000 },
             route: RouteMode::Spray,
+            reroute_delay_ns: 0,
             seed,
         }
     }
@@ -127,6 +143,7 @@ impl SimConfig {
             switch_queue: QueueConfig::DROPTAIL_DEFAULT,
             host_queue: QueueConfig::DropTail { cap_pkts: 100_000 },
             route: RouteMode::EcmpFlow,
+            reroute_delay_ns: 0,
             seed,
         }
     }
@@ -134,12 +151,27 @@ impl SimConfig {
 
 #[derive(Debug)]
 enum EventKind<P> {
-    /// Packet fully received at `node` (store-and-forward).
-    Arrive(NodeId, Packet<P>),
+    /// Packet fully received at the far end of `(from, port)`
+    /// (store-and-forward). Carrying the transmitting side lets the
+    /// dispatcher drop packets whose link died while they were on the
+    /// wire.
+    Arrive {
+        /// Transmitting node.
+        from: NodeId,
+        /// Transmitting port on `from`.
+        port: u16,
+        /// The packet.
+        pkt: Packet<P>,
+    },
     /// Port `port` of `node` finished a transmission; send the next one.
     Dequeue(NodeId, u16),
     /// Agent timer.
     Timer(NodeId, u64),
+    /// Scripted fabric fault (see [`crate::fault`]).
+    Fault(FaultAction),
+    /// Deferred route recomputation (control-plane convergence after a
+    /// fault; coalesces multiple pending faults into one recompute).
+    Reroute,
 }
 
 struct Event<P> {
@@ -166,16 +198,32 @@ impl<P> Ord for Event<P> {
 }
 
 /// Aggregated fabric counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FabricStats {
     /// Packets delivered to host agents.
     pub delivered: u64,
-    /// Packets dropped anywhere in the fabric.
+    /// Packets dropped anywhere in the fabric (congestion).
     pub dropped: u64,
     /// Packets trimmed to headers.
     pub trimmed: u64,
     /// Events processed.
     pub events: u64,
+    /// Packets lost to fabric faults: flushed from a dead element's
+    /// queues, in flight on a failed link, arriving at a dead switch, or
+    /// addressed to a destination the fault mask disconnected.
+    pub lost_to_fault: u64,
+    /// Route recomputations triggered by fault events.
+    pub reroutes: u64,
+    /// Multicast trees rebuilt during reroutes.
+    pub trees_repaired: u64,
+}
+
+/// A registered multicast group: membership is retained so the
+/// forwarding tree can be rebuilt when faults change the fabric.
+struct Group {
+    sender: NodeId,
+    receivers: Vec<NodeId>,
+    table: HashMap<NodeId, Vec<u16>>,
 }
 
 /// The deterministic packet-level simulator.
@@ -185,13 +233,21 @@ pub struct Simulator<P: SimPayload, A: Agent<P>> {
     queues: Vec<Vec<PortQueue<P>>>,
     busy: Vec<Vec<bool>>,
     agents: Vec<Option<A>>,
-    groups: HashMap<GroupId, HashMap<NodeId, Vec<u16>>>,
+    // BTreeMap: tree repair iterates the groups, and iteration order
+    // must be seed-stable for determinism.
+    groups: BTreeMap<GroupId, Group>,
     next_group: u32,
     events: BinaryHeap<Reverse<Event<P>>>,
     seq: u64,
     now: SimTime,
     rng: Pcg32,
     stats: FabricStats,
+    /// Live fault state (dead links/switches). Routing tables lag it by
+    /// the configured control-plane convergence delay.
+    mask: FaultMask,
+    /// A deferred reroute is already scheduled (coalesces bursts of
+    /// fault events into one recompute).
+    reroute_pending: bool,
     /// Per-port rate overrides (hotspot/failure injection); keyed by
     /// (node, port), in bits per second. Zero means the link is down.
     rate_overrides: HashMap<(u32, u16), u64>,
@@ -224,12 +280,14 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
             queues,
             busy,
             agents,
-            groups: HashMap::new(),
+            groups: BTreeMap::new(),
             next_group: 0,
             events: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
             stats: FabricStats::default(),
+            mask: FaultMask::new(),
+            reroute_pending: false,
             rate_overrides: HashMap::new(),
         }
     }
@@ -346,14 +404,46 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
         assert!(!receivers.is_empty(), "multicast group needs receivers");
         let gid = GroupId(self.next_group);
         self.next_group += 1;
-        let mut table: HashMap<NodeId, Vec<u16>> = HashMap::new();
         for &r in receivers {
             assert_ne!(r, sender, "sender cannot be a group receiver");
+            assert!(
+                !self.topo.try_next_ports(sender, r).is_empty(),
+                "group receiver {} unreachable from sender {} at registration",
+                r.0,
+                sender.0
+            );
+        }
+        let table = self.build_tree(gid, sender, receivers);
+        self.groups.insert(
+            gid,
+            Group {
+                sender,
+                receivers: receivers.to_vec(),
+                table,
+            },
+        );
+        gid
+    }
+
+    /// Union of per-receiver paths with choices keyed deterministically
+    /// by (group, switch): one copy per shared link, branching as low as
+    /// possible. Receivers unreachable under the current routes (a fault
+    /// cut them off) are skipped — during repair the tree covers the
+    /// reachable membership.
+    fn build_tree(
+        &self,
+        gid: GroupId,
+        sender: NodeId,
+        receivers: &[NodeId],
+    ) -> HashMap<NodeId, Vec<u16>> {
+        let mut table: HashMap<NodeId, Vec<u16>> = HashMap::new();
+        for &r in receivers {
+            if self.topo.try_next_ports(sender, r).is_empty() {
+                continue;
+            }
             let mut at = sender;
             while at != r {
                 let choices = self.topo.next_ports(at, r);
-                // Deterministic choice keyed by (group, node): paths to
-                // different receivers share their upward prefix.
                 let pick =
                     choices[(crate::rng::Pcg32::new((u64::from(gid.0) << 32) ^ u64::from(at.0))
                         .below(choices.len() as u64)) as usize];
@@ -364,8 +454,31 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
                 at = self.topo.port(at, pick).peer;
             }
         }
-        self.groups.insert(gid, table);
-        gid
+        table
+    }
+
+    /// Schedule every event of a fault plan for mid-run execution. May
+    /// be called multiple times (plans merge).
+    ///
+    /// # Panics
+    /// Panics if any event lies before the current simulation time — a
+    /// past-dated event would drag the clock backwards and corrupt every
+    /// relative timestamp computed while dispatching it.
+    pub fn schedule_faults(&mut self, plan: &FaultPlan) {
+        for ev in plan.events() {
+            assert!(
+                ev.at >= self.now,
+                "fault event at {} is in the simulator's past (now {})",
+                ev.at,
+                self.now
+            );
+            self.push_event(ev.at, EventKind::Fault(ev.action));
+        }
+    }
+
+    /// The live fault mask (what is currently failed).
+    pub fn fault_mask(&self) -> &FaultMask {
+        &self.mask
     }
 
     /// Schedule a timer for a host agent (used by workloads to start
@@ -409,10 +522,19 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
 
     fn dispatch(&mut self, kind: EventKind<P>) {
         match kind {
-            EventKind::Arrive(node, pkt) => match self.topo.kind(node) {
-                NodeKind::Host => self.deliver_to_agent(node, pkt),
-                NodeKind::Switch => self.forward(node, pkt),
-            },
+            EventKind::Arrive { from, port, pkt } => {
+                let to = self.topo.port(from, port).peer;
+                // The packet was on the wire; if the link died under it
+                // or the far end is dead, it never really arrives.
+                if self.mask.link_is_down(from, port) || self.mask.node_is_down(to) {
+                    self.stats.lost_to_fault += 1;
+                    return;
+                }
+                match self.topo.kind(to) {
+                    NodeKind::Host => self.deliver_to_agent(to, pkt),
+                    NodeKind::Switch => self.forward(to, pkt),
+                }
+            }
             EventKind::Dequeue(node, port) => self.transmit_next(node, port),
             EventKind::Timer(node, token) => {
                 let mut ctx = Ctx::new(self.now, node);
@@ -422,6 +544,112 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
                 agent.on_timer(token, &mut ctx);
                 self.apply_ctx(ctx);
             }
+            EventKind::Fault(action) => self.apply_fault(action),
+            EventKind::Reroute => {
+                self.reroute_pending = false;
+                self.reroute();
+            }
+        }
+    }
+
+    fn apply_fault(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::LinkDown { node, port } => {
+                let back = *self.topo.port(node, port);
+                self.mask.fail_link(&self.topo, node, port);
+                self.flush_port(node, port);
+                self.flush_port(back.peer, back.peer_port);
+                self.request_reroute();
+            }
+            FaultAction::LinkUp { node, port } => {
+                let back = *self.topo.port(node, port);
+                self.mask.restore_link(&self.topo, node, port);
+                self.request_reroute();
+                self.kick_port(node, port);
+                self.kick_port(back.peer, back.peer_port);
+            }
+            FaultAction::SwitchDown { switch } => {
+                assert_eq!(
+                    self.topo.kind(switch),
+                    NodeKind::Switch,
+                    "SwitchDown targets switches; host failures are not modelled"
+                );
+                self.mask.fail_node(switch);
+                for p in 0..self.topo.node_ports(switch).len() as u16 {
+                    self.flush_port(switch, p);
+                }
+                self.request_reroute();
+            }
+            FaultAction::SwitchUp { switch } => {
+                self.mask.restore_node(switch);
+                self.request_reroute();
+                // Neighbours may have queued towards the repaired switch
+                // while it routed around; restart any idle ports.
+                for p in 0..self.topo.node_ports(switch).len() as u16 {
+                    let back = *self.topo.port(switch, p);
+                    self.kick_port(back.peer, back.peer_port);
+                }
+            }
+            FaultAction::RateChange {
+                node,
+                port,
+                rate_bps,
+            } => {
+                // Silent degradation: both directions change speed, no
+                // reroute, no flush (rate 0 blackholes undetected).
+                let back = *self.topo.port(node, port);
+                self.set_link_rate(node, port, rate_bps);
+                self.set_link_rate(back.peer, back.peer_port, rate_bps);
+            }
+        }
+    }
+
+    /// Drop everything queued on a port, accounting the loss to faults.
+    fn flush_port(&mut self, node: NodeId, port: u16) {
+        let lost = self.queues[node.0 as usize][port as usize].flush();
+        self.stats.lost_to_fault += lost as u64;
+    }
+
+    /// Restart an idle port's transmit loop if packets are waiting.
+    fn kick_port(&mut self, node: NodeId, port: u16) {
+        if !self.busy[node.0 as usize][port as usize]
+            && !self.queues[node.0 as usize][port as usize].is_empty()
+        {
+            self.push_event(self.now, EventKind::Dequeue(node, port));
+        }
+    }
+
+    /// Schedule a route recomputation after the configured control-plane
+    /// convergence delay, unless one is already pending.
+    fn request_reroute(&mut self) {
+        if self.reroute_pending {
+            return;
+        }
+        self.reroute_pending = true;
+        self.push_event(self.now + self.config.reroute_delay_ns, EventKind::Reroute);
+    }
+
+    /// Recompute unicast routes against the live fault mask and rebuild
+    /// every multicast tree (receivers a fault cut off are skipped until
+    /// a later repair restores them).
+    fn reroute(&mut self) {
+        self.topo.compute_routes_masked(&self.mask);
+        self.stats.reroutes += 1;
+        // Stale routes during the convergence window may have enqueued
+        // packets onto dead links, where the parked transmit loop would
+        // strand them unaccounted forever; flush them as fault losses
+        // (the new routes can no longer choose those ports).
+        let dead: Vec<(NodeId, u16)> = self.mask.down_links().collect();
+        for (node, port) in dead {
+            self.flush_port(node, port);
+        }
+        let gids: Vec<GroupId> = self.groups.keys().copied().collect();
+        for gid in gids {
+            let g = &self.groups[&gid];
+            let (sender, receivers) = (g.sender, g.receivers.clone());
+            let table = self.build_tree(gid, sender, &receivers);
+            self.groups.get_mut(&gid).expect("group exists").table = table;
+            self.stats.trees_repaired += 1;
         }
     }
 
@@ -454,24 +682,39 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
     fn forward(&mut self, node: NodeId, pkt: Packet<P>) {
         match pkt.dst {
             Dest::Host(dst) => {
-                let choices = self.topo.next_ports(node, dst);
+                let choices = self.topo.try_next_ports(node, dst);
+                if choices.is_empty() {
+                    // The destination is unreachable under the current
+                    // fault mask; outside faults this is a config bug.
+                    assert!(
+                        !self.mask.is_empty() || self.stats.reroutes > 0,
+                        "no route from switch {} to host {} (routes computed?)",
+                        node.0,
+                        dst.0
+                    );
+                    self.stats.lost_to_fault += 1;
+                    return;
+                }
                 let port = match self.config.route {
-                    RouteMode::EcmpFlow => {
-                        // Hash (flow, node) so consecutive switches make
-                        // independent—but per-flow-stable—choices.
-                        let h = crate::rng::Pcg32::new(pkt.flow.0 ^ (u64::from(node.0) << 40))
-                            .next_u32();
-                        choices[h as usize % choices.len()]
-                    }
+                    RouteMode::EcmpFlow => choices[ecmp_choice(pkt.flow, node, choices.len())],
                     RouteMode::Spray => choices[self.rng.below(choices.len() as u64) as usize],
                 };
                 self.enqueue_and_kick(node, port, pkt);
             }
             Dest::Group(gid) => {
-                let table = self.groups.get(&gid).expect("unregistered multicast group");
-                let Some(ports) = table.get(&node) else {
-                    // Tree does not branch here — packet must not be here.
-                    panic!("group packet at switch {} outside its tree", node.0);
+                let group = self.groups.get(&gid).expect("unregistered multicast group");
+                let Some(ports) = group.table.get(&node) else {
+                    // Tree does not branch here. After a repair, packets
+                    // already inside the old tree can be stranded at
+                    // switches the new tree no longer visits — those are
+                    // fault losses. Otherwise it is a forwarding bug.
+                    assert!(
+                        self.stats.reroutes > 0,
+                        "group packet at switch {} outside its tree",
+                        node.0
+                    );
+                    self.stats.lost_to_fault += 1;
+                    return;
                 };
                 let ports = ports.clone();
                 for port in ports {
@@ -498,9 +741,11 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
 
     fn transmit_next(&mut self, node: NodeId, port: u16) {
         let rate = self.effective_rate(node, port);
-        if rate == 0 {
-            // Link down: leave the port idle; queued packets wait for a
-            // possible repair (and overflow per queue discipline).
+        let faulted = self.mask.node_is_down(node) || self.mask.link_is_down(node, port);
+        if rate == 0 || faulted {
+            // Link down (silent rate-0 blackhole or detected fault):
+            // leave the port idle; queued packets wait for a possible
+            // repair (and overflow per queue discipline).
             self.busy[node.0 as usize][port as usize] = false;
             return;
         }
@@ -513,10 +758,24 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
         let ser = serialization_ns(pkt.size, rate);
         self.push_event(
             self.now + ser + link.prop_ns,
-            EventKind::Arrive(link.peer, pkt),
+            EventKind::Arrive {
+                from: node,
+                port,
+                pkt,
+            },
         );
         self.push_event(self.now + ser, EventKind::Dequeue(node, port));
     }
+}
+
+/// The equal-cost choice per-flow ECMP makes at `node`: a deterministic
+/// hash of (flow, switch), so consecutive switches pick independently
+/// but per-flow-stably. Exposed so experiment code can predict a flow's
+/// pinned path (e.g. to aim a fault event at a switch the baseline
+/// traffic actually crosses).
+pub fn ecmp_choice(flow: crate::packet::FlowId, node: NodeId, n_choices: usize) -> usize {
+    let h = crate::rng::Pcg32::new(flow.0 ^ (u64::from(node.0) << 40)).next_u32();
+    h as usize % n_choices
 }
 
 #[cfg(test)]
@@ -867,5 +1126,221 @@ mod tests {
             sim.agents[b.0 as usize].take().unwrap().received
         };
         assert_eq!(run(42), run(42), "same seed ⇒ identical trace");
+    }
+
+    /// A k=4 fat-tree with Echo agents everywhere, plus the (src, dst)
+    /// inter-pod pair and one aggregation switch in src's pod — the
+    /// natural victim: spraying uses both aggs, so killing one catches
+    /// in-flight packets while the survivor keeps the pair connected.
+    fn fat_tree_sim(seed: u64) -> (Simulator<P, Echo>, NodeId, NodeId, NodeId) {
+        let t = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        let hosts = t.hosts().to_vec();
+        let (src, dst) = (hosts[0], hosts[15]);
+        let edge = t.edge_switch(src);
+        let agg = t
+            .node_ports(edge)
+            .iter()
+            .map(|p| p.peer)
+            .find(|&n| t.kind(n) == NodeKind::Switch)
+            .expect("edge switch has aggregation uplinks");
+        let mut sim = Simulator::new(t, SimConfig::ndp(seed));
+        for &h in &hosts {
+            sim.set_agent(
+                h,
+                Echo {
+                    to_send: vec![],
+                    received: vec![],
+                },
+            );
+        }
+        (sim, src, dst, agg)
+    }
+
+    #[test]
+    fn switch_failure_reroutes_and_drops_in_flight() {
+        let (mut sim, src, dst, agg) = fat_tree_sim(9);
+        for i in 0..40 {
+            sim.agent_mut(src).to_send.push(data_pkt(src, dst, i));
+        }
+        sim.schedule_timer(src, SimTime::ZERO, 0);
+        // The NIC drains one packet per 12 us, so the stream spans
+        // ~480 us; kill the agg mid-stream and restore near the end.
+        let plan = FaultPlan::new()
+            .switch_down(SimTime::from_micros(100), agg)
+            .switch_up(SimTime::from_micros(400), agg);
+        sim.schedule_faults(&plan);
+        sim.run_to_completion();
+        let stats = sim.stats();
+        assert_eq!(stats.reroutes, 2, "down + up each recompute routes");
+        assert!(
+            stats.lost_to_fault > 0,
+            "mid-stream agg death must catch packets in flight or queued"
+        );
+        let got = sim.agent(dst).received.len();
+        assert_eq!(
+            got as u64 + stats.lost_to_fault,
+            40,
+            "every packet either arrives or is accounted as a fault loss"
+        );
+        assert!(
+            got >= 30,
+            "the surviving agg must carry the stream (got {got})"
+        );
+        assert_eq!(stats.dropped, 0, "no congestion drops at this load");
+    }
+
+    #[test]
+    fn link_failure_loses_queued_packets_and_recovers() {
+        let (mut sim, a, b) = two_host_sim(SimConfig::ndp(4));
+        for i in 0..20 {
+            sim.agent_mut(a).to_send.push(data_pkt(a, b, i));
+        }
+        sim.schedule_timer(a, SimTime::ZERO, 0);
+        // The a—switch link dies with most of the burst still queued in
+        // a's NIC, then comes back; the flushed packets are gone for
+        // good but traffic sent after the repair flows again.
+        let plan = FaultPlan::new()
+            .link_down(SimTime::from_micros(30), a, 0)
+            .link_up(SimTime::from_micros(200), a, 0);
+        sim.schedule_faults(&plan);
+        sim.run_to_completion();
+        let stats = sim.stats();
+        assert!(stats.lost_to_fault >= 15, "queued burst flushed");
+        // After repair the link works: send another packet.
+        sim.agent_mut(a).to_send.push(data_pkt(a, b, 99));
+        sim.schedule_timer(a, SimTime::from_micros(500), 0);
+        sim.run_to_completion();
+        assert!(sim.agent(b).received.iter().any(|(_, p)| *p == P::Data(99)));
+    }
+
+    #[test]
+    fn convergence_window_strands_nothing() {
+        // With a non-zero convergence delay, the stale routes keep
+        // spraying onto the dead link until the deferred reroute fires;
+        // those packets must be flushed and accounted as fault losses,
+        // never silently stranded in a parked queue.
+        let t = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        let hosts = t.hosts().to_vec();
+        let (src, dst) = (hosts[0], hosts[15]);
+        let edge = t.edge_switch(src);
+        let up = t
+            .node_ports(edge)
+            .iter()
+            .position(|p| t.kind(p.peer) == NodeKind::Switch)
+            .expect("edge has uplinks") as u16;
+        let mut cfg = SimConfig::ndp(13);
+        cfg.reroute_delay_ns = 200_000; // 200 us of stale routing
+        let mut sim = Simulator::new(t, cfg);
+        for &h in &hosts {
+            sim.set_agent(
+                h,
+                Echo {
+                    to_send: vec![],
+                    received: vec![],
+                },
+            );
+        }
+        for i in 0..40 {
+            sim.agent_mut(src).to_send.push(data_pkt(src, dst, i));
+        }
+        sim.schedule_timer(src, SimTime::ZERO, 0);
+        let plan = FaultPlan::new().link_down(SimTime::from_micros(100), edge, up);
+        sim.schedule_faults(&plan);
+        sim.run_to_completion();
+        let stats = sim.stats();
+        let got = sim.agent(dst).received.len();
+        assert!(stats.lost_to_fault > 0, "the dead uplink must cost packets");
+        assert_eq!(
+            got as u64 + stats.lost_to_fault,
+            40,
+            "every packet arrives or is accounted as a fault loss"
+        );
+        assert!(got >= 20, "the surviving uplink carries the rest");
+    }
+
+    #[test]
+    fn multicast_tree_repair_after_core_failure() {
+        let t = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        let cores = t.core_switches();
+        let hosts = t.hosts().to_vec();
+        let mut sim: Simulator<P, Echo> = Simulator::new(t, SimConfig::ndp(8));
+        for &h in &hosts {
+            sim.set_agent(
+                h,
+                Echo {
+                    to_send: vec![],
+                    received: vec![],
+                },
+            );
+        }
+        let s = hosts[0];
+        let receivers = [hosts[5], hosts[9], hosts[13]];
+        let gid = sim.register_group(s, &receivers);
+        // Kill a core the tree actually crosses (the tests module can
+        // see the private table; min-id keeps the HashMap's arbitrary
+        // key order out of the test); the repair must re-tree around it.
+        let victim = *sim.groups[&gid]
+            .table
+            .keys()
+            .filter(|n| cores.contains(n))
+            .min()
+            .expect("inter-pod multicast tree crosses a core");
+        let plan = FaultPlan::new().switch_down(SimTime::from_micros(100), victim);
+        sim.schedule_faults(&plan);
+        // Stream packets across the failure instant.
+        for i in 0..100 {
+            sim.agent_mut(s).to_send.push(Packet {
+                src: s,
+                dst: Dest::Group(gid),
+                flow: FlowId(1),
+                size: 1500,
+                payload: P::Data(i),
+            });
+        }
+        sim.schedule_timer(s, SimTime::ZERO, 0);
+        sim.run_to_completion();
+        let stats = sim.stats();
+        assert_eq!(stats.trees_repaired, 1, "the one group was rebuilt");
+        for &r in &receivers {
+            // Packets caught inside the old tree at repair time can miss
+            // a receiver without a per-receiver loss record (the new
+            // tree re-covers them only partially), so the bound is
+            // deliberately loose: the repair must restore delivery.
+            let got = sim.agent(r).received.len();
+            assert!(got >= 90, "repair must restore delivery (got {got})");
+            assert!(got <= 100, "no duplicate deliveries (got {got})");
+        }
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let run = || {
+            let (mut sim, src, dst, agg) = fat_tree_sim(11);
+            for i in 0..60 {
+                sim.agent_mut(src).to_send.push(data_pkt(src, dst, i));
+            }
+            sim.schedule_timer(src, SimTime::ZERO, 0);
+            let plan = FaultPlan::new()
+                .switch_down(SimTime::from_micros(80), agg)
+                .switch_up(SimTime::from_micros(500), agg);
+            sim.schedule_faults(&plan);
+            sim.run_to_completion();
+            let stats = sim.stats();
+            let trace = sim.agents[dst.0 as usize].take().unwrap().received;
+            (stats, trace)
+        };
+        let (s1, t1) = run();
+        let (s2, t2) = run();
+        assert_eq!(s1, s2, "same seed + plan ⇒ identical stats");
+        assert_eq!(t1, t2, "same seed + plan ⇒ identical delivery trace");
+    }
+
+    #[test]
+    #[should_panic(expected = "host failures are not modelled")]
+    fn switch_down_on_host_panics() {
+        let (mut sim, a, _b) = two_host_sim(SimConfig::ndp(1));
+        let plan = FaultPlan::new().switch_down(SimTime::ZERO, a);
+        sim.schedule_faults(&plan);
+        sim.run_to_completion();
     }
 }

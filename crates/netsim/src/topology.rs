@@ -2,13 +2,26 @@
 //!
 //! The topology is a general undirected graph of hosts and switches with
 //! per-link rate and propagation delay. Routing tables are computed by
-//! per-destination BFS and record **all** ports on shortest paths, which
-//! gives the fabric its equal-cost multipath structure; the forwarding
-//! policy (hash-based ECMP vs. per-packet spraying) picks among them at
-//! run time.
+//! per-destination BFS and record a pluggable **path set** per
+//! (node, destination) — see [`RouteSet`]: all shortest-path ports by
+//! default (classic ECMP structure), optionally augmented with loop-free
+//! non-minimal detours (FatPaths-style) so low-diameter random graphs
+//! expose their path redundancy too. The forwarding policy (hash-based
+//! ECMP vs. per-packet spraying) picks among the advertised ports at run
+//! time.
 //!
-//! [`Topology::fat_tree`] builds the paper's evaluation fabric: a k-ary
-//! fat-tree (k = 10 → 250 hosts) with uniform link speed and delay.
+//! Routing is **re-runnable**: [`Topology::compute_routes_masked`]
+//! recomputes the tables against a live [`FaultMask`], which is how the
+//! simulator reroutes around mid-run link and switch failures.
+//!
+//! Three generators are provided: [`Topology::fat_tree`] (the paper's
+//! evaluation fabric, k = 10 → 250 hosts), [`Topology::leaf_spine`]
+//! (two-tier, optionally oversubscribed uplinks), and
+//! [`Topology::jellyfish`] (seeded random regular graph of switches, as
+//! in Singla et al.'s Jellyfish).
+
+use crate::fault::FaultMask;
+use crate::rng::Pcg32;
 
 /// Index of a node (host or switch) in the topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -36,16 +49,36 @@ pub struct Port {
     pub prop_ns: u64,
 }
 
-/// An immutable network graph plus routing tables.
+/// Which path set [`Topology::compute_routes`] advertises per
+/// (node, destination).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouteSet {
+    /// All ports on shortest paths (classic BFS/ECMP multipath).
+    #[default]
+    Minimal,
+    /// Shortest-path ports plus loop-free sideways detours: a port to an
+    /// equal-distance neighbour is advertised when the neighbour's id is
+    /// lower than the node's. Every hop strictly decreases the potential
+    /// `(distance, node id)` lexicographically, so any walk over the
+    /// advertised ports terminates at the destination — the FatPaths
+    /// insight that low-diameter fabrics need *non-minimal* path sets to
+    /// expose their redundancy, realised without per-packet state.
+    /// Shortest-path ports are recorded first, so `next_ports(..)[0]`
+    /// always advances along a minimal path.
+    NonMinimal,
+}
+
+/// A network graph plus routing tables.
 #[derive(Debug, Clone)]
 pub struct Topology {
     kinds: Vec<NodeKind>,
     ports: Vec<Vec<Port>>,
     hosts: Vec<NodeId>,
     host_index: Vec<Option<u32>>, // NodeId -> index into `hosts`
-    /// `routes[node][dst_host_index]` = ports of `node` on shortest paths
+    /// `routes[node][dst_host_index]` = advertised ports of `node`
     /// towards that host. Empty until [`Topology::compute_routes`].
     routes: Vec<Vec<Vec<u16>>>,
+    route_set: RouteSet,
 }
 
 impl Default for Topology {
@@ -63,7 +96,20 @@ impl Topology {
             hosts: Vec::new(),
             host_index: Vec::new(),
             routes: Vec::new(),
+            route_set: RouteSet::Minimal,
         }
+    }
+
+    /// Select the path-set policy. Takes effect at the next
+    /// [`Topology::compute_routes`] / [`Topology::compute_routes_masked`]
+    /// call; call one of them afterwards before forwarding.
+    pub fn set_route_set(&mut self, route_set: RouteSet) {
+        self.route_set = route_set;
+    }
+
+    /// The active path-set policy.
+    pub fn route_set(&self) -> RouteSet {
+        self.route_set
     }
 
     /// Add a node of the given kind, returning its id.
@@ -128,22 +174,39 @@ impl Topology {
         &self.ports[n.0 as usize][p as usize]
     }
 
-    /// Compute shortest-path multipath routing tables (must be called
-    /// after the graph is final and before forwarding).
+    /// Compute multipath routing tables on the healthy fabric (must be
+    /// called after the graph is final and before forwarding).
     pub fn compute_routes(&mut self) {
+        self.compute_routes_masked(&FaultMask::new());
+    }
+
+    /// Recompute the routing tables, treating every link and node in
+    /// `mask` as absent. Re-runnable at any time; the simulator calls
+    /// this when executing fault events mid-run. Destinations that the
+    /// mask disconnects simply end up with empty port lists (see
+    /// [`Topology::try_next_ports`]).
+    pub fn compute_routes_masked(&mut self, mask: &FaultMask) {
         let n = self.node_count();
         self.routes = vec![vec![Vec::new(); self.hosts.len()]; n];
         let mut dist = vec![u32::MAX; n];
         let mut frontier: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
         for (h_idx, &host) in self.hosts.clone().iter().enumerate() {
-            // BFS from the destination host outward.
+            // BFS from the destination host outward. The BFS traverses
+            // links in reverse, but the mask is symmetric per link and
+            // per node, so checking the (u, port) direction suffices.
             dist.fill(u32::MAX);
             frontier.clear();
+            if mask.node_is_down(host) {
+                continue;
+            }
             dist[host.0 as usize] = 0;
             frontier.push_back(host.0);
             while let Some(u) = frontier.pop_front() {
                 let du = dist[u as usize];
-                for port in &self.ports[u as usize] {
+                for (pi, port) in self.ports[u as usize].iter().enumerate() {
+                    if mask.link_is_down(NodeId(u), pi as u16) || mask.node_is_down(port.peer) {
+                        continue;
+                    }
                     let v = port.peer.0;
                     if dist[v as usize] == u32::MAX {
                         dist[v as usize] = du + 1;
@@ -151,30 +214,44 @@ impl Topology {
                     }
                 }
             }
-            // Record, for every node, the ports that step closer to host.
+            // Record each node's advertised ports: shortest-path ports
+            // first (so `next_ports(..)[0]` is always minimal), then —
+            // under `RouteSet::NonMinimal` — loop-free sideways detours.
             for u in 0..n as u32 {
-                if dist[u as usize] == u32::MAX || u == host.0 {
+                if dist[u as usize] == u32::MAX || u == host.0 || mask.node_is_down(NodeId(u)) {
                     continue;
                 }
-                let next: Vec<u16> = self.ports[u as usize]
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, p)| dist[p.peer.0 as usize] + 1 == dist[u as usize])
-                    .map(|(i, _)| i as u16)
-                    .collect();
+                let du = dist[u as usize];
+                let usable = |pi: usize, p: &Port| {
+                    !mask.link_is_down(NodeId(u), pi as u16)
+                        && !mask.node_is_down(p.peer)
+                        && dist[p.peer.0 as usize] != u32::MAX
+                };
+                let mut next: Vec<u16> = Vec::new();
+                for (pi, p) in self.ports[u as usize].iter().enumerate() {
+                    if usable(pi, p) && dist[p.peer.0 as usize] + 1 == du {
+                        next.push(pi as u16);
+                    }
+                }
+                if self.route_set == RouteSet::NonMinimal {
+                    for (pi, p) in self.ports[u as usize].iter().enumerate() {
+                        if usable(pi, p) && dist[p.peer.0 as usize] == du && p.peer.0 < u {
+                            next.push(pi as u16);
+                        }
+                    }
+                }
                 self.routes[u as usize][h_idx] = next;
             }
         }
     }
 
-    /// Ports of `node` on shortest paths to `dst` (a host).
+    /// Advertised ports of `node` towards `dst` (a host).
     ///
     /// # Panics
     /// Panics if routes were not computed or `dst` is unreachable —
     /// both are configuration bugs, not runtime conditions.
     pub fn next_ports(&self, node: NodeId, dst: NodeId) -> &[u16] {
-        let h = self.host_index(dst);
-        let next = &self.routes[node.0 as usize][h];
+        let next = self.try_next_ports(node, dst);
         assert!(
             !next.is_empty(),
             "no route from node {} to host {} (routes computed?)",
@@ -182,6 +259,15 @@ impl Topology {
             dst.0
         );
         next
+    }
+
+    /// Advertised ports of `node` towards `dst`, empty when `dst` is
+    /// unreachable under the mask the routes were computed with. The
+    /// simulator uses this to drop (rather than panic on) packets whose
+    /// destination a fault has disconnected.
+    pub fn try_next_ports(&self, node: NodeId, dst: NodeId) -> &[u16] {
+        let h = self.host_index(dst);
+        &self.routes[node.0 as usize][h]
     }
 
     /// Hop count of the shortest path between two hosts.
@@ -265,18 +351,174 @@ impl Topology {
         self.edge_switch(a) == self.edge_switch(b)
     }
 
-    /// Base round-trip time between two hosts for a given packet size:
-    /// per hop, store-and-forward serialization plus propagation, both
-    /// ways, with a header-size packet on the return. A convenience for
-    /// transports sizing their initial window to one BDP.
-    pub fn base_rtt_ns(&self, a: NodeId, b: NodeId, data_bytes: u32, ctrl_bytes: u32) -> u64 {
-        let hops = self.path_hops(a, b) as u64;
-        // Uniform fabric assumption (true for fat_tree): use port 0 specs.
-        let p = &self.ports[a.0 as usize][0];
-        let fwd = hops * (crate::time::serialization_ns(data_bytes, p.rate_bps) + p.prop_ns);
-        let back = hops * (crate::time::serialization_ns(ctrl_bytes, p.rate_bps) + p.prop_ns);
-        fwd + back
+    /// One-way store-and-forward delay of a `bytes`-sized packet from
+    /// `from` to `to`, walking the first advertised (minimal) path and
+    /// summing each traversed link's own serialization and propagation
+    /// delay — correct on heterogeneous fabrics (e.g. oversubscribed
+    /// leaf–spine uplinks), where no single link speed describes a path.
+    pub fn path_delay_ns(&self, from: NodeId, to: NodeId, bytes: u32) -> u64 {
+        let mut total = 0u64;
+        let mut at = from;
+        let mut hops = 0u32;
+        while at != to {
+            let p = self.port(at, self.next_ports(at, to)[0]);
+            total += crate::time::serialization_ns(bytes, p.rate_bps) + p.prop_ns;
+            at = p.peer;
+            hops += 1;
+            assert!(hops < 256, "path longer than 256 hops; routing loop?");
+        }
+        total
     }
+
+    /// Base round-trip time between two hosts for a given packet size:
+    /// the actual forward path walked link by link with a data-size
+    /// packet, plus the return path with a header-size packet. A
+    /// convenience for transports sizing their initial window to one BDP.
+    pub fn base_rtt_ns(&self, a: NodeId, b: NodeId, data_bytes: u32, ctrl_bytes: u32) -> u64 {
+        self.path_delay_ns(a, b, data_bytes) + self.path_delay_ns(b, a, ctrl_bytes)
+    }
+
+    /// Build a two-tier leaf–spine fabric: `leaves` leaf switches with
+    /// `hosts_per_leaf` hosts each, every leaf connected to every one of
+    /// `spines` spine switches. Host links run at `rate_bps`; each
+    /// uplink runs at `hosts_per_leaf × rate_bps / (spines × oversub)`,
+    /// so `oversub = 1` is non-blocking and `oversub = 4` is the classic
+    /// 4:1 oversubscribed data-centre fabric (and makes the fabric
+    /// heterogeneous — uplinks slower than host links).
+    pub fn leaf_spine(
+        leaves: usize,
+        spines: usize,
+        hosts_per_leaf: usize,
+        oversub: f64,
+        rate_bps: u64,
+        prop_ns: u64,
+    ) -> Topology {
+        assert!(
+            leaves >= 2 && spines >= 1 && hosts_per_leaf >= 1,
+            "leaf-spine needs >= 2 leaves, >= 1 spine, >= 1 host per leaf"
+        );
+        assert!(oversub > 0.0, "oversubscription ratio must be positive");
+        let uplink_bps =
+            ((hosts_per_leaf as f64 * rate_bps as f64) / (spines as f64 * oversub)).round() as u64;
+        assert!(uplink_bps > 0, "oversubscription leaves uplinks at 0 bps");
+        let mut t = Topology::new();
+        let mut leaf_ids = Vec::with_capacity(leaves);
+        for _ in 0..leaves {
+            let leaf = t.add_node(NodeKind::Switch);
+            leaf_ids.push(leaf);
+            for _ in 0..hosts_per_leaf {
+                let host = t.add_node(NodeKind::Host);
+                t.connect(host, leaf, rate_bps, prop_ns);
+            }
+        }
+        let spine_ids: Vec<NodeId> = (0..spines).map(|_| t.add_node(NodeKind::Switch)).collect();
+        for &leaf in &leaf_ids {
+            for &spine in &spine_ids {
+                t.connect(leaf, spine, uplink_bps, prop_ns);
+            }
+        }
+        t.compute_routes();
+        t
+    }
+
+    /// Build a Jellyfish-style fabric (Singla et al.): `switches`
+    /// switches wired into a seeded random `net_degree`-regular graph
+    /// (simple and connected — stub matching with deterministic
+    /// retries), each hosting `hosts_per_switch` hosts. All links share
+    /// `rate_bps`/`prop_ns`. Same seed ⇒ identical graph.
+    pub fn jellyfish(
+        switches: usize,
+        net_degree: usize,
+        hosts_per_switch: usize,
+        rate_bps: u64,
+        prop_ns: u64,
+        seed: u64,
+    ) -> Topology {
+        assert!(
+            net_degree >= 2 && switches > net_degree,
+            "jellyfish needs net_degree >= 2 and more switches than the degree"
+        );
+        assert!(
+            (switches * net_degree).is_multiple_of(2),
+            "switches x net_degree must be even"
+        );
+        let edges = random_regular_edges(switches, net_degree, seed);
+        let mut t = Topology::new();
+        let sw: Vec<NodeId> = (0..switches)
+            .map(|_| t.add_node(NodeKind::Switch))
+            .collect();
+        for &(a, b) in &edges {
+            t.connect(sw[a], sw[b], rate_bps, prop_ns);
+        }
+        for &s in &sw {
+            for _ in 0..hosts_per_switch {
+                let host = t.add_node(NodeKind::Host);
+                t.connect(host, s, rate_bps, prop_ns);
+            }
+        }
+        t.compute_routes();
+        t
+    }
+
+    /// Switches with no directly attached hosts — the "core layer" in a
+    /// hierarchical fabric (fat-tree core, leaf-spine spines). Fault
+    /// scenarios use this to aim failures at pure transit switches,
+    /// whose loss degrades capacity without isolating any host.
+    pub fn core_switches(&self) -> Vec<NodeId> {
+        (0..self.node_count() as u32)
+            .map(NodeId)
+            .filter(|&n| {
+                self.kind(n) == NodeKind::Switch
+                    && self.ports[n.0 as usize]
+                        .iter()
+                        .all(|p| self.kind(p.peer) == NodeKind::Switch)
+            })
+            .collect()
+    }
+}
+
+/// A simple connected random regular graph via seeded stub matching:
+/// shuffle every switch's stubs, pair them up, and retry the whole
+/// shuffle (with a deterministically perturbed seed) on self-loops,
+/// duplicate edges, or a disconnected result.
+fn random_regular_edges(n: usize, d: usize, seed: u64) -> Vec<(usize, usize)> {
+    'attempt: for attempt in 0..10_000u64 {
+        let mut rng = Pcg32::new(seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut stubs: Vec<usize> = (0..n).flat_map(|i| (0..d).map(move |_| i)).collect();
+        rng.shuffle(&mut stubs);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut edges = Vec::with_capacity(n * d / 2);
+        for pair in stubs.chunks(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if a == b || !seen.insert((a.min(b), a.max(b))) {
+                continue 'attempt;
+            }
+            edges.push((a.min(b), a.max(b)));
+        }
+        // Connectivity check over the switch graph.
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in &edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let mut visited = vec![false; n];
+        let mut stack = vec![0usize];
+        visited[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u] {
+                if !visited[v] {
+                    visited[v] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        if count == n {
+            return edges;
+        }
+    }
+    panic!("could not build a connected {d}-regular graph on {n} switches");
 }
 
 #[cfg(test)]
@@ -368,5 +610,167 @@ mod tests {
         let mut t = Topology::new();
         let a = t.add_node(NodeKind::Host);
         t.connect(a, a, 1, 1);
+    }
+
+    #[test]
+    fn leaf_spine_structure_and_oversub() {
+        // 4 leaves x 4 hosts, 2 spines, 2:1 oversubscription.
+        let t = Topology::leaf_spine(4, 2, 4, 2.0, 1_000_000_000, 10_000);
+        assert_eq!(t.hosts().len(), 16);
+        assert_eq!(t.node_count(), 16 + 4 + 2);
+        // Uplink rate = 4 x 1G / (2 spines x 2.0) = 1 Gbps... per uplink.
+        let leaf = t.edge_switch(t.hosts()[0]);
+        let uplink = t
+            .node_ports(leaf)
+            .iter()
+            .find(|p| t.kind(p.peer) == NodeKind::Switch)
+            .unwrap();
+        assert_eq!(uplink.rate_bps, 1_000_000_000);
+        // Inter-leaf paths go host-leaf-spine-leaf-host = 4 hops with 2
+        // equal-cost spine choices at the leaf.
+        let (a, b) = (t.hosts()[0], t.hosts()[15]);
+        assert_eq!(t.path_hops(a, b), 4);
+        assert_eq!(t.next_ports(t.edge_switch(a), b).len(), 2);
+        // Spines are the core layer.
+        assert_eq!(t.core_switches().len(), 2);
+    }
+
+    #[test]
+    fn base_rtt_walks_heterogeneous_links() {
+        // 4:1 oversubscribed uplinks: 4 hosts x 1G / (1 spine x 4.0) =
+        // 1 Gbps... use 2 spines => 500 Mbps uplinks.
+        let t = Topology::leaf_spine(2, 2, 4, 4.0, 1_000_000_000, 10_000);
+        let (a, b) = (t.hosts()[0], t.hosts()[7]);
+        // Forward 1500 B: host->leaf at 1G (12 us), leaf->spine and
+        // spine->leaf at 500 M (24 us each), leaf->host at 1G (12 us),
+        // plus 10 us propagation per hop.
+        let fwd = (12_000 + 24_000 + 24_000 + 12_000) + 4 * 10_000;
+        // Return 64 B: 512 ns at 1G, 1024 ns at 500 M.
+        let back = (512 + 1_024 + 1_024 + 512) + 4 * 10_000;
+        assert_eq!(t.base_rtt_ns(a, b, 1500, 64), fwd + back);
+    }
+
+    #[test]
+    fn jellyfish_regular_connected_deterministic() {
+        let t = Topology::jellyfish(8, 3, 2, 1_000_000_000, 10_000, 7);
+        assert_eq!(t.hosts().len(), 16);
+        assert_eq!(t.node_count(), 16 + 8);
+        for n in 0..8u32 {
+            assert_eq!(t.kind(NodeId(n)), NodeKind::Switch);
+            assert_eq!(t.node_ports(NodeId(n)).len(), 3 + 2, "switch degree");
+        }
+        // All pairs reachable.
+        for &a in t.hosts() {
+            for &b in t.hosts() {
+                if a != b {
+                    assert!(t.path_hops(a, b) >= 2);
+                }
+            }
+        }
+        // Same seed => identical wiring; different seed => different.
+        let t2 = Topology::jellyfish(8, 3, 2, 1_000_000_000, 10_000, 7);
+        let t3 = Topology::jellyfish(8, 3, 2, 1_000_000_000, 10_000, 8);
+        let wiring = |t: &Topology| -> Vec<Vec<u32>> {
+            (0..t.node_count() as u32)
+                .map(|n| t.node_ports(NodeId(n)).iter().map(|p| p.peer.0).collect())
+                .collect()
+        };
+        assert_eq!(wiring(&t), wiring(&t2));
+        assert_ne!(wiring(&t), wiring(&t3));
+    }
+
+    #[test]
+    fn non_minimal_adds_loop_free_detours() {
+        let mut t = Topology::jellyfish(8, 3, 1, 1_000_000_000, 10_000, 3);
+        let minimal: usize = count_advertised(&t);
+        t.set_route_set(RouteSet::NonMinimal);
+        t.compute_routes();
+        let non_minimal: usize = count_advertised(&t);
+        assert!(
+            non_minimal > minimal,
+            "sideways detours must widen the path set ({minimal} -> {non_minimal})"
+        );
+        // Any walk over advertised ports still terminates (potential
+        // argument: (dist, id) strictly decreases).
+        let hosts = t.hosts().to_vec();
+        let mut rng = Pcg32::new(99);
+        for _ in 0..200 {
+            let a = hosts[rng.below(hosts.len() as u64) as usize];
+            let b = hosts[rng.below(hosts.len() as u64) as usize];
+            if a == b {
+                continue;
+            }
+            let mut at = a;
+            let mut steps = 0;
+            while at != b {
+                let choices = t.next_ports(at, b);
+                at = t
+                    .port(at, choices[rng.below(choices.len() as u64) as usize])
+                    .peer;
+                steps += 1;
+                assert!(steps <= t.node_count(), "walk exceeded node count");
+            }
+        }
+        // next_ports[0] still walks a minimal path.
+        let (a, b) = (hosts[0], hosts[7]);
+        let minimal_t = Topology::jellyfish(8, 3, 1, 1_000_000_000, 10_000, 3);
+        assert_eq!(t.path_hops(a, b), minimal_t.path_hops(a, b));
+    }
+
+    fn count_advertised(t: &Topology) -> usize {
+        let mut total = 0;
+        for n in 0..t.node_count() as u32 {
+            for &h in t.hosts() {
+                if NodeId(n) != h {
+                    total += t.try_next_ports(NodeId(n), h).len();
+                }
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn masked_recompute_routes_around_core_failure() {
+        let mut t = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        let core = t.core_switches()[0];
+        let mut mask = FaultMask::new();
+        mask.fail_node(core);
+        t.compute_routes_masked(&mask);
+        let hosts = t.hosts().to_vec();
+        for &a in &hosts {
+            for &b in &hosts {
+                if a == b {
+                    continue;
+                }
+                // Every pair still routable, never through the dead core.
+                let mut at = a;
+                let mut steps = 0;
+                while at != b {
+                    let p = t.next_ports(at, b)[0];
+                    at = t.port(at, p).peer;
+                    assert_ne!(at, core, "path crosses the failed core");
+                    steps += 1;
+                    assert!(steps <= 6);
+                }
+            }
+        }
+        // Restoring the mask restores the full path set.
+        t.compute_routes();
+        let edge = t.edge_switch(hosts[0]);
+        assert_eq!(t.next_ports(edge, hosts[15]).len(), 2);
+    }
+
+    #[test]
+    fn masked_recompute_leaves_cut_hosts_unroutable() {
+        let mut t = Topology::leaf_spine(2, 2, 2, 1.0, 1_000_000_000, 10_000);
+        let hosts = t.hosts().to_vec();
+        let leaf = t.edge_switch(hosts[0]);
+        let mut mask = FaultMask::new();
+        mask.fail_node(leaf);
+        t.compute_routes_masked(&mask);
+        // Hosts behind the dead leaf are unreachable...
+        assert!(t.try_next_ports(hosts[2], hosts[0]).is_empty());
+        // ...but the other leaf's hosts still reach each other.
+        assert!(!t.try_next_ports(hosts[2], hosts[3]).is_empty());
     }
 }

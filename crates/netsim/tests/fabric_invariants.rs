@@ -1,11 +1,65 @@
 //! Property tests on fabric invariants: routing consistency and
-//! multicast tree correctness over randomized inputs.
+//! multicast tree correctness over randomized inputs — on fat-trees,
+//! leaf–spine fabrics, and Jellyfish random graphs, healthy and under
+//! single failures.
 
-use netsim::Topology;
+// The proptest shim's declarative macro recurses once per test; eight
+// tests in one block need more headroom than the default 128.
+#![recursion_limit = "256"]
+
+use netsim::{FaultMask, NodeId, NodeKind, RouteSet, Topology};
 use proptest::prelude::*;
 
 fn fat_tree_ks() -> impl Strategy<Value = usize> {
-    prop_oneof![Just(4usize), Just(6), Just(8)]
+    prop_oneof![Just(4usize), Just(6usize), Just(8usize)]
+}
+
+/// A generator covering all three topology families at proptest-sized
+/// scales: (topology, human-readable label).
+fn any_fabric() -> impl Strategy<Value = (Topology, String)> {
+    prop_oneof![
+        fat_tree_ks().prop_map(|k| (
+            Topology::fat_tree(k, 1_000_000_000, 10_000),
+            format!("fat_tree k={k}")
+        )),
+        (
+            2usize..=4,
+            1usize..=3,
+            1usize..=4,
+            prop_oneof![Just(1.0f64), Just(2.0), Just(4.0)]
+        )
+            .prop_map(|(leaves, spines, hpl, oversub)| (
+                Topology::leaf_spine(leaves, spines, hpl, oversub, 1_000_000_000, 10_000),
+                format!("leaf_spine {leaves}x{spines}x{hpl} {oversub}:1")
+            )),
+        // Even switch counts only: stub matching needs switches × degree
+        // even, and the degree here is 3.
+        (3usize..=5, 1usize..=2, any::<u64>()).prop_map(|(half, hps, seed)| (
+            Topology::jellyfish(half * 2, 3, hps, 1_000_000_000, 10_000, seed),
+            format!("jellyfish sw={} hps={hps} seed={seed}", half * 2)
+        )),
+    ]
+}
+
+/// Walk advertised next-hops from `a` to `b` under a seeded picker;
+/// returns the hop count, failing the walk if it exceeds `bound`.
+fn random_walk(
+    t: &Topology,
+    rng: &mut netsim::Pcg32,
+    a: NodeId,
+    b: NodeId,
+    bound: usize,
+) -> Result<usize, TestCaseError> {
+    let mut at = a;
+    let mut steps = 0usize;
+    while at != b {
+        let choices = t.next_ports(at, b);
+        let pick = choices[rng.below(choices.len() as u64) as usize];
+        at = t.port(at, pick).peer;
+        steps += 1;
+        prop_assert!(steps <= bound, "walk exceeded {} hops", bound);
+    }
+    Ok(steps)
 }
 
 proptest! {
@@ -96,6 +150,123 @@ proptest! {
         for &h in &hosts {
             let expected = u64::from(members.contains(&h));
             prop_assert_eq!(sim.agent(h).got, expected, "host {} copies", h.0);
+        }
+    }
+
+    /// Every topology family keeps its port tables symmetric: the peer's
+    /// back-pointer names exactly the port we came from.
+    #[test]
+    fn port_symmetry_all_topologies(fabric in any_fabric()) {
+        let (t, label) = fabric;
+        for n in 0..t.node_count() as u32 {
+            for (i, p) in t.node_ports(NodeId(n)).iter().enumerate() {
+                let back = t.port(p.peer, p.peer_port);
+                prop_assert_eq!(back.peer, NodeId(n), "{}: asymmetric port", label);
+                prop_assert_eq!(back.peer_port as usize, i, "{}: wrong back-port", label);
+            }
+        }
+    }
+
+    /// All-pairs reachability and loop-free next_ports on every topology
+    /// family: a random walk over the advertised ports always reaches
+    /// the destination within the node-count bound.
+    #[test]
+    fn all_pairs_routable_all_topologies(fabric in any_fabric(), seed in any::<u64>()) {
+        let (t, label) = fabric;
+        let mut rng = netsim::Pcg32::new(seed);
+        let hosts = t.hosts().to_vec();
+        for &a in &hosts {
+            for &b in &hosts {
+                if a != b {
+                    random_walk(&t, &mut rng, a, b, t.node_count())?;
+                }
+            }
+        }
+        let _ = label;
+    }
+
+    /// The non-minimal path set stays loop-free on every topology family
+    /// (the potential argument), and never shrinks the advertised ports.
+    #[test]
+    fn non_minimal_routes_stay_loop_free(fabric in any_fabric(), seed in any::<u64>()) {
+        let (mut t, label) = fabric;
+        let hosts = t.hosts().to_vec();
+        let minimal_counts: Vec<usize> = hosts
+            .iter()
+            .map(|&h| (0..t.node_count() as u32)
+                .map(|n| if NodeId(n) == h { 0 } else { t.try_next_ports(NodeId(n), h).len() })
+                .sum())
+            .collect();
+        t.set_route_set(RouteSet::NonMinimal);
+        t.compute_routes();
+        let mut rng = netsim::Pcg32::new(seed);
+        for _ in 0..32 {
+            let a = hosts[rng.below(hosts.len() as u64) as usize];
+            let b = hosts[rng.below(hosts.len() as u64) as usize];
+            if a != b {
+                random_walk(&t, &mut rng, a, b, t.node_count())?;
+            }
+        }
+        for (i, &h) in hosts.iter().enumerate() {
+            let widened: usize = (0..t.node_count() as u32)
+                .map(|n| if NodeId(n) == h { 0 } else { t.try_next_ports(NodeId(n), h).len() })
+                .sum();
+            prop_assert!(widened >= minimal_counts[i], "{}: path set shrank", label);
+        }
+    }
+
+    /// Any single fabric-link or transit/aggregation-switch failure in a
+    /// k ≥ 4 fat-tree leaves every host pair routable after a masked
+    /// recompute (edge switches are excluded: killing one provably
+    /// isolates its rack).
+    #[test]
+    fn fat_tree_single_failure_keeps_all_pairs_routable(
+        k in prop_oneof![Just(4usize), Just(6usize)],
+        seed in any::<u64>(),
+    ) {
+        let mut t = Topology::fat_tree(k, 1_000_000_000, 10_000);
+        let mut rng = netsim::Pcg32::new(seed);
+        // Candidates: all switch-switch links, plus all switches that
+        // serve no hosts directly is too narrow (aggs have no hosts but
+        // cores too) — any switch except the edge layer qualifies.
+        let mut fabric_links = Vec::new();
+        let mut non_edge_switches = Vec::new();
+        for n in 0..t.node_count() as u32 {
+            let node = NodeId(n);
+            if t.kind(node) != NodeKind::Switch {
+                continue;
+            }
+            let has_host = t.node_ports(node).iter().any(|p| t.kind(p.peer) == NodeKind::Host);
+            if !has_host {
+                non_edge_switches.push(node);
+            }
+            for (pi, p) in t.node_ports(node).iter().enumerate() {
+                if t.kind(p.peer) == NodeKind::Switch && p.peer.0 > n {
+                    fabric_links.push((node, pi as u16));
+                }
+            }
+        }
+        let mut mask = FaultMask::new();
+        let total = fabric_links.len() + non_edge_switches.len();
+        let pick = rng.below(total as u64) as usize;
+        if pick < fabric_links.len() {
+            let (node, port) = fabric_links[pick];
+            mask.fail_link(&t, node, port);
+        } else {
+            mask.fail_node(non_edge_switches[pick - fabric_links.len()]);
+        }
+        t.compute_routes_masked(&mask);
+        let hosts = t.hosts().to_vec();
+        for &a in &hosts {
+            for &b in &hosts {
+                if a != b {
+                    prop_assert!(
+                        !t.try_next_ports(a, b).is_empty(),
+                        "pair {}->{} unroutable after single failure", a.0, b.0
+                    );
+                    random_walk(&t, &mut rng, a, b, t.node_count())?;
+                }
+            }
         }
     }
 }

@@ -83,7 +83,51 @@ pub mod strategy {
         type Value;
         /// Produce one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values (the real proptest's `prop_map`;
+        /// no shrinking here, so it is a plain eager map).
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
     }
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Mapped strategy (see [`Strategy::prop_map`]).
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+ ; $($idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A, B; 0, 1);
+    impl_tuple_strategy!(A, B, C; 0, 1, 2);
+    impl_tuple_strategy!(A, B, C, D; 0, 1, 2, 3);
+    impl_tuple_strategy!(A, B, C, D, E; 0, 1, 2, 3, 4);
 
     /// Types with a canonical "any value" strategy.
     pub trait Arbitrary: Sized {
@@ -234,11 +278,15 @@ macro_rules! prop_assert_eq {
     };
 }
 
-/// Uniform choice between strategies of one value type.
+/// Uniform choice between strategies sharing a value type. Arms may be
+/// *different* strategy types (as with the real proptest's union): each
+/// is boxed behind `dyn Strategy`.
 #[macro_export]
 macro_rules! prop_oneof {
     ($($strat:expr),+ $(,)?) => {
-        $crate::strategy::OneOf(vec![$($strat),+])
+        $crate::strategy::OneOf(vec![$(
+            Box::new($strat) as Box<dyn $crate::strategy::Strategy<Value = _>>
+        ),+])
     };
 }
 

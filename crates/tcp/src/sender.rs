@@ -82,7 +82,7 @@ impl TcpSender {
 
     fn flow(&self) -> FlowId {
         // Stable per-connection flow id: per-flow ECMP pins one path.
-        FlowId(u64::from(self.spec.id.0) << 16 | 0x7C9)
+        self.spec.data_flow()
     }
 
     /// Open the connection: transmit SYN and arm the SYN timeout.

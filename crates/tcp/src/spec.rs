@@ -86,6 +86,14 @@ pub struct ConnSpec {
 }
 
 impl ConnSpec {
+    /// The flow id this connection's data-path packets carry — the key
+    /// the fabric's per-flow ECMP hashes on. Exposed so experiment code
+    /// can predict where the fabric pins the connection (e.g. to aim a
+    /// fault at a switch the baseline traffic actually crosses).
+    pub fn data_flow(&self) -> netsim::FlowId {
+        netsim::FlowId(u64::from(self.id.0) << 16 | 0x7C9)
+    }
+
     /// Validate structural invariants.
     pub fn validate(&self) {
         assert!(self.bytes > 0, "empty TCP transfer");

@@ -1,0 +1,390 @@
+//! Fabric-dynamics scenario: a Figure-1-style replicated storage
+//! workload hit by a core-switch failure mid-run.
+//!
+//! This is where the paper's robustness story meets an actively hostile
+//! fabric: Polyraptor (rateless coding + per-packet spraying) should
+//! ride through the failure — the fabric reroutes, lost coded symbols
+//! are simply replaced by later ones, multicast trees are repaired —
+//! while the TCP multi-unicast baseline, whose flows are ECMP-pinned to
+//! one path each, eats retransmission timeouts and inflates its tail.
+//!
+//! The victim switch is chosen deterministically as the core-layer
+//! switch that the most ECMP-pinned baseline flows cross *while the
+//! failure is active* (predicted by replaying the fabric's ECMP hash),
+//! so the comparison is guaranteed to be about failure handling rather
+//! than about a fault that nobody's traffic noticed.
+
+use std::cmp::Reverse;
+use std::collections::BTreeMap;
+
+use netsim::{FaultPlan, NodeId, Pcg32, SimConfig, SimTime, Simulator, Topology};
+use polyraptor::PolyraptorAgent;
+use tcpsim::{conn_start_token, TcpAgent};
+
+use crate::runner::{
+    build_rq_specs, build_tcp_conns, collect_rq_results, collect_tcp_results, install_rq, Fabric,
+    RqRunOptions, TcpRunOptions, TransferResult,
+};
+use crate::scenario::{LogicalSession, Pattern, StorageScenario, PAPER_LAMBDA_PER_HOST};
+
+/// Control-plane convergence after a detected failure: 25 ms covers
+/// failure detection plus route recomputation on a data-centre fabric.
+/// During the window the dead switch blackholes whatever is forwarded
+/// into it — ECMP-pinned flows stall end-to-end (their whole window
+/// crosses one path), while sprayed flows lose only the fraction of
+/// packets hashed onto dead paths. Both transports run under the same
+/// delay; the asymmetry in outcome is the point of the experiment.
+pub const REROUTE_DELAY_NS: u64 = 25_000_000;
+
+/// Parameters of the core-failure storage scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultScenario {
+    /// Replicated write sessions (all foreground).
+    pub sessions: usize,
+    /// Object size per session in bytes.
+    pub object_bytes: usize,
+    /// Replicas per session (3 = the paper's replication factor).
+    pub replicas: usize,
+    /// When the victim core switch fails, as a fraction of the ideal
+    /// line-rate transfer time *after the first session's arrival* —
+    /// protocol overhead makes every real transfer slower than ideal, so
+    /// any fraction in (0, 1) strikes the first session mid-transfer.
+    /// `None` runs the identical workload on a healthy fabric (the
+    /// tail-comparison baseline).
+    pub fail_after_frac: Option<f64>,
+    /// Optional repair, as a further fraction of the ideal transfer time
+    /// after the failure instant.
+    pub recover_after_frac: Option<f64>,
+    /// Master seed (placement, arrivals, fabric randomness).
+    pub seed: u64,
+}
+
+impl FaultScenario {
+    /// The Figure-1-style configuration: 3-replica writes with the
+    /// paper's arrival process, core failure at 50 % of the ideal
+    /// line-rate transfer time into the first session.
+    pub fn fig1_failure(sessions: usize, object_bytes: usize, seed: u64) -> Self {
+        Self {
+            sessions,
+            object_bytes,
+            replicas: 3,
+            fail_after_frac: Some(0.5),
+            recover_after_frac: None,
+            seed,
+        }
+    }
+
+    /// The same scenario with the failure removed (healthy baseline).
+    pub fn healthy(&self) -> Self {
+        Self {
+            fail_after_frac: None,
+            recover_after_frac: None,
+            ..*self
+        }
+    }
+
+    /// The ideal transfer time of one object in nanoseconds at the
+    /// fabric's access-link rate — the fastest conceivable transfer,
+    /// and the time base for the failure offsets.
+    fn ideal_transfer_ns(&self, topo: &Topology) -> u64 {
+        let host = topo.hosts()[0];
+        let rate_bps = topo.port(host, 0).rate_bps;
+        ((self.object_bytes as u128 * 8 * 1_000_000_000) / rate_bps as u128) as u64
+    }
+
+    /// The absolute failure instant on a given fabric: the first
+    /// session's arrival plus `fail_after_frac` of the ideal transfer
+    /// time. Deterministic — both transport runs and the victim choice
+    /// use the same value.
+    pub fn fault_time(&self, topo: &Topology) -> Option<SimTime> {
+        self.fault_time_of(topo, &self.storage().generate(topo))
+    }
+
+    fn fault_time_of(&self, topo: &Topology, sessions: &[LogicalSession]) -> Option<SimTime> {
+        let frac = self.fail_after_frac?;
+        assert!(frac > 0.0, "failure must strike after traffic starts");
+        let first = sessions
+            .iter()
+            .map(|s| s.start)
+            .min()
+            .expect("scenario has sessions");
+        let offset = (self.ideal_transfer_ns(topo) as f64 * frac) as u64;
+        Some(SimTime::from_nanos(first.as_nanos() + offset))
+    }
+
+    /// The underlying storage workload (shared verbatim by the
+    /// Polyraptor and TCP runs, like every paired experiment here).
+    fn storage(&self) -> StorageScenario {
+        StorageScenario {
+            sessions: self.sessions,
+            object_bytes: self.object_bytes,
+            replicas: self.replicas,
+            lambda_per_host: PAPER_LAMBDA_PER_HOST,
+            background_frac: 0.0,
+            pattern: Pattern::Write,
+            seed: self.seed,
+            normalize_load: true,
+        }
+    }
+
+    /// Deterministically pick the victim: the core-layer switch (no
+    /// attached hosts) crossed by the most ECMP-pinned baseline flows
+    /// that are in flight when the failure strikes. Ties break to the
+    /// lowest switch id; a healthy scenario weighs every flow.
+    pub fn victim_core(&self, topo: &Topology) -> NodeId {
+        let sessions = self.storage().generate(topo);
+        let fault_time = self.fault_time_of(topo, &sessions);
+        self.victim_core_of(topo, &sessions, fault_time)
+    }
+
+    fn victim_core_of(
+        &self,
+        topo: &Topology,
+        sessions: &[LogicalSession],
+        fault_time: Option<SimTime>,
+    ) -> NodeId {
+        let cores = topo.core_switches();
+        assert!(
+            !cores.is_empty(),
+            "fault scenario needs a multi-tier fabric with transit switches"
+        );
+        let mut hits: BTreeMap<u32, usize> = cores.iter().map(|c| (c.0, 0)).collect();
+        let conns = build_tcp_conns(sessions, Pattern::Write);
+        for c in &conns {
+            if let Some(at) = fault_time {
+                // Flows starting after routes converge are spared by the
+                // reroute; anything starting before the failure *or*
+                // inside the convergence window is pinned via the stale
+                // routes and counts towards the victim weighting.
+                if c.start.as_nanos() > at.as_nanos() + REROUTE_DELAY_NS {
+                    continue;
+                }
+            }
+            let flow = c.data_flow();
+            let mut at = c.sender;
+            let mut steps = 0;
+            while at != c.receiver {
+                let choices = topo.next_ports(at, c.receiver);
+                at = topo
+                    .port(at, choices[netsim::ecmp_choice(flow, at, choices.len())])
+                    .peer;
+                if let Some(n) = hits.get_mut(&at.0) {
+                    *n += 1;
+                }
+                steps += 1;
+                assert!(steps < 64, "ECMP walk exceeded 64 hops");
+            }
+        }
+        let (&id, _) = hits
+            .iter()
+            .max_by_key(|&(&id, &n)| (n, Reverse(id)))
+            .expect("at least one core switch");
+        NodeId(id)
+    }
+
+    /// The fault plan aimed at `victim` on a given fabric.
+    pub fn plan(&self, topo: &Topology, victim: NodeId) -> FaultPlan {
+        self.plan_at(topo, victim, self.fault_time(topo))
+    }
+
+    fn plan_at(&self, topo: &Topology, victim: NodeId, fault_time: Option<SimTime>) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        if let Some(at) = fault_time {
+            plan = plan.switch_down(at, victim);
+            if let Some(frac) = self.recover_after_frac {
+                assert!(frac > 0.0, "recovery must follow the failure");
+                let offset = (self.ideal_transfer_ns(topo) as f64 * frac) as u64;
+                plan = plan.switch_up(SimTime::from_nanos(at.as_nanos() + offset), victim);
+            }
+        }
+        plan
+    }
+}
+
+/// Everything a fault run reports: per-flow results plus the fabric's
+/// fault accounting (and, for TCP, the timeout count that explains the
+/// tail).
+#[derive(Debug, Clone)]
+pub struct FaultRunReport {
+    /// Per-flow transfer results (one per replica for writes).
+    pub flows: Vec<TransferResult>,
+    /// Fabric counters: `lost_to_fault`, `reroutes`, `trees_repaired`…
+    pub fabric: netsim::FabricStats,
+    /// Total sender retransmission timeouts (TCP runs; 0 for Polyraptor,
+    /// which has no timeout-driven recovery to count).
+    pub timeouts: u64,
+    /// The failed core switch.
+    pub victim: NodeId,
+    /// The absolute failure instant (`None` for healthy runs).
+    pub fail_at: Option<SimTime>,
+}
+
+impl FaultRunReport {
+    /// When the last flow finished.
+    pub fn makespan(&self) -> SimTime {
+        self.flows
+            .iter()
+            .map(|f| f.finish)
+            .max()
+            .expect("at least one flow")
+    }
+
+    /// Flows spanning `at` (in flight when the failure struck).
+    pub fn in_flight_at(&self, at: SimTime) -> usize {
+        self.flows
+            .iter()
+            .filter(|f| f.start < at && f.finish > at)
+            .count()
+    }
+}
+
+/// Run the fault scenario under Polyraptor (multicast replication,
+/// sprayed symbols). Every session must complete — rerouting plus coded
+/// repair is the claim under test — or the collector panics.
+pub fn run_fault_rq(sc: &FaultScenario, fabric: &Fabric, opts: &RqRunOptions) -> FaultRunReport {
+    let topo = fabric.build_with_route_set(opts.route_set);
+    let sessions = sc.storage().generate(&topo);
+    let fail_at = sc.fault_time_of(&topo, &sessions);
+    let victim = sc.victim_core_of(&topo, &sessions, fail_at);
+    let plan = sc.plan_at(&topo, victim, fail_at);
+    let mut sim_cfg = SimConfig::ndp(sc.seed ^ 0xFA17);
+    sim_cfg.switch_queue = opts.switch_queue;
+    sim_cfg.route = opts.route;
+    sim_cfg.reroute_delay_ns = REROUTE_DELAY_NS;
+    let mut sim: Simulator<_, PolyraptorAgent> = Simulator::new(topo, sim_cfg);
+    let hosts = sim.topology().hosts().to_vec();
+    let mut seed_rng = Pcg32::new(sc.seed ^ 0xA6E27);
+    for &h in &hosts {
+        let s = seed_rng.next_u64();
+        sim.set_agent(h, PolyraptorAgent::new(h, opts.pr, s));
+    }
+    let specs = build_rq_specs(&mut sim, &sessions, Pattern::Write);
+    for spec in &specs {
+        install_rq(&mut sim, spec);
+    }
+    sim.schedule_faults(&plan);
+    sim.run_to_completion();
+    let flows = collect_rq_results(&sim, &sessions, Pattern::Write);
+    FaultRunReport {
+        flows,
+        fabric: sim.stats(),
+        timeouts: 0,
+        victim,
+        fail_at,
+    }
+}
+
+/// Run the fault scenario under the TCP multi-unicast baseline: one
+/// ECMP-pinned connection per replica. Flows crossing the dead core
+/// recover by retransmission timeout, which is exactly the tail the
+/// report's `timeouts`/`makespan` expose.
+pub fn run_fault_tcp(sc: &FaultScenario, fabric: &Fabric, opts: &TcpRunOptions) -> FaultRunReport {
+    let topo = fabric.build_with_route_set(opts.route_set);
+    let sessions = sc.storage().generate(&topo);
+    let fail_at = sc.fault_time_of(&topo, &sessions);
+    let victim = sc.victim_core_of(&topo, &sessions, fail_at);
+    let plan = sc.plan_at(&topo, victim, fail_at);
+    let mut sim_cfg = SimConfig::classic(sc.seed ^ 0xFA17);
+    sim_cfg.switch_queue = opts.switch_queue;
+    sim_cfg.route = opts.route;
+    sim_cfg.reroute_delay_ns = REROUTE_DELAY_NS;
+    let mut sim: Simulator<_, TcpAgent> = Simulator::new(topo, sim_cfg);
+    let hosts = sim.topology().hosts().to_vec();
+    for &h in &hosts {
+        sim.set_agent(h, TcpAgent::new(h, opts.tcp));
+    }
+    let conns = build_tcp_conns(&sessions, Pattern::Write);
+    for c in &conns {
+        sim.agent_mut(c.sender).install(c.clone());
+        sim.agent_mut(c.receiver).install(c.clone());
+        sim.schedule_timer(c.sender, c.start, conn_start_token(c.id));
+    }
+    sim.schedule_faults(&plan);
+    sim.run_to_completion();
+    let timeouts = conns
+        .iter()
+        .map(|c| sim.agent(c.sender).sender(c.id).map_or(0, |s| s.timeouts))
+        .sum();
+    let flows = collect_tcp_results(&sim, &sessions);
+    FaultRunReport {
+        flows,
+        fabric: sim.stats(),
+        timeouts,
+        victim,
+        fail_at,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_scenario() -> FaultScenario {
+        FaultScenario::fig1_failure(4, 128 << 10, 11)
+    }
+
+    #[test]
+    fn victim_is_deterministic_and_core_layer() {
+        let topo = Fabric::small().build();
+        let sc = small_scenario();
+        let v1 = sc.victim_core(&topo);
+        let v2 = sc.victim_core(&topo);
+        assert_eq!(v1, v2);
+        assert!(topo.core_switches().contains(&v1));
+    }
+
+    #[test]
+    fn rq_survives_core_failure_on_small_fabric() {
+        let sc = small_scenario();
+        let rep = run_fault_rq(&sc, &Fabric::small(), &RqRunOptions::default());
+        // The collector asserts completion; spot-check the accounting.
+        assert!(rep.fabric.reroutes >= 1, "failure must trigger a reroute");
+        assert_eq!(rep.flows.len(), 4 * 3, "one flow per replica");
+        for f in &rep.flows {
+            assert!(f.goodput_gbps() > 0.0);
+        }
+    }
+
+    #[test]
+    fn healthy_variant_runs_without_faults() {
+        let sc = small_scenario().healthy();
+        let rep = run_fault_rq(&sc, &Fabric::small(), &RqRunOptions::default());
+        assert_eq!(rep.fabric.reroutes, 0);
+        assert_eq!(rep.fabric.lost_to_fault, 0);
+    }
+
+    #[test]
+    fn tcp_counts_timeouts_under_failure() {
+        let sc = small_scenario();
+        let faulted = run_fault_tcp(&sc, &Fabric::small(), &TcpRunOptions::default());
+        let healthy = run_fault_tcp(&sc.healthy(), &Fabric::small(), &TcpRunOptions::default());
+        assert!(
+            faulted.timeouts > healthy.timeouts,
+            "core failure must cost the pinned baseline timeouts ({} vs {})",
+            faulted.timeouts,
+            healthy.timeouts
+        );
+        assert!(faulted.makespan() > healthy.makespan());
+    }
+
+    #[test]
+    fn switch_recovery_is_exercised() {
+        let mut sc = small_scenario();
+        // Recover well after the convergence window so the down and up
+        // events trigger two distinct recomputations.
+        sc.recover_after_frac = Some(30.0);
+        let rep = run_fault_rq(&sc, &Fabric::small(), &RqRunOptions::default());
+        assert_eq!(rep.fabric.reroutes, 2, "down and up both reroute");
+    }
+
+    #[test]
+    fn failure_strikes_mid_transfer() {
+        let sc = small_scenario();
+        let rep = run_fault_rq(&sc, &Fabric::small(), &RqRunOptions::default());
+        let at = rep.fail_at.expect("faulted run");
+        assert!(
+            rep.in_flight_at(at) >= 1,
+            "at least the first session must span the failure instant"
+        );
+    }
+}

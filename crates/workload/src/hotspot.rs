@@ -8,7 +8,7 @@
 //! them for their whole lifetime — the "embracing path redundancy"
 //! claim, made measurable.
 
-use netsim::{NodeKind, Pcg32, SimTime, Simulator};
+use netsim::{FaultAction, FaultPlan, NodeKind, Pcg32, SimTime, Simulator};
 use polyraptor::{PolyraptorAgent, SessionId, SessionSpec};
 
 use crate::runner::{install_rq, Fabric, RqRunOptions, TransferResult};
@@ -22,7 +22,10 @@ pub struct HotspotScenario {
     pub object_bytes: usize,
     /// Fraction of switch-to-switch links degraded (0..1).
     pub degraded_frac: f64,
-    /// Degraded links run at this fraction of line rate (0 = down).
+    /// Degraded links run at this fraction of line rate. Zero means the
+    /// selected links suffer *detected* link-down faults (the fabric
+    /// reroutes around them); any other value is a silent rate
+    /// degradation the control plane never notices.
     pub degraded_rate_frac: f64,
     /// Seed.
     pub seed: u64,
@@ -35,7 +38,7 @@ pub fn run_hotspot_rq(
     fabric: &Fabric,
     opts: &RqRunOptions,
 ) -> Vec<TransferResult> {
-    let topo = fabric.build();
+    let topo = fabric.build_with_route_set(opts.route_set);
     let hosts = topo.hosts().to_vec();
     assert!(
         hosts.len() >= 2 * scenario.transfers,
@@ -51,8 +54,13 @@ pub fn run_hotspot_rq(
         sim.set_agent(h, PolyraptorAgent::new(h, opts.pr, s));
     }
 
-    // Degrade a random subset of inter-switch links (both directions).
+    // Degrade a random subset of inter-switch links, expressed as a
+    // FaultPlan applied at t = 0 — the single rate-override code path
+    // shared with the fault scenarios. A zero target rate becomes a
+    // *detected* LinkDown (flush + reroute); anything else a silent
+    // RateChange (both act on both directions of the link).
     let node_count = sim.topology().node_count();
+    let mut plan = FaultPlan::new();
     let mut degraded = 0usize;
     let mut total_fabric_links = 0usize;
     for n in 0..node_count as u32 {
@@ -60,8 +68,7 @@ pub fn run_hotspot_rq(
         if sim.topology().kind(node) != NodeKind::Switch {
             continue;
         }
-        let ports = sim.topology().node_ports(node).to_vec();
-        for (p, port) in ports.iter().enumerate() {
+        for (p, port) in sim.topology().node_ports(node).iter().enumerate() {
             // Count each undirected link once (lower node id owns it)
             // and only switch-switch links (host links are the flows'
             // own bottleneck, not a "hotspot").
@@ -70,9 +77,19 @@ pub fn run_hotspot_rq(
             }
             total_fabric_links += 1;
             if rng.f64() < scenario.degraded_frac {
-                let slow = (port.rate_bps as f64 * scenario.degraded_rate_frac) as u64;
-                sim.set_link_rate(node, p as u16, slow);
-                sim.set_link_rate(port.peer, port.peer_port, slow);
+                let action = if scenario.degraded_rate_frac == 0.0 {
+                    FaultAction::LinkDown {
+                        node,
+                        port: p as u16,
+                    }
+                } else {
+                    FaultAction::RateChange {
+                        node,
+                        port: p as u16,
+                        rate_bps: (port.rate_bps as f64 * scenario.degraded_rate_frac) as u64,
+                    }
+                };
+                plan.push(SimTime::ZERO, action);
                 degraded += 1;
             }
         }
@@ -83,6 +100,7 @@ pub fn run_hotspot_rq(
         scenario.degraded_frac,
         total_fabric_links
     );
+    sim.schedule_faults(&plan);
 
     // Disjoint random pairs, all starting together (worst case for
     // pinned paths: no chance to average over flows).
@@ -170,9 +188,10 @@ mod tests {
     }
 
     #[test]
-    fn transfers_survive_link_failure() {
-        // Even fully-down links (rate 0) must not wedge transfers:
-        // spraying avoids them, the sweep recovers stranded windows.
+    fn transfers_survive_link_down_faults() {
+        // Real detected link-down faults (degraded_rate_frac = 0 routes
+        // through the FaultPlan's LinkDown path): the fabric reroutes
+        // around the dead links and every transfer still completes.
         let sc = HotspotScenario {
             transfers: 4,
             object_bytes: 512 << 10,

@@ -7,6 +7,12 @@
 //!   with λ = 2560 s⁻¹, permutation traffic matrix, 20 % background
 //!   sessions, replica placement outside the client's rack, synchronized
 //!   Incast), shared bit-for-bit between protocol runs;
+//! * [`fault`] — fabric-dynamics scenarios: the Figure-1-style storage
+//!   workload with a deterministic mid-run core-switch failure,
+//!   Polyraptor (reroute + coded repair) vs. the ECMP-pinned TCP
+//!   baseline (timeout-driven tail inflation);
+//! * [`hotspot`] — silent mid-fabric rate degradation, spraying vs.
+//!   per-flow ECMP;
 //! * [`runner`] — mapping logical sessions onto Polyraptor
 //!   (multicast / multi-source) or TCP (multi-unicast / partitioned
 //!   fetch) simulations and aggregating per-session goodput;
@@ -18,11 +24,13 @@
 #![forbid(unsafe_code)]
 
 pub mod csv;
+pub mod fault;
 pub mod hotspot;
 pub mod runner;
 pub mod scenario;
 pub mod stats;
 
+pub use fault::{run_fault_rq, run_fault_tcp, FaultRunReport, FaultScenario};
 pub use hotspot::{run_hotspot_rq, HotspotScenario};
 pub use runner::{
     build_rq_specs, build_tcp_conns, foreground_goodputs, install_rq, op_results, run_incast_rq,

@@ -4,45 +4,190 @@
 
 use std::collections::BTreeMap;
 
-use netsim::{NodeId, Pcg32, QueueConfig, RouteMode, SimConfig, SimTime, Simulator, Topology};
+use netsim::{
+    NodeId, Pcg32, QueueConfig, RouteMode, RouteSet, SimConfig, SimTime, Simulator, Topology,
+};
 use polyraptor::{start_token, PolyraptorAgent, PrConfig, SessionId, SessionSpec};
 use tcpsim::{conn_start_token, ConnId, ConnSpec, TcpAgent, TcpConfig};
 
 use crate::scenario::{IncastScenario, LogicalSession, Pattern, StorageScenario};
 
-/// Fabric parameters of the paper's evaluation.
+/// The simulated fabric: shape plus link parameters. The paper
+/// evaluates on a fat-tree; leaf–spine and Jellyfish variants exist so
+/// scenarios can probe transports on oversubscribed and low-diameter
+/// random fabrics (where non-minimal routing matters).
 #[derive(Debug, Clone, Copy)]
-pub struct Fabric {
-    /// Fat-tree arity (paper: k = 10 → 250 hosts).
-    pub k: usize,
-    /// Link rate (paper: 1 Gbps).
-    pub rate_bps: u64,
-    /// Per-link propagation delay (paper: 10 µs).
-    pub prop_ns: u64,
+pub enum Fabric {
+    /// k-ary fat-tree (paper: k = 10 → 250 hosts, 1 Gbps, 10 µs).
+    FatTree {
+        /// Fat-tree arity (even).
+        k: usize,
+        /// Link rate in bits per second.
+        rate_bps: u64,
+        /// Per-link propagation delay in nanoseconds.
+        prop_ns: u64,
+    },
+    /// Two-tier leaf–spine with oversubscribed uplinks.
+    LeafSpine {
+        /// Leaf (top-of-rack) switches.
+        leaves: usize,
+        /// Spine switches (every leaf connects to every spine).
+        spines: usize,
+        /// Hosts per leaf.
+        hosts_per_leaf: usize,
+        /// Oversubscription ratio (1.0 = non-blocking, 4.0 = 4:1).
+        oversub: f64,
+        /// Host-link rate in bits per second.
+        rate_bps: u64,
+        /// Per-link propagation delay in nanoseconds.
+        prop_ns: u64,
+    },
+    /// Jellyfish-style seeded random regular graph of switches.
+    Jellyfish {
+        /// Switch count.
+        switches: usize,
+        /// Inter-switch degree of the random regular graph.
+        net_degree: usize,
+        /// Hosts attached to each switch.
+        hosts_per_switch: usize,
+        /// Link rate in bits per second.
+        rate_bps: u64,
+        /// Per-link propagation delay in nanoseconds.
+        prop_ns: u64,
+        /// Wiring seed (same seed ⇒ identical graph).
+        seed: u64,
+    },
 }
 
 impl Fabric {
-    /// The paper's 250-server fabric.
+    /// The paper's 250-server fat-tree.
     pub fn paper() -> Self {
-        Self {
-            k: 10,
+        Self::fat_tree(10)
+    }
+
+    /// A 16-host fat-tree for tests and quick runs.
+    pub fn small() -> Self {
+        Self::fat_tree(4)
+    }
+
+    /// A k-ary fat-tree at the paper's link parameters.
+    pub fn fat_tree(k: usize) -> Self {
+        Self::FatTree {
+            k,
             rate_bps: 1_000_000_000,
             prop_ns: 10_000,
         }
     }
 
-    /// A 16-host fabric for tests and quick runs.
-    pub fn small() -> Self {
-        Self {
-            k: 4,
+    /// A 16-host, 2:1-oversubscribed leaf–spine for tests and quick
+    /// runs (heterogeneous link rates: uplinks at 1 Gbps x 4 / 4).
+    pub fn small_leaf_spine() -> Self {
+        Self::LeafSpine {
+            leaves: 4,
+            spines: 2,
+            hosts_per_leaf: 4,
+            oversub: 2.0,
             rate_bps: 1_000_000_000,
             prop_ns: 10_000,
+        }
+    }
+
+    /// A 16-host Jellyfish fabric for tests and quick runs.
+    pub fn small_jellyfish() -> Self {
+        Self::Jellyfish {
+            switches: 8,
+            net_degree: 3,
+            hosts_per_switch: 2,
+            rate_bps: 1_000_000_000,
+            prop_ns: 10_000,
+            seed: 1,
         }
     }
 
     /// Build the routed topology.
     pub fn build(&self) -> Topology {
-        Topology::fat_tree(self.k, self.rate_bps, self.prop_ns)
+        match *self {
+            Self::FatTree {
+                k,
+                rate_bps,
+                prop_ns,
+            } => Topology::fat_tree(k, rate_bps, prop_ns),
+            Self::LeafSpine {
+                leaves,
+                spines,
+                hosts_per_leaf,
+                oversub,
+                rate_bps,
+                prop_ns,
+            } => Topology::leaf_spine(leaves, spines, hosts_per_leaf, oversub, rate_bps, prop_ns),
+            Self::Jellyfish {
+                switches,
+                net_degree,
+                hosts_per_switch,
+                rate_bps,
+                prop_ns,
+                seed,
+            } => Topology::jellyfish(
+                switches,
+                net_degree,
+                hosts_per_switch,
+                rate_bps,
+                prop_ns,
+                seed,
+            ),
+        }
+    }
+
+    /// Build the routed topology under a path-set policy (recomputes
+    /// routes only when the policy differs from the builder default).
+    pub fn build_with_route_set(&self, route_set: RouteSet) -> Topology {
+        let mut topo = self.build();
+        if route_set != RouteSet::Minimal {
+            topo.set_route_set(route_set);
+            topo.compute_routes();
+        }
+        topo
+    }
+
+    /// Number of hosts the fabric will have.
+    pub fn host_count(&self) -> usize {
+        match *self {
+            Self::FatTree { k, .. } => k * k * k / 4,
+            Self::LeafSpine {
+                leaves,
+                hosts_per_leaf,
+                ..
+            } => leaves * hosts_per_leaf,
+            Self::Jellyfish {
+                switches,
+                hosts_per_switch,
+                ..
+            } => switches * hosts_per_switch,
+        }
+    }
+
+    /// Human-readable shape summary for run banners.
+    pub fn describe(&self) -> String {
+        match *self {
+            Self::FatTree { k, .. } => format!("k={k} fat-tree ({} hosts)", self.host_count()),
+            Self::LeafSpine {
+                leaves,
+                spines,
+                oversub,
+                ..
+            } => format!(
+                "{leaves}x{spines} leaf-spine {oversub}:1 ({} hosts)",
+                self.host_count()
+            ),
+            Self::Jellyfish {
+                switches,
+                net_degree,
+                ..
+            } => format!(
+                "jellyfish {switches}sw/deg{net_degree} ({} hosts)",
+                self.host_count()
+            ),
+        }
     }
 }
 
@@ -116,6 +261,9 @@ pub struct RqRunOptions {
     pub switch_queue: QueueConfig,
     /// Path selection (default per-packet spraying).
     pub route: RouteMode,
+    /// Advertised path set (default minimal/ECMP; NonMinimal adds
+    /// FatPaths-style detours, useful on Jellyfish fabrics).
+    pub route_set: RouteSet,
 }
 
 impl Default for RqRunOptions {
@@ -124,6 +272,7 @@ impl Default for RqRunOptions {
             pr: PrConfig::paper_default(),
             switch_queue: QueueConfig::NDP_DEFAULT,
             route: RouteMode::Spray,
+            route_set: RouteSet::Minimal,
         }
     }
 }
@@ -137,7 +286,7 @@ pub fn run_storage_rq(
     fabric: &Fabric,
     opts: &RqRunOptions,
 ) -> Vec<TransferResult> {
-    let topo = fabric.build();
+    let topo = fabric.build_with_route_set(opts.route_set);
     let sessions = scenario.generate(&topo);
     let mut sim_cfg = SimConfig::ndp(scenario.seed ^ 0xFAB);
     sim_cfg.switch_queue = opts.switch_queue;
@@ -222,7 +371,7 @@ pub fn install_rq(sim: &mut Simulator<polyraptor::PrPayload, PolyraptorAgent>, s
     }
 }
 
-fn collect_rq_results(
+pub(crate) fn collect_rq_results(
     sim: &Simulator<polyraptor::PrPayload, PolyraptorAgent>,
     sessions: &[LogicalSession],
     pattern: Pattern,
@@ -282,6 +431,8 @@ pub struct TcpRunOptions {
     pub switch_queue: QueueConfig,
     /// Path selection (default per-flow ECMP).
     pub route: RouteMode,
+    /// Advertised path set (default minimal/ECMP).
+    pub route_set: RouteSet,
 }
 
 impl Default for TcpRunOptions {
@@ -290,6 +441,7 @@ impl Default for TcpRunOptions {
             tcp: TcpConfig::paper_default(),
             switch_queue: QueueConfig::DROPTAIL_DEFAULT,
             route: RouteMode::EcmpFlow,
+            route_set: RouteSet::Minimal,
         }
     }
 }
@@ -303,7 +455,7 @@ pub fn run_storage_tcp(
     fabric: &Fabric,
     opts: &TcpRunOptions,
 ) -> Vec<TransferResult> {
-    let topo = fabric.build();
+    let topo = fabric.build_with_route_set(opts.route_set);
     let sessions = scenario.generate(&topo);
     let mut sim_cfg = SimConfig::classic(scenario.seed ^ 0xFAB);
     sim_cfg.switch_queue = opts.switch_queue;
@@ -372,7 +524,7 @@ pub fn stripe(bytes: u64, n: usize) -> Vec<u64> {
     (0..n).map(|i| base + u64::from(i < extra)).collect()
 }
 
-fn collect_tcp_results(
+pub(crate) fn collect_tcp_results(
     sim: &Simulator<tcpsim::TcpPayload, TcpAgent>,
     sessions: &[LogicalSession],
 ) -> Vec<TransferResult> {
@@ -410,7 +562,7 @@ fn collect_tcp_results(
 /// Run one Incast exchange under Polyraptor: a single multi-source
 /// session striped over `senders` hosts. Returns goodput in Gbit/s.
 pub fn run_incast_rq(scenario: &IncastScenario, fabric: &Fabric, opts: &RqRunOptions) -> f64 {
-    let topo = fabric.build();
+    let topo = fabric.build_with_route_set(opts.route_set);
     let (client, senders) = scenario.place(&topo);
     let mut sim_cfg = SimConfig::ndp(scenario.seed ^ 0x1C);
     sim_cfg.switch_queue = opts.switch_queue;
@@ -443,7 +595,7 @@ pub fn run_incast_rq(scenario: &IncastScenario, fabric: &Fabric, opts: &RqRunOpt
 /// each carrying one stripe. Returns goodput in Gbit/s over the whole
 /// exchange (finish = last stripe).
 pub fn run_incast_tcp(scenario: &IncastScenario, fabric: &Fabric, opts: &TcpRunOptions) -> f64 {
-    let topo = fabric.build();
+    let topo = fabric.build_with_route_set(opts.route_set);
     let (client, senders) = scenario.place(&topo);
     let mut sim_cfg = SimConfig::classic(scenario.seed ^ 0x1C);
     sim_cfg.switch_queue = opts.switch_queue;

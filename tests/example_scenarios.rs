@@ -10,8 +10,8 @@ use polyraptor_repro::polyraptor::{
 };
 use polyraptor_repro::rq::{Decoder, Encoder};
 use polyraptor_repro::workload::{
-    run_hotspot_rq, run_incast_rq, run_storage_rq, Fabric, HotspotScenario, IncastScenario,
-    Pattern, RqRunOptions, StorageScenario,
+    run_fault_rq, run_hotspot_rq, run_incast_rq, run_storage_rq, Fabric, FaultScenario,
+    HotspotScenario, IncastScenario, Pattern, RqRunOptions, StorageScenario,
 };
 
 /// `examples/quickstart.rs` part 1: codec round-trip through 10% loss.
@@ -143,6 +143,51 @@ fn incast_burst_completes_deterministically() {
     assert!(a > 0.5, "incast goodput {a}");
     let b = run_incast_rq(&sc, &Fabric::small(), &RqRunOptions::default());
     assert_eq!(a.to_bits(), b.to_bits(), "incast run must be bit-identical");
+}
+
+/// `examples/fabric_faults.rs`: a core switch dies mid-transfer;
+/// Polyraptor reroutes, repairs its trees, and completes every session,
+/// bit-identically across runs.
+#[test]
+fn fabric_faults_scenario_completes_deterministically() {
+    let sc = FaultScenario::fig1_failure(3, 64 << 10, 7);
+    let a = run_fault_rq(&sc, &Fabric::small(), &RqRunOptions::default());
+    assert_eq!(a.flows.len(), 3 * 3, "one flow per replica, all complete");
+    assert_eq!(a.fabric.reroutes, 1);
+    assert!(a.fabric.trees_repaired > 0);
+    let b = run_fault_rq(&sc, &Fabric::small(), &RqRunOptions::default());
+    assert_eq!(a.victim, b.victim);
+    assert_eq!(a.fabric, b.fabric, "same seed ⇒ identical fabric stats");
+    for (x, y) in a.flows.iter().zip(&b.flows) {
+        assert_eq!(
+            (x.session, x.start, x.finish, x.bytes),
+            (y.session, y.start, y.finish, y.bytes)
+        );
+    }
+}
+
+/// The new topology generators carry real workloads: replicated writes
+/// complete on an oversubscribed leaf–spine and on a Jellyfish random
+/// graph exactly as they do on the fat-tree.
+#[test]
+fn storage_writes_complete_on_leaf_spine_and_jellyfish() {
+    let sc = StorageScenario {
+        sessions: 6,
+        object_bytes: 64 << 10,
+        replicas: 3,
+        lambda_per_host: polyraptor_repro::workload::scenario::PAPER_LAMBDA_PER_HOST,
+        background_frac: 0.0,
+        pattern: Pattern::Write,
+        seed: 5,
+        normalize_load: true,
+    };
+    for fabric in [Fabric::small_leaf_spine(), Fabric::small_jellyfish()] {
+        let results = run_storage_rq(&sc, &fabric, &RqRunOptions::default());
+        assert_eq!(results.len(), 18, "all replicas complete on {fabric:?}");
+        for r in &results {
+            assert!(r.goodput_gbps() > 0.0);
+        }
+    }
 }
 
 /// `examples/hotspot.rs`: transfers over a partially degraded fabric
