@@ -1,8 +1,10 @@
 //! Fabric-dynamics benchmarks: the cost of surviving a core-switch
-//! failure, and the raw cost of a masked route recomputation (the
-//! operation every mid-run fault pays for).
+//! failure, the raw cost of a masked route recomputation, and the
+//! incremental repair that replaces it after small fault deltas —
+//! plus the simulated post-fault recovery tail with and without
+//! batched sweep re-pulls.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use netsim::{FaultMask, Topology};
 use workload::{run_fault_rq, Fabric, FaultScenario, RqRunOptions};
 
@@ -21,11 +23,40 @@ fn fault_recovery(c: &mut Criterion) {
     g.finish();
 }
 
+/// The recovery-tail measurement: identical fault runs with the batched
+/// sweep recovery on (default) and off (legacy single-nudge sweeps).
+/// Wall time is reported by criterion; the *simulated* post-fault tails
+/// are printed alongside, since that is the metric batching improves.
+fn recovery_tail(c: &mut Criterion) {
+    let sc = FaultScenario::fig1_failure(4, 128 << 10, 11);
+    let fabric = Fabric::small();
+    let batched_opts = RqRunOptions::default();
+    let mut legacy_opts = RqRunOptions::default();
+    legacy_opts.pr.repull_batch_cap = 0;
+    for (name, opts) in [("batched", &batched_opts), ("legacy", &legacy_opts)] {
+        let tail = run_fault_rq(&sc, &fabric, opts)
+            .recovery()
+            .expect("faulted run")
+            .max_ns;
+        println!("fault/recovery_tail/{name}: simulated post-fault tail {tail} ns");
+    }
+    let mut g = c.benchmark_group("fault/recovery_tail");
+    g.sample_size(10);
+    g.bench_function("batched_repull", |b| {
+        b.iter(|| run_fault_rq(&sc, &fabric, &batched_opts));
+    });
+    g.bench_function("legacy_sweep", |b| {
+        b.iter(|| run_fault_rq(&sc, &fabric, &legacy_opts));
+    });
+    g.finish();
+}
+
 fn reroute_cost(c: &mut Criterion) {
     let mut g = c.benchmark_group("fault/reroute");
     g.sample_size(10);
     // Masked all-pairs route recomputation on the paper's 250-host
-    // fat-tree — the per-fault control-plane bill.
+    // fat-tree — what every mid-run fault paid before incremental
+    // repair existed, and what mass fault deltas still pay.
     let mut topo = Topology::fat_tree(10, 1_000_000_000, 10_000);
     let core = topo.core_switches()[0];
     let mut mask = FaultMask::new();
@@ -33,8 +64,40 @@ fn reroute_cost(c: &mut Criterion) {
     g.bench_function("masked_recompute_k10", |b| {
         b.iter(|| topo.compute_routes_masked(&mask));
     });
+
+    // Incremental repair of the same failures: surgery plus a handful of
+    // per-destination rebuilds instead of 250 BFS trees. The pristine
+    // topology is cloned outside the timed section (iter_batched), so
+    // the comparison against masked_recompute_k10 is repair-work only.
+    // Note `core_switches()` returns every host-free switch (aggs too);
+    // the true core layer is the last-added (k/2)² nodes.
+    let pristine = Topology::fat_tree(10, 1_000_000_000, 10_000);
+    let true_core = netsim::NodeId(pristine.node_count() as u32 - 1);
+    // Single link failure: one agg–core uplink. The core keeps serving
+    // 9 pods but loses its only path into the tenth, so that pod's 25
+    // destination trees need a BFS rebuild.
+    let mut link_mask = FaultMask::new();
+    link_mask.fail_link(&pristine, true_core, 0);
+    g.bench_function("repair_single_link_k10", |b| {
+        b.iter_batched(
+            || pristine.clone(),
+            |mut t| t.repair_routes(&link_mask),
+            BatchSize::LargeInput,
+        );
+    });
+    // Whole core-switch failure (pure surgery on a fat-tree: every
+    // agg keeps an equal-cost sibling core, no BFS at all).
+    let mut switch_mask = FaultMask::new();
+    switch_mask.fail_node(true_core);
+    g.bench_function("repair_switch_down_k10", |b| {
+        b.iter_batched(
+            || pristine.clone(),
+            |mut t| t.repair_routes(&switch_mask),
+            BatchSize::LargeInput,
+        );
+    });
     g.finish();
 }
 
-criterion_group!(benches, fault_recovery, reroute_cost);
+criterion_group!(benches, fault_recovery, recovery_tail, reroute_cost);
 criterion_main!(benches);

@@ -1,5 +1,5 @@
 //! The Polyraptor host agent: session demultiplexing, the shared pull
-//! queue, pull pacing, and keep-alive sweeps.
+//! queue, pull pacing, and keep-alive sweeps with batched recovery.
 //!
 //! One agent runs per host and carries any number of concurrent sender-
 //! and receiver-side sessions. The receiver side owns **one pull queue
@@ -8,6 +8,15 @@
 //! per symbol-serialization time — so the aggregate data rate converging
 //! on this host matches its access-link capacity regardless of how many
 //! sessions or senders are active.
+//!
+//! The keep-alive sweep watches for sessions quiet past the retransmit
+//! timeout. A quiet session has nothing left in flight, so its
+//! pulled-minus-arrived ledger (see [`crate::receiver`]) is exactly the
+//! loss a fault inflicted: the sweep re-pulls **every affected sender in
+//! one batched recovery round** — each re-pull writes off the stranded
+//! symbols and triggers a window-sized refill burst — instead of the
+//! legacy one-nudge-per-sweep trickle whose post-fault tail was paced by
+//! the 1 ms sweep interval.
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -39,13 +48,23 @@ fn sweep_token() -> u64 {
     KIND_SWEEP << 56
 }
 
+/// What a queued pull is for: ordinary credit, or a keep-alive recovery
+/// re-pull (whose batched write-off is sized at transmission time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PullClass {
+    /// Per-arrival credit pull.
+    Credit,
+    /// Keep-alive sweep re-pull: nudge + batched loss write-off.
+    Recover,
+}
+
 /// The host-wide pull scheduler: one *logical* pull queue shared by all
 /// sessions (paper §2), realized as per-session FIFOs drained round-robin
 /// so no session can head-of-line-block another, with a per-session cap —
 /// beyond one window's worth, queued pulls carry no extra information
 /// (each just asks for "one more fresh symbol").
 struct PullScheduler {
-    per_session: BTreeMap<SessionId, VecDeque<(NodeId, bool)>>,
+    per_session: BTreeMap<SessionId, VecDeque<(NodeId, PullClass)>>,
     rotation: VecDeque<SessionId>,
     cap: usize,
 }
@@ -62,7 +81,7 @@ impl PullScheduler {
     /// Queue a pull towards `target`; silently coalesced when the
     /// session already has a full window of pending pulls (harmless:
     /// pulls carry cumulative counts read at transmission time).
-    fn enqueue(&mut self, session: SessionId, target: NodeId, nudge: bool) {
+    fn enqueue(&mut self, session: SessionId, target: NodeId, class: PullClass) {
         let q = self.per_session.entry(session).or_default();
         if q.len() >= self.cap {
             return;
@@ -70,23 +89,23 @@ impl PullScheduler {
         if q.is_empty() {
             self.rotation.push_back(session);
         }
-        q.push_back((target, nudge));
+        q.push_back((target, class));
     }
 
-    /// Next (session, target, nudge) in round-robin order.
-    fn next(&mut self) -> Option<(SessionId, NodeId, bool)> {
+    /// Next (session, target, class) in round-robin order.
+    fn next(&mut self) -> Option<(SessionId, NodeId, PullClass)> {
         let session = self.rotation.pop_front()?;
         let q = self
             .per_session
             .get_mut(&session)
             .expect("rotation entry has a queue");
-        let (target, nudge) = q.pop_front().expect("queued session has a pull");
+        let (target, class) = q.pop_front().expect("queued session has a pull");
         if q.is_empty() {
             self.per_session.remove(&session);
         } else {
             self.rotation.push_back(session);
         }
-        Some((session, target, nudge))
+        Some((session, target, class))
     }
 
     /// Drop a session's pending pulls (on completion).
@@ -170,10 +189,10 @@ impl PolyraptorAgent {
         &mut self,
         session: SessionId,
         target: NodeId,
-        nudge: bool,
+        class: PullClass,
         ctx: &mut Ctx<PrPayload>,
     ) {
-        self.pulls.enqueue(session, target, nudge);
+        self.pulls.enqueue(session, target, class);
         if !self.pacer_armed {
             self.pacer_armed = true;
             // Fire immediately; the pacer re-arms itself with spacing.
@@ -183,7 +202,7 @@ impl PolyraptorAgent {
 
     fn pacer_tick(&mut self, ctx: &mut Ctx<PrPayload>) {
         // Drop stale entries (completed sessions) without pacing cost.
-        while let Some((sid, target, nudge)) = self.pulls.next() {
+        while let Some((sid, target, class)) = self.pulls.next() {
             let Some(rs) = self.recv_sessions.get_mut(&sid) else {
                 continue;
             };
@@ -194,9 +213,20 @@ impl PolyraptorAgent {
                 continue;
             };
             rs.pulls_sent += 1;
-            // Cumulative count, read *now* — a delayed pull carries the
-            // freshest information at the moment it leaves.
-            let count = rs.arrivals_from(sender_idx);
+            // Cumulative count and recovery batch, read *now* — a
+            // delayed pull carries the freshest information at the
+            // moment it leaves.
+            let (nudge, batch) = match class {
+                PullClass::Credit => {
+                    rs.note_pull_sent(sender_idx);
+                    (false, 0)
+                }
+                PullClass::Recover => (
+                    true,
+                    rs.take_repull_batch(sender_idx, self.cfg.repull_batch_cap),
+                ),
+            };
+            let count = rs.report_count(sender_idx);
             ctx.send(Packet {
                 src: self.node,
                 dst: Dest::Host(target),
@@ -209,10 +239,17 @@ impl PolyraptorAgent {
                     session: sid,
                     count,
                     nudge,
+                    batch,
                 },
             });
-            // One pull per spacing interval: re-arm and stop.
-            ctx.timer_after(self.cfg.pull_spacing_ns, pacer_token());
+            // One pull per spacing interval: re-arm and stop. Recovery
+            // re-pulls can each trigger a window-sized refill burst, so
+            // they re-arm with the wider recovery spacing.
+            let spacing = match class {
+                PullClass::Credit => self.cfg.pull_spacing_ns,
+                PullClass::Recover => self.cfg.repull_spacing_ns,
+            };
+            ctx.timer_after(spacing, pacer_token());
             return;
         }
         self.pacer_armed = false;
@@ -232,18 +269,29 @@ impl PolyraptorAgent {
         }
         let now = ctx.now;
         let rto = self.cfg.retransmit_timeout_ns;
+        let batched = self.cfg.repull_batch_cap > 0;
         let mut repulls: Vec<(SessionId, NodeId)> = Vec::new();
         for (sid, rs) in self.recv_sessions.iter_mut() {
             if rs.done || now.since(rs.last_activity) < rto || now < rs.spec.start {
                 continue;
             }
-            // Quiet session: nudge the next sender (round-robin). The
-            // pull also restarts a sender whose initial window vanished.
+            // Quiet session: nothing is left in flight, so the stranded
+            // estimates are live loss. Open a recovery round and re-pull
+            // every affected sender (legacy mode: one round-robin nudge).
+            // The pull also restarts a sender whose initial window
+            // vanished entirely.
             rs.last_activity = now;
-            repulls.push((*sid, rs.next_sweep_target()));
+            rs.begin_recovery_round();
+            if batched {
+                for target in rs.recovery_targets() {
+                    repulls.push((*sid, target));
+                }
+            } else {
+                repulls.push((*sid, rs.next_sweep_target()));
+            }
         }
         for (sid, target) in repulls {
-            self.enqueue_pull(sid, target, true, ctx);
+            self.enqueue_pull(sid, target, PullClass::Recover, ctx);
         }
         self.arm_sweep(ctx);
     }
@@ -313,12 +361,12 @@ impl Agent<PrPayload> for PolyraptorAgent {
                     return; // late tail symbols after completion
                 }
                 if trimmed {
-                    rs.on_trimmed(sender_idx, ctx.now);
-                    self.enqueue_pull(session, pkt.src, false, ctx);
+                    rs.on_trimmed(sender_idx, esi, ctx.now);
+                    self.enqueue_pull(session, pkt.src, PullClass::Credit, ctx);
                 } else if rs.on_symbol(sender_idx, esi, body, ctx.now) {
                     self.complete_session(session, ctx);
                 } else {
-                    self.enqueue_pull(session, pkt.src, false, ctx);
+                    self.enqueue_pull(session, pkt.src, PullClass::Credit, ctx);
                 }
                 self.arm_sweep(ctx);
             }
@@ -326,9 +374,10 @@ impl Agent<PrPayload> for PolyraptorAgent {
                 session,
                 count,
                 nudge,
+                batch,
             } => {
                 if let Some(ss) = self.send_sessions.get_mut(&session) {
-                    ss.on_pull(pkt.src, count, nudge, self.node, &self.cfg, ctx);
+                    ss.on_pull(pkt.src, count, nudge, batch, self.node, &self.cfg, ctx);
                 }
             }
             PrPayload::Req { session } => {

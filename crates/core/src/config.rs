@@ -6,7 +6,7 @@ use netsim::serialization_ns;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MulticastPull {
     /// Strict aggregation per the paper's §2 text: "multicasts a new
-    /// symbol only after **all** receivers have sent one [pull]". The
+    /// symbol only after **all** receivers have sent one \[pull\]". The
     /// group advances at the instantaneously slowest receiver's pull
     /// rate. Under cross-traffic this couples every receiver to every
     /// other receiver's congestion (measured in `benches/ablations.rs`);
@@ -67,6 +67,22 @@ pub struct PrConfig {
     /// window's worth, extra pulls carry no information (every pull
     /// requests "one more fresh symbol").
     pub pull_queue_cap: usize,
+    /// Batch sweep recovery: the most stranded symbols one keep-alive
+    /// re-pull may write off and re-request from a sender. A fault that
+    /// strands a pile of pulled symbols is healed by a single batched
+    /// re-pull instead of one sweep nudge per lost symbol (the
+    /// sweep-paced post-fault tail the ROADMAP called out). The refill
+    /// burst a write-off triggers is window-capped regardless, so the
+    /// cap bounds accounting drift, not burst size — the default is
+    /// deliberately generous. `0` disables batching and falls back to
+    /// the legacy single-nudge sweep.
+    pub repull_batch_cap: u32,
+    /// Pacer spacing after a batched recovery re-pull leaves the host
+    /// (regular pulls use [`PrConfig::pull_spacing_ns`]): each re-pull
+    /// can trigger up to a window of emissions, so consecutive re-pulls
+    /// — e.g. to the several replicas of a multi-source session — are
+    /// spread out to keep the recovery burst access-link-shaped.
+    pub repull_spacing_ns: u64,
 }
 
 impl PrConfig {
@@ -90,6 +106,8 @@ impl PrConfig {
             straggler_lag: None,
             multicast: MulticastPull::Any,
             pull_queue_cap: 32,
+            repull_batch_cap: 512,
+            repull_spacing_ns: 4 * serialization_ns(pkt, rate),
         }
     }
 
@@ -106,6 +124,18 @@ impl PrConfig {
     pub fn k_for(&self, len: usize) -> usize {
         assert!(len > 0, "empty objects cannot be transferred");
         len.div_ceil(self.symbol_size)
+    }
+
+    /// The per-sender in-flight window of a session: each of `n_senders`
+    /// replicas keeps its share of [`PrConfig::initial_window`], so the
+    /// receiver's aggregate in-flight is one window; short objects cap
+    /// at `k + 2` (enough to finish in one RTT). Senders size their
+    /// emission window with this, and receivers use the same number to
+    /// seed their pulled-minus-arrived loss accounting.
+    pub fn per_sender_window(&self, data_len: usize, n_senders: usize) -> u64 {
+        let k = self.k_for(data_len) as u32;
+        let per_sender = u32::max(1, self.initial_window.div_ceil(n_senders as u32));
+        u64::from(per_sender.min(k + 2))
     }
 }
 

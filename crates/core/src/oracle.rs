@@ -132,6 +132,35 @@ impl Oracle {
             Oracle::Real { decoder, .. } => decoder.symbols_received(),
         }
     }
+
+    /// Upper bound on the fresh symbols still needed to recover the
+    /// object: the decode threshold minus the distinct symbols already
+    /// collected. Batch sweep recovery caps its re-pull bursts with this
+    /// so a recovery round never requests more symbols than the session
+    /// could possibly use.
+    pub fn symbols_needed(&self) -> u64 {
+        match self {
+            Oracle::Counting {
+                k,
+                required_overhead,
+                seen,
+                ..
+            } => (*k + *required_overhead).saturating_sub(seen.len()) as u64,
+            // The real decoder may need a little overhead beyond k, so
+            // the bound stays at least 1 until decode succeeds.
+            Oracle::Real { decoder, done, .. } => {
+                if *done {
+                    0
+                } else {
+                    (decoder
+                        .params()
+                        .k
+                        .saturating_sub(decoder.symbols_received()) as u64)
+                        .max(1)
+                }
+            }
+        }
+    }
 }
 
 /// The canonical (deterministic) object bytes for a session — what a

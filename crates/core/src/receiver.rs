@@ -5,6 +5,14 @@
 //! agent paces pulls out of that queue at the access-link rate. A lost or
 //! trimmed symbol is never re-requested; the next fresh symbol replaces
 //! it (rateless property), so the pull clock never stalls on loss.
+//!
+//! The receiver also keeps **pulled-minus-arrived loss accounting** per
+//! sender: it knows how many symbols it licensed (the blind initial
+//! window plus one per pull) and how many arrived. When a session goes
+//! quiet past the retransmit timeout, nothing is left in flight, so the
+//! difference is exactly the symbols a fault stranded — the estimate
+//! that sizes the keep-alive sweep's batched recovery re-pulls (see
+//! [`ReceiverSession::take_repull_batch`]).
 
 use netsim::{NodeId, SimTime};
 
@@ -21,6 +29,37 @@ pub struct ReceiverSession {
     /// Cumulative arrivals (full + trimmed) per sender index — the
     /// counts pulls report back (read at pull transmission time).
     arrivals_from: Vec<u64>,
+    /// Symbols licensed per sender: the expected blind initial window,
+    /// plus one per credit pull, plus `batch + 1` per recovery re-pull
+    /// (the refill and the forced nudge emission). The ledger
+    /// `granted − arrivals − written_off` evaluated on a quiet session
+    /// estimates symbols stranded by loss. Clamped so the estimate never
+    /// goes negative when a sender over-delivers (multicast groups are
+    /// paced by their fastest receiver).
+    granted: Vec<u64>,
+    /// Cumulative loss write-offs per sender. Folded into every reported
+    /// pull count ([`ReceiverSession::report_count`]): the sender's
+    /// credit clock is `max` over reported counts, so counting stranded
+    /// symbols as consumed is what re-opens its window — and keeps the
+    /// self-clocked pull loop running at line rate afterwards, because
+    /// subsequent per-arrival counts continue from the advanced clock
+    /// instead of lagging it by the never-arriving symbols.
+    written_off: Vec<u64>,
+    /// High-water mark of per-sender emission ordinals, inverted from
+    /// observed ESIs (senders emit their source partition in order, then
+    /// their strided repair sequence). A lower bound on what the sender
+    /// actually emitted — it catches losses the licensing ledger cannot
+    /// see, e.g. group emissions a faster co-receiver pulled that died
+    /// on this receiver's tree branch.
+    emitted_seen: Vec<u64>,
+    /// Per-sender source partitions `[lo, hi)` (for the ESI inversion).
+    partitions: Vec<(u64, u64)>,
+    /// Source symbols in the object (for the ESI inversion).
+    k: u64,
+    /// Write-off symbols already requested in the current recovery round
+    /// (reset each sweep) — caps a round's total at what the decode
+    /// still needs.
+    repull_round: u64,
     /// Set once the start timer fired or the first symbol arrived.
     pub started: bool,
     /// Object recovered; FINs sent.
@@ -48,9 +87,22 @@ impl ReceiverSession {
             OracleMode::Real => Oracle::real(spec.id, spec.data_len, cfg.symbol_size),
         };
         let n_senders = spec.senders.len();
+        let share = cfg.per_sender_window(spec.data_len, n_senders);
+        let partitions = (0..n_senders)
+            .map(|i| {
+                let (lo, hi) = crate::session::source_partition(k, n_senders, i);
+                (lo as u64, hi as u64)
+            })
+            .collect();
         Self {
             oracle,
             arrivals_from: vec![0; n_senders],
+            granted: vec![share; n_senders],
+            written_off: vec![0; n_senders],
+            emitted_seen: vec![0; n_senders],
+            partitions,
+            k: k as u64,
+            repull_round: 0,
             started: false,
             done: false,
             last_activity: spec.start,
@@ -74,27 +126,136 @@ impl ReceiverSession {
         self.started = true;
         self.last_activity = now;
         self.count_arrival(sender_idx);
+        self.note_esi(sender_idx, esi);
         self.oracle.add(esi, body)
     }
 
     /// Record a trimmed header (no coding progress, but it advances the
-    /// arrival count — the sender must learn the pipe drained).
-    pub fn on_trimmed(&mut self, sender_idx: u8, now: SimTime) {
+    /// arrival count — the sender must learn the pipe drained — and its
+    /// ESI still raises the emission high-water mark).
+    pub fn on_trimmed(&mut self, sender_idx: u8, esi: u32, now: SimTime) {
         self.started = true;
         self.last_activity = now;
         self.trimmed_seen += 1;
         self.count_arrival(sender_idx);
+        self.note_esi(sender_idx, esi);
+    }
+
+    /// Invert an observed ESI to the sender's emission ordinal (senders
+    /// emit their source partition in order, then repairs strided by the
+    /// sender count) and raise that sender's high-water mark. ESIs
+    /// outside the sender's sequence (corruption would be a bug, not a
+    /// runtime condition) are ignored.
+    fn note_esi(&mut self, sender_idx: u8, esi: u32) {
+        let idx = usize::from(sender_idx).min(self.partitions.len() - 1);
+        let s = self.partitions.len() as u64;
+        let (lo, hi) = self.partitions[idx];
+        let esi = u64::from(esi);
+        let ordinal = if esi < self.k {
+            if esi < lo || esi >= hi {
+                return;
+            }
+            esi - lo + 1
+        } else {
+            let r = esi - self.k;
+            if r < idx as u64 || !(r - idx as u64).is_multiple_of(s) {
+                return;
+            }
+            (hi - lo) + (r - idx as u64) / s + 1
+        };
+        self.emitted_seen[idx] = self.emitted_seen[idx].max(ordinal);
     }
 
     fn count_arrival(&mut self, sender_idx: u8) {
         let idx = usize::from(sender_idx).min(self.arrivals_from.len() - 1);
         self.arrivals_from[idx] += 1;
+        // Over-delivery (a multicast group paced by a faster co-receiver,
+        // or a written-off symbol arriving late after all) means nothing
+        // is stranded from this sender; keep the estimate non-negative.
+        self.granted[idx] = self.granted[idx].max(self.report_count(idx));
     }
 
-    /// Cumulative arrivals from the sender at `spec.senders[idx]` — the
-    /// value a pull to that sender carries.
+    /// Cumulative arrivals from the sender at `spec.senders[idx]`
+    /// (diagnostics; pulls carry [`ReceiverSession::report_count`]).
     pub fn arrivals_from(&self, idx: usize) -> u64 {
         self.arrivals_from[idx]
+    }
+
+    /// The cumulative count a pull to `spec.senders[idx]` carries:
+    /// arrivals plus written-off losses — both consume sender credit, so
+    /// the window keeps sliding across a mass-loss event.
+    pub fn report_count(&self, idx: usize) -> u64 {
+        self.arrivals_from[idx] + self.written_off[idx]
+    }
+
+    /// Record that a regular (credit) pull to `spec.senders[idx]` left
+    /// the host: it licenses one more emission.
+    pub fn note_pull_sent(&mut self, idx: usize) {
+        self.granted[idx] += 1;
+    }
+
+    /// Symbols evidently stranded from `spec.senders[idx]`: whichever is
+    /// larger of the licensing ledger (pulled) and the emission
+    /// high-water mark (observed ESIs), minus arrivals and previous
+    /// write-offs. Meaningful on a quiet session — nothing is left in
+    /// flight, so the whole difference died in the fabric.
+    pub fn stranded_estimate(&self, idx: usize) -> u64 {
+        self.granted[idx]
+            .max(self.emitted_seen[idx])
+            .saturating_sub(self.report_count(idx))
+    }
+
+    /// Upper bound on fresh symbols still needed to recover the object.
+    pub fn symbols_needed(&self) -> u64 {
+        self.oracle.symbols_needed()
+    }
+
+    /// Start a new recovery round (called by each keep-alive sweep that
+    /// finds this session quiet): resets the per-round write-off budget.
+    /// A session still quiet at the next sweep has, by the RTO argument,
+    /// lost whatever the previous round requested, so the budget renews.
+    pub fn begin_recovery_round(&mut self) {
+        self.repull_round = 0;
+    }
+
+    /// Size the batched write-off of a recovery re-pull to
+    /// `spec.senders[idx]`, read at pull transmission time: the stranded
+    /// estimate, capped by `cap` and by what the decode still needs
+    /// minus what this round already requested — batched recovery never
+    /// asks for more symbols than the session could use. The batch is
+    /// added to the sender's cumulative write-off (so the outgoing
+    /// count consumes the stranded credit) and the ledger licenses the
+    /// `batch`-sized refill plus the forced nudge emission.
+    pub fn take_repull_batch(&mut self, idx: usize, cap: u32) -> u32 {
+        let budget = self.symbols_needed().saturating_sub(self.repull_round);
+        let batch = self
+            .stranded_estimate(idx)
+            .min(u64::from(cap))
+            .min(budget)
+            .min(u64::from(u32::MAX)) as u32;
+        self.repull_round += u64::from(batch);
+        self.written_off[idx] += u64::from(batch);
+        // The sender answers with a window refill of up to `batch` plus
+        // the one forced emission — all freshly licensed.
+        self.granted[idx] += u64::from(batch) + 1;
+        batch
+    }
+
+    /// The senders a recovery sweep should re-pull: every sender with a
+    /// positive stranded estimate (deterministic index order), or — when
+    /// the estimator sees nothing stranded but the session is quiet
+    /// anyway (diverged accounting, lost control packets) — the next
+    /// round-robin keep-alive target alone.
+    pub fn recovery_targets(&mut self) -> Vec<NodeId> {
+        let stranded: Vec<NodeId> = (0..self.spec.senders.len())
+            .filter(|&i| self.stranded_estimate(i) > 0)
+            .map(|i| self.spec.senders[i])
+            .collect();
+        if stranded.is_empty() {
+            vec![self.next_sweep_target()]
+        } else {
+            stranded
+        }
     }
 
     /// Distinct symbols collected.
@@ -151,7 +312,7 @@ mod tests {
     fn trimmed_headers_count_as_arrivals_not_progress() {
         let cfg = PrConfig::paper_default();
         let mut rs = recv_session(5 * cfg.symbol_size);
-        rs.on_trimmed(0, SimTime::from_micros(7));
+        rs.on_trimmed(0, 9, SimTime::from_micros(7));
         assert_eq!(rs.trimmed_seen, 1);
         assert_eq!(rs.symbols_received(), 0);
         assert_eq!(
@@ -194,11 +355,111 @@ mod tests {
     }
 
     #[test]
+    fn estimator_zero_loss_reports_nothing_stranded() {
+        let cfg = PrConfig::paper_default();
+        let mut rs = recv_session(100 * cfg.symbol_size);
+        let share = cfg.per_sender_window(100 * cfg.symbol_size, 1);
+        assert_eq!(rs.stranded_estimate(0), share, "blind window outstanding");
+        // The whole initial window arrives, plus a licensed pull cycle.
+        for esi in 0..share as u32 {
+            rs.on_symbol(0, esi, None, SimTime::from_nanos(u64::from(esi)));
+        }
+        rs.note_pull_sent(0);
+        rs.on_symbol(0, share as u32, None, SimTime::ZERO);
+        assert_eq!(rs.stranded_estimate(0), 0, "everything licensed arrived");
+        rs.begin_recovery_round();
+        assert_eq!(rs.take_repull_batch(0, 64), 0, "zero loss ⇒ pure nudge");
+    }
+
+    #[test]
+    fn estimator_exact_loss_sizes_the_batch() {
+        let cfg = PrConfig::paper_default();
+        let mut rs = recv_session(100 * cfg.symbol_size);
+        let share = cfg.per_sender_window(100 * cfg.symbol_size, 1);
+        // Half the blind window arrives, the rest dies in the fabric.
+        let arrived = share / 2;
+        for esi in 0..arrived as u32 {
+            rs.on_symbol(0, esi, None, SimTime::ZERO);
+        }
+        let lost = share - arrived;
+        assert_eq!(rs.stranded_estimate(0), lost);
+        rs.begin_recovery_round();
+        assert_eq!(rs.take_repull_batch(0, 64), lost as u32, "batch = loss");
+    }
+
+    #[test]
+    fn estimator_over_estimate_capped_by_cap_and_need() {
+        let cfg = PrConfig::paper_default();
+        // A 4-symbol object whose licensed count is inflated way past
+        // what the decode could use.
+        let mut rs = recv_session(4 * cfg.symbol_size);
+        for _ in 0..100 {
+            rs.note_pull_sent(0);
+        }
+        rs.on_symbol(0, 0, None, SimTime::ZERO);
+        let needed = rs.symbols_needed();
+        assert!(needed <= 3 + 2, "4-symbol object needs at most k+overhead");
+        rs.begin_recovery_round();
+        // The configured cap bounds the batch...
+        assert_eq!(rs.take_repull_batch(0, 2), 2.min(needed as u32));
+        // ...and the decode requirement bounds a whole round, however
+        // large the stranded estimate still is.
+        let rest = rs.take_repull_batch(0, 1000);
+        assert!(
+            u64::from(rest) <= needed.saturating_sub(2.min(needed)),
+            "round total must not exceed what the decode needs"
+        );
+    }
+
+    #[test]
+    fn estimator_clamps_on_over_delivery() {
+        // Multicast groups are paced by their fastest receiver: a slow
+        // receiver can see more arrivals than it ever licensed. The
+        // ledger must clamp instead of underflowing.
+        let cfg = PrConfig::paper_default();
+        let mut rs = recv_session(100 * cfg.symbol_size);
+        let share = cfg.per_sender_window(100 * cfg.symbol_size, 1);
+        for esi in 0..(share as u32 + 20) {
+            rs.on_symbol(0, esi, None, SimTime::ZERO);
+        }
+        assert_eq!(rs.stranded_estimate(0), 0);
+    }
+
+    #[test]
+    fn recovery_targets_cover_stranded_senders() {
+        let spec = SessionSpec::multi_source(
+            SessionId(5),
+            64 * 1440,
+            vec![NodeId(1), NodeId(2), NodeId(3)],
+            NodeId(0),
+            SimTime::ZERO,
+        );
+        let mut rs = ReceiverSession::new(spec, NodeId(0), &PrConfig::paper_default(), 1);
+        // Sender 1 (index 0) delivered its share (its first partition
+        // symbols, in emission order); senders 2 and 3 lost everything.
+        let share = PrConfig::paper_default().per_sender_window(64 * 1440, 3);
+        for esi in 0..share as u32 {
+            rs.on_symbol(0, esi, None, SimTime::ZERO);
+        }
+        let targets: Vec<u32> = rs.recovery_targets().iter().map(|n| n.0).collect();
+        assert_eq!(targets, vec![2, 3], "re-pull exactly the stranded senders");
+        // The other senders' shares arrive too (each sender emits its own
+        // partition in order): nothing stranded, one round-robin nudge.
+        for i in 1..3usize {
+            let (lo, _) = crate::session::source_partition(64, 3, i);
+            for off in 0..share as u32 {
+                rs.on_symbol(i as u8, lo as u32 + off, None, SimTime::ZERO);
+            }
+        }
+        assert_eq!(rs.recovery_targets().len(), 1, "quiet ⇒ single nudge");
+    }
+
+    #[test]
     fn record_captures_counters() {
         let cfg = PrConfig::paper_default();
         let mut rs = recv_session(2 * cfg.symbol_size);
         rs.on_symbol(0, 0, None, SimTime::from_micros(1));
-        rs.on_trimmed(0, SimTime::from_micros(2));
+        rs.on_trimmed(0, 1, SimTime::from_micros(2));
         rs.pulls_sent = 5;
         let rec = rs.record(NodeId(0), SimTime::from_micros(100));
         assert_eq!(rec.symbols, 1);

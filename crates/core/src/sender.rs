@@ -20,7 +20,6 @@
 //! stream is fully useful to the receiver.
 
 use netsim::{Ctx, Dest, FlowId, NodeId, Packet, SimTime};
-use rq::params::partition;
 
 use crate::config::{MulticastPull, OracleMode, PrConfig};
 use crate::oracle::session_object;
@@ -70,14 +69,7 @@ impl SenderSession {
             .expect("node is not a sender of this session");
         let k = cfg.k_for(spec.data_len) as u32;
         let s = spec.senders.len();
-        // Contiguous source partition: first `jl` parts of size `il`,
-        // then `js` of size `is` (RFC 6330 partition function).
-        let (il, is, jl, _js) = partition(k as usize, s);
-        let (lo, hi) = if idx < jl {
-            (idx * il, (idx + 1) * il)
-        } else {
-            (jl * il + (idx - jl) * is, jl * il + (idx - jl + 1) * is)
-        };
+        let (lo, hi) = crate::session::source_partition(k as usize, s, idx);
         let encoder = match cfg.oracle {
             OracleMode::Counting => None,
             OracleMode::Real => {
@@ -175,8 +167,7 @@ impl SenderSession {
     /// receiver's aggregate in-flight is one window. Short objects cap
     /// at `k + 2` (enough to finish in one RTT).
     fn window(&self, cfg: &PrConfig) -> u64 {
-        let per_sender = u32::max(1, cfg.initial_window.div_ceil(self.n_senders));
-        u64::from(per_sender.min(self.k + 2))
+        cfg.per_sender_window(self.spec.data_len, self.n_senders as usize)
     }
 
     /// Symbols this sender believes are on the wire towards receiver
@@ -204,11 +195,18 @@ impl SenderSession {
     }
 
     /// A pull arrived from `from` reporting `count` cumulative arrivals.
+    /// A nudge with a non-zero `batch` is a batched recovery re-pull:
+    /// the receiver writes off `batch` stranded symbols, and the sender
+    /// refills the reopened window in one burst.
+    // The argument list mirrors the wire fields plus the agent's calling
+    // context; bundling them into a struct would only rename the tuple.
+    #[allow(clippy::too_many_arguments)]
     pub fn on_pull(
         &mut self,
         from: NodeId,
         count: u64,
         nudge: bool,
+        batch: u32,
         node: NodeId,
         cfg: &PrConfig,
         ctx: &mut Ctx<PrPayload>,
@@ -228,17 +226,34 @@ impl SenderSession {
         if self.fins[r] {
             return;
         }
-        // Cumulative counts tolerate reordered/lost pulls.
-        self.latest[r] = self.latest[r].max(count);
+        // Cumulative counts tolerate reordered/lost pulls. Counts fold
+        // in the receiver's loss write-offs (stranded symbols consume
+        // credit like arrivals, which is what keeps the window sliding
+        // across a mass-loss event), so they are clamped at what was
+        // actually emitted towards this receiver: an over-estimated
+        // write-off cannot mint credit for symbols that never existed.
+        let ceiling = self.emitted + self.unicast_sent[r];
+        self.latest[r] = self.latest[r].max(count.min(ceiling));
 
         if nudge {
-            // Keep-alive: force one emission so a receiver whose
-            // accounting diverged (lost trimmed headers) makes progress.
+            // Force one emission so a receiver whose accounting diverged
+            // (lost trimmed headers) makes progress even at batch 0...
             if self.detached[r] {
                 self.unicast_sent[r] += 1;
                 self.emit(Dest::Host(from), node, cfg, ctx);
+                // ...then refill whatever window the write-off reopened.
+                if batch > 0 {
+                    let w = self.window(cfg);
+                    while self.in_flight(r) < w {
+                        self.unicast_sent[r] += 1;
+                        self.emit(Dest::Host(from), node, cfg, ctx);
+                    }
+                }
             } else {
                 self.emit_group(node, cfg, ctx);
+                if batch > 0 {
+                    self.pump(node, cfg, ctx);
+                }
             }
             return;
         }
@@ -467,12 +482,74 @@ mod tests {
         assert_eq!(ctx.queued_sends().len() as u64, w);
         // Receiver reports 5 arrivals: sender tops the window back up.
         let mut ctx2 = Ctx::detached(SimTime::ZERO, NodeId(0));
-        ss.on_pull(NodeId(1), 5, false, NodeId(0), &c, &mut ctx2);
+        ss.on_pull(NodeId(1), 5, false, 0, NodeId(0), &c, &mut ctx2);
         assert_eq!(ctx2.queued_sends().len(), 5);
         // Stale (reordered) pull with an older count: no over-emission.
         let mut ctx3 = Ctx::detached(SimTime::ZERO, NodeId(0));
-        ss.on_pull(NodeId(1), 3, false, NodeId(0), &c, &mut ctx3);
+        ss.on_pull(NodeId(1), 3, false, 0, NodeId(0), &c, &mut ctx3);
         assert_eq!(ctx3.queued_sends().len(), 0);
+    }
+
+    #[test]
+    fn batched_repull_refills_exactly_the_writeoff() {
+        let c = cfg();
+        let spec = SessionSpec::unicast(
+            SessionId(1),
+            100 * 1440,
+            NodeId(0),
+            NodeId(1),
+            SimTime::ZERO,
+        );
+        let mut ss = SenderSession::new(spec, NodeId(0), &c);
+        let mut ctx = Ctx::detached(SimTime::ZERO, NodeId(0));
+        ss.start(NodeId(0), &c, &mut ctx);
+        // Window believed full; 5 in-flight symbols died. The batched
+        // re-pull reports them as consumed (count = 0 arrivals + 5
+        // written off) and triggers a refill: exactly 5 fresh symbols
+        // (1 forced + 4 pumped).
+        let mut ctx2 = Ctx::detached(SimTime::ZERO, NodeId(0));
+        ss.on_pull(NodeId(1), 5, true, 5, NodeId(0), &c, &mut ctx2);
+        assert_eq!(ctx2.queued_sends().len(), 5);
+        // The self-clock keeps running from the advanced credit clock:
+        // when the refill arrives, per-arrival counts continue past the
+        // write-off and slide the window 1:1 again.
+        let mut ctx3 = Ctx::detached(SimTime::ZERO, NodeId(0));
+        ss.on_pull(NodeId(1), 6, false, 0, NodeId(0), &c, &mut ctx3);
+        assert_eq!(ctx3.queued_sends().len(), 1, "credit loop resumed");
+    }
+
+    #[test]
+    fn batched_repull_cannot_mint_credit_beyond_emissions() {
+        let c = cfg();
+        let spec = SessionSpec::unicast(
+            SessionId(1),
+            100 * 1440,
+            NodeId(0),
+            NodeId(1),
+            SimTime::ZERO,
+        );
+        let mut ss = SenderSession::new(spec, NodeId(0), &c);
+        let mut ctx = Ctx::detached(SimTime::ZERO, NodeId(0));
+        ss.start(NodeId(0), &c, &mut ctx);
+        let emitted_before = ss.emitted();
+        // An absurd over-estimate: the reported count clamps at
+        // everything ever emitted, so the refill burst is at most one
+        // window — nothing is minted.
+        let mut ctx2 = Ctx::detached(SimTime::ZERO, NodeId(0));
+        ss.on_pull(
+            NodeId(1),
+            1_000_000,
+            true,
+            1_000_000,
+            NodeId(0),
+            &c,
+            &mut ctx2,
+        );
+        assert_eq!(
+            ctx2.queued_sends().len() as u64,
+            emitted_before,
+            "refill capped at the presumed-lost window, nothing minted"
+        );
     }
 
     #[test]
@@ -490,7 +567,7 @@ mod tests {
         ss.start(NodeId(0), &c, &mut ctx);
         // Window is full (no arrivals reported) but a nudge still emits.
         let mut ctx2 = Ctx::detached(SimTime::ZERO, NodeId(0));
-        ss.on_pull(NodeId(1), 0, true, NodeId(0), &c, &mut ctx2);
+        ss.on_pull(NodeId(1), 0, true, 0, NodeId(0), &c, &mut ctx2);
         assert_eq!(ctx2.queued_sends().len(), 1);
     }
 }

@@ -9,6 +9,21 @@ use netsim::{GroupId, NodeId, SimTime};
 
 use crate::wire::SessionId;
 
+/// The contiguous source-symbol range `[lo, hi)` that sender `idx` of
+/// `s` replicas owns, for an object of `k` source symbols: first `jl`
+/// parts of size `il`, then the rest of size `is` (RFC 6330 partition
+/// function). Senders emit their partition first (systematic prefix)
+/// and receivers invert emitted ESIs back to per-sender emission
+/// ordinals with the same bounds.
+pub fn source_partition(k: usize, s: usize, idx: usize) -> (usize, usize) {
+    let (il, is, jl, _js) = rq::params::partition(k, s);
+    if idx < jl {
+        (idx * il, (idx + 1) * il)
+    } else {
+        (jl * il + (idx - jl) * is, jl * il + (idx - jl + 1) * is)
+    }
+}
+
 /// Which side initiates the transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Initiator {

@@ -54,6 +54,16 @@ pub enum PrPayload {
         /// forces one emission even if the sender believes the pipe is
         /// full — recovers from lost trimmed-header accounting.
         nudge: bool,
+        /// Batched loss write-off, meaningful only on nudges: the
+        /// receiver's estimate of symbols it licensed from this sender
+        /// that evidently died in the fabric. The write-off is folded
+        /// into `count` (stranded symbols consume credit like arrivals,
+        /// never beyond what the sender actually emitted — a re-pull
+        /// cannot mint credit); a non-zero `batch` additionally tells
+        /// the sender to refill the reopened window in one burst,
+        /// healing a mass-loss event in one sweep instead of one nudge
+        /// per lost symbol.
+        batch: u32,
     },
     /// Read-session kick-off: "start sending me symbols".
     Req {
@@ -147,6 +157,7 @@ mod tests {
             session: SessionId(3),
             count: 7,
             nudge: false,
+            batch: 0,
         };
         assert!(p.is_control());
         assert_eq!(p.trim().unwrap(), p);
@@ -166,6 +177,7 @@ mod tests {
                 session: SessionId(5),
                 count: 0,
                 nudge: false,
+                batch: 0,
             },
             PrPayload::Req {
                 session: SessionId(5),

@@ -94,6 +94,35 @@ impl FaultMask {
     pub fn down_links(&self) -> impl Iterator<Item = (NodeId, u16)> + '_ {
         self.links.iter().map(|&(n, p)| (NodeId(n), p))
     }
+
+    /// Directed `(node, port)` link entries failed in `self` but not in
+    /// `earlier` — the link half of the delta
+    /// [`Topology::repair_routes`](crate::topology::Topology::repair_routes)
+    /// excises from the routing tables. Deterministic (set) order.
+    pub fn new_links_since(&self, earlier: &FaultMask) -> Vec<(NodeId, u16)> {
+        self.links
+            .difference(&earlier.links)
+            .map(|&(n, p)| (NodeId(n), p))
+            .collect()
+    }
+
+    /// Nodes failed in `self` but not in `earlier` — the node half of
+    /// the repair delta. Deterministic (set) order.
+    pub fn new_nodes_since(&self, earlier: &FaultMask) -> Vec<NodeId> {
+        self.nodes
+            .difference(&earlier.nodes)
+            .map(|&n| NodeId(n))
+            .collect()
+    }
+
+    /// Whether `self` restores anything that `earlier` had failed.
+    /// Restorations can shorten paths anywhere in the graph, so
+    /// incremental route repair must fall back to a full recomputation
+    /// whenever this is true.
+    pub fn restores_since(&self, earlier: &FaultMask) -> bool {
+        earlier.links.difference(&self.links).next().is_some()
+            || earlier.nodes.difference(&self.nodes).next().is_some()
+    }
 }
 
 /// One scripted fabric event.

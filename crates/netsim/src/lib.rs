@@ -78,4 +78,4 @@ pub use queue::{Enqueued, PortQueue, QueueConfig, QueueStats};
 pub use rng::Pcg32;
 pub use sim::{ecmp_choice, Agent, Ctx, FabricStats, RouteMode, SimConfig, Simulator};
 pub use time::{serialization_ns, SimTime};
-pub use topology::{NodeId, NodeKind, Port, RouteSet, Topology};
+pub use topology::{NodeId, NodeKind, Port, RouteRepair, RouteSet, Topology};

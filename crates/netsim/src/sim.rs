@@ -212,8 +212,15 @@ pub struct FabricStats {
     /// queues, in flight on a failed link, arriving at a dead switch, or
     /// addressed to a destination the fault mask disconnected.
     pub lost_to_fault: u64,
-    /// Route recomputations triggered by fault events.
+    /// Route recomputations triggered by fault events (incremental
+    /// repairs and full recomputations combined).
     pub reroutes: u64,
+    /// Reroutes served by incremental [`Topology::repair_routes`]
+    /// surgery instead of a full recomputation.
+    pub reroutes_incremental: u64,
+    /// Destination trees rebuilt by per-destination BFS across all
+    /// reroutes (full recomputations count every destination).
+    pub route_dests_rebuilt: u64,
     /// Multicast trees rebuilt during reroutes.
     pub trees_repaired: u64,
 }
@@ -629,12 +636,18 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
         self.push_event(self.now + self.config.reroute_delay_ns, EventKind::Reroute);
     }
 
-    /// Recompute unicast routes against the live fault mask and rebuild
-    /// every multicast tree (receivers a fault cut off are skipped until
-    /// a later repair restores them).
+    /// Bring the routing tables up to date with the live fault mask —
+    /// incrementally where the mask only grew (see
+    /// [`Topology::repair_routes`]), from scratch otherwise — and repair
+    /// multicast trees (receivers a fault cut off are skipped until a
+    /// later repair restores them).
     fn reroute(&mut self) {
-        self.topo.compute_routes_masked(&self.mask);
+        let outcome = self.topo.repair_routes(&self.mask);
         self.stats.reroutes += 1;
+        if !outcome.full {
+            self.stats.reroutes_incremental += 1;
+        }
+        self.stats.route_dests_rebuilt += outcome.dests_rebuilt as u64;
         // Stale routes during the convergence window may have enqueued
         // packets onto dead links, where the parked transmit loop would
         // strand them unaccounted forever; flush them as fault losses
@@ -643,14 +656,35 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
         for (node, port) in dead {
             self.flush_port(node, port);
         }
+        // Multicast-tree repair is incremental too: after a failure-only
+        // reroute, a tree whose hops are all still alive keeps
+        // delivering on its recorded (alive) ports, so only trees
+        // crossing a dead element are rebuilt. A full reroute may have
+        // restored capacity, which can re-attach previously cut-off
+        // receivers — every tree is rebuilt then.
         let gids: Vec<GroupId> = self.groups.keys().copied().collect();
         for gid in gids {
+            if !outcome.full && !self.group_crosses_fault(&self.groups[&gid]) {
+                continue;
+            }
             let g = &self.groups[&gid];
             let (sender, receivers) = (g.sender, g.receivers.clone());
             let table = self.build_tree(gid, sender, &receivers);
             self.groups.get_mut(&gid).expect("group exists").table = table;
             self.stats.trees_repaired += 1;
         }
+    }
+
+    /// Whether any hop recorded in a multicast tree's forwarding table
+    /// is unusable under the live fault mask (dead node, dead link, or
+    /// dead far end).
+    fn group_crosses_fault(&self, group: &Group) -> bool {
+        group.table.iter().any(|(&node, ports)| {
+            self.mask.node_is_down(node)
+                || ports
+                    .iter()
+                    .any(|&p| !self.mask.port_is_up(&self.topo, node, p))
+        })
     }
 
     fn deliver_to_agent(&mut self, node: NodeId, pkt: Packet<P>) {

@@ -68,6 +68,23 @@ pub enum RouteSet {
     NonMinimal,
 }
 
+/// Outcome of an incremental [`Topology::repair_routes`] call —
+/// how much of the routing state had to be recomputed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteRepair {
+    /// The repair fell back to a full [`Topology::compute_routes_masked`]
+    /// (restoration in the delta, non-minimal path set, or too many
+    /// destination trees invalidated for surgery to pay off).
+    pub full: bool,
+    /// Destination trees rebuilt by per-destination BFS. Equals the host
+    /// count on a full fallback; usually a small fraction of it after a
+    /// single link or switch failure.
+    pub dests_rebuilt: usize,
+    /// Destination route columns touched by dead-entry surgery alone
+    /// (advertised ports removed without any distance change).
+    pub dests_touched: usize,
+}
+
 /// A network graph plus routing tables.
 #[derive(Debug, Clone)]
 pub struct Topology {
@@ -79,6 +96,9 @@ pub struct Topology {
     /// towards that host. Empty until [`Topology::compute_routes`].
     routes: Vec<Vec<Vec<u16>>>,
     route_set: RouteSet,
+    /// The fault mask the current `routes` were computed against — the
+    /// baseline [`Topology::repair_routes`] diffs new masks against.
+    routes_mask: FaultMask,
 }
 
 impl Default for Topology {
@@ -97,6 +117,7 @@ impl Topology {
             host_index: Vec::new(),
             routes: Vec::new(),
             route_set: RouteSet::Minimal,
+            routes_mask: FaultMask::new(),
         }
     }
 
@@ -191,57 +212,196 @@ impl Topology {
         let mut dist = vec![u32::MAX; n];
         let mut frontier: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
         for (h_idx, &host) in self.hosts.clone().iter().enumerate() {
-            // BFS from the destination host outward. The BFS traverses
-            // links in reverse, but the mask is symmetric per link and
-            // per node, so checking the (u, port) direction suffices.
-            dist.fill(u32::MAX);
-            frontier.clear();
-            if mask.node_is_down(host) {
-                continue;
-            }
-            dist[host.0 as usize] = 0;
-            frontier.push_back(host.0);
-            while let Some(u) = frontier.pop_front() {
-                let du = dist[u as usize];
-                for (pi, port) in self.ports[u as usize].iter().enumerate() {
-                    if mask.link_is_down(NodeId(u), pi as u16) || mask.node_is_down(port.peer) {
-                        continue;
-                    }
-                    let v = port.peer.0;
-                    if dist[v as usize] == u32::MAX {
-                        dist[v as usize] = du + 1;
-                        frontier.push_back(v);
-                    }
-                }
-            }
-            // Record each node's advertised ports: shortest-path ports
-            // first (so `next_ports(..)[0]` is always minimal), then —
-            // under `RouteSet::NonMinimal` — loop-free sideways detours.
-            for u in 0..n as u32 {
-                if dist[u as usize] == u32::MAX || u == host.0 || mask.node_is_down(NodeId(u)) {
+            self.compute_dest_routes(h_idx, host, mask, &mut dist, &mut frontier);
+        }
+        self.routes_mask = mask.clone();
+    }
+
+    /// Rebuild the routing column of one destination host: BFS from the
+    /// destination outward, then record every node's advertised ports.
+    /// The BFS traverses links in reverse, but the mask is symmetric per
+    /// link and per node, so checking the (u, port) direction suffices.
+    fn compute_dest_routes(
+        &mut self,
+        h_idx: usize,
+        host: NodeId,
+        mask: &FaultMask,
+        dist: &mut [u32],
+        frontier: &mut std::collections::VecDeque<u32>,
+    ) {
+        let n = self.node_count();
+        for u in 0..n {
+            self.routes[u][h_idx].clear();
+        }
+        dist.fill(u32::MAX);
+        frontier.clear();
+        if mask.node_is_down(host) {
+            return;
+        }
+        dist[host.0 as usize] = 0;
+        frontier.push_back(host.0);
+        while let Some(u) = frontier.pop_front() {
+            let du = dist[u as usize];
+            for (pi, port) in self.ports[u as usize].iter().enumerate() {
+                if mask.link_is_down(NodeId(u), pi as u16) || mask.node_is_down(port.peer) {
                     continue;
                 }
-                let du = dist[u as usize];
-                let usable = |pi: usize, p: &Port| {
-                    !mask.link_is_down(NodeId(u), pi as u16)
-                        && !mask.node_is_down(p.peer)
-                        && dist[p.peer.0 as usize] != u32::MAX
-                };
-                let mut next: Vec<u16> = Vec::new();
+                let v = port.peer.0;
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = du + 1;
+                    frontier.push_back(v);
+                }
+            }
+        }
+        // Record each node's advertised ports: shortest-path ports
+        // first (so `next_ports(..)[0]` is always minimal), then —
+        // under `RouteSet::NonMinimal` — loop-free sideways detours.
+        for u in 0..n as u32 {
+            if dist[u as usize] == u32::MAX || u == host.0 || mask.node_is_down(NodeId(u)) {
+                continue;
+            }
+            let du = dist[u as usize];
+            let usable = |pi: usize, p: &Port| {
+                !mask.link_is_down(NodeId(u), pi as u16)
+                    && !mask.node_is_down(p.peer)
+                    && dist[p.peer.0 as usize] != u32::MAX
+            };
+            let mut next: Vec<u16> = Vec::new();
+            for (pi, p) in self.ports[u as usize].iter().enumerate() {
+                if usable(pi, p) && dist[p.peer.0 as usize] + 1 == du {
+                    next.push(pi as u16);
+                }
+            }
+            if self.route_set == RouteSet::NonMinimal {
                 for (pi, p) in self.ports[u as usize].iter().enumerate() {
-                    if usable(pi, p) && dist[p.peer.0 as usize] + 1 == du {
+                    if usable(pi, p) && dist[p.peer.0 as usize] == du && p.peer.0 < u {
                         next.push(pi as u16);
                     }
                 }
-                if self.route_set == RouteSet::NonMinimal {
-                    for (pi, p) in self.ports[u as usize].iter().enumerate() {
-                        if usable(pi, p) && dist[p.peer.0 as usize] == du && p.peer.0 < u {
-                            next.push(pi as u16);
-                        }
+            }
+            self.routes[u as usize][h_idx] = next;
+        }
+    }
+
+    /// Incrementally repair the routing tables after the fault mask grew
+    /// — the fast path for the common case of one (or a few) new link or
+    /// switch failures.
+    ///
+    /// The repair diffs `mask` against the mask the tables were last
+    /// computed with and excises the newly dead directed `(node, port)`
+    /// entries from every destination column they are advertised in.
+    /// Removing an advertised port can only change shortest-path
+    /// *distances* when it was the node's last advertised port (any
+    /// surviving advertised port still reaches a neighbour one hop
+    /// closer, so every distance is preserved by induction); only those
+    /// destinations are rebuilt by a per-destination BFS. Hosts are
+    /// leaves that nothing routes through, so emptying a host's own
+    /// column entry never invalidates the tree.
+    ///
+    /// Falls back to a full [`Topology::compute_routes_masked`] — and
+    /// says so in the returned [`RouteRepair`] — whenever surgery cannot
+    /// be proven cheap and exact: routes never computed, a restoration
+    /// in the delta (new capacity can shorten paths anywhere), the
+    /// non-minimal path set active (sideways-detour eligibility depends
+    /// on exact distances), or a mass failure dirtying more than a
+    /// quarter of all destinations.
+    ///
+    /// The result is always identical to a full recomputation against
+    /// `mask` (property-tested in `fabric_invariants`).
+    pub fn repair_routes(&mut self, mask: &FaultMask) -> RouteRepair {
+        let full = RouteRepair {
+            full: true,
+            dests_rebuilt: self.hosts.len(),
+            dests_touched: self.hosts.len(),
+        };
+        if self.routes.is_empty()
+            || self.route_set == RouteSet::NonMinimal
+            || mask.restores_since(&self.routes_mask)
+        {
+            self.compute_routes_masked(mask);
+            return full;
+        }
+        let new_links = mask.new_links_since(&self.routes_mask);
+        let new_nodes = mask.new_nodes_since(&self.routes_mask);
+        if new_links.is_empty() && new_nodes.is_empty() {
+            self.routes_mask = mask.clone();
+            return RouteRepair {
+                full: false,
+                dests_rebuilt: 0,
+                dests_touched: 0,
+            };
+        }
+        // Every newly dead directed (node, port) hop: the failed links
+        // (masks store both directions) plus each port of — and into —
+        // a newly failed node.
+        let mut dead: Vec<(u32, u16)> = new_links.iter().map(|&(n, p)| (n.0, p)).collect();
+        for &w in &new_nodes {
+            for (pi, p) in self.ports[w.0 as usize].iter().enumerate() {
+                dead.push((w.0, pi as u16));
+                dead.push((p.peer.0, p.peer_port));
+            }
+        }
+        dead.sort_unstable();
+        dead.dedup();
+        // Surgery runs dead-entry-major: each dead (u, p) sweeps node
+        // u's route row sequentially (cache-friendly — the row is one
+        // contiguous Vec per destination), flagging per-destination
+        // outcomes in bitmaps that are aggregated afterwards.
+        let mut col_touched = vec![false; self.hosts.len()];
+        let mut col_dirty = vec![false; self.hosts.len()];
+        // A newly failed destination host (the simulator only fails
+        // switches, but the mask API allows it) needs its column
+        // cleared — the rebuild handles that uniformly.
+        for &w in &new_nodes {
+            if let Some(h) = self.host_index[w.0 as usize] {
+                col_dirty[h as usize] = true;
+            }
+        }
+        for &(u, p) in &dead {
+            // A live switch that loses its last advertised port may now
+            // be farther from (or cut off from) the destination, which
+            // can cascade; those trees are rebuilt. Dead nodes'
+            // distances are irrelevant (their rows are cleared below),
+            // and hosts are leaves nothing routes through.
+            let empties_matter =
+                self.kinds[u as usize] == NodeKind::Switch && !mask.node_is_down(NodeId(u));
+            for (h_idx, list) in self.routes[u as usize].iter_mut().enumerate() {
+                if let Some(pos) = list.iter().position(|&x| x == p) {
+                    list.remove(pos);
+                    col_touched[h_idx] = true;
+                    if list.is_empty() && empties_matter {
+                        col_dirty[h_idx] = true;
                     }
                 }
-                self.routes[u as usize][h_idx] = next;
             }
+        }
+        let dirty: Vec<usize> = (0..self.hosts.len()).filter(|&h| col_dirty[h]).collect();
+        let touched = (0..self.hosts.len())
+            .filter(|&h| col_touched[h] && !col_dirty[h])
+            .count();
+        // A dead node advertises nothing (full recomputation skips it);
+        // clear its rows wholesale.
+        for &w in &new_nodes {
+            for h_idx in 0..self.hosts.len() {
+                self.routes[w.0 as usize][h_idx].clear();
+            }
+        }
+        if dirty.len() * 4 > self.hosts.len() {
+            self.compute_routes_masked(mask);
+            return full;
+        }
+        let n = self.node_count();
+        let mut dist = vec![u32::MAX; n];
+        let mut frontier = std::collections::VecDeque::new();
+        for &h_idx in &dirty {
+            let host = self.hosts[h_idx];
+            self.compute_dest_routes(h_idx, host, mask, &mut dist, &mut frontier);
+        }
+        self.routes_mask = mask.clone();
+        RouteRepair {
+            full: false,
+            dests_rebuilt: dirty.len(),
+            dests_touched: touched,
         }
     }
 
@@ -758,6 +918,142 @@ mod tests {
         t.compute_routes();
         let edge = t.edge_switch(hosts[0]);
         assert_eq!(t.next_ports(edge, hosts[15]).len(), 2);
+    }
+
+    /// Full snapshot of the advertised route tables, for equivalence
+    /// checks between incremental repair and full recomputation.
+    fn route_tables(t: &Topology) -> Vec<Vec<Vec<u16>>> {
+        (0..t.node_count() as u32)
+            .map(|n| {
+                t.hosts()
+                    .iter()
+                    .map(|&h| t.try_next_ports(NodeId(n), h).to_vec())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn repair_single_link_matches_full_and_rebuilds_few() {
+        // Fail one agg–core link on a k=4 fat-tree: only the core's
+        // single path into the agg's pod empties, so just that pod's
+        // hosts (4 of 16) need a BFS rebuild. The true core layer is the
+        // last-added (k/2)² nodes (`core_switches()` includes aggs).
+        let pristine = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        let core = NodeId(pristine.node_count() as u32 - 1);
+        let mut mask = FaultMask::new();
+        mask.fail_link(&pristine, core, 0);
+
+        let mut full = pristine.clone();
+        full.compute_routes_masked(&mask);
+        let mut repaired = pristine.clone();
+        let outcome = repaired.repair_routes(&mask);
+        assert!(!outcome.full, "single link failure must repair in place");
+        assert!(
+            outcome.dests_rebuilt <= 4,
+            "at most one pod's hosts rebuilt (got {})",
+            outcome.dests_rebuilt
+        );
+        assert!(outcome.dests_touched > 0, "surgery must remove dead ports");
+        assert_eq!(
+            route_tables(&full),
+            route_tables(&repaired),
+            "repair must be exact"
+        );
+    }
+
+    #[test]
+    fn repair_core_switch_is_pure_surgery() {
+        // Killing a whole core-layer switch changes no distances on a
+        // fat-tree (every agg keeps an equal-cost sibling core), so the
+        // repair is pure port-list surgery: zero BFS rebuilds. Note
+        // `core_switches()` also returns aggs (any host-free switch);
+        // the true core layer is the last-added (k/2)² nodes.
+        let pristine = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        let core = NodeId(pristine.node_count() as u32 - 1);
+        let mut mask = FaultMask::new();
+        mask.fail_node(core);
+        let mut full = pristine.clone();
+        full.compute_routes_masked(&mask);
+        let mut repaired = pristine.clone();
+        let outcome = repaired.repair_routes(&mask);
+        assert!(!outcome.full);
+        assert_eq!(outcome.dests_rebuilt, 0, "no distance changed");
+        assert_eq!(route_tables(&full), route_tables(&repaired));
+    }
+
+    #[test]
+    fn repair_sequential_faults_track_full_recompute() {
+        // Grow the mask one failure at a time; each repair must leave the
+        // tables identical to a from-scratch recomputation of the
+        // accumulated mask.
+        let pristine = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        let cores = pristine.core_switches();
+        let mut mask = FaultMask::new();
+        let mut repaired = pristine.clone();
+        for (step, &victim) in cores.iter().take(2).enumerate() {
+            mask.fail_node(victim);
+            repaired.repair_routes(&mask);
+            let mut full = pristine.clone();
+            full.compute_routes_masked(&mask);
+            assert_eq!(
+                route_tables(&full),
+                route_tables(&repaired),
+                "divergence after step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn repair_falls_back_on_restoration_and_non_minimal() {
+        let mut t = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        let core = t.core_switches()[0];
+        let mut mask = FaultMask::new();
+        mask.fail_node(core);
+        assert!(!t.repair_routes(&mask).full);
+        // Restoring the core can shorten paths anywhere: full fallback.
+        mask.restore_node(core);
+        let outcome = t.repair_routes(&mask);
+        assert!(outcome.full, "restoration must force a full recompute");
+        let healthy = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        assert_eq!(route_tables(&t), route_tables(&healthy));
+        // Non-minimal path sets depend on exact distances: full fallback.
+        let mut nm = Topology::jellyfish(8, 3, 1, 1_000_000_000, 10_000, 3);
+        nm.set_route_set(RouteSet::NonMinimal);
+        nm.compute_routes();
+        let mut m2 = FaultMask::new();
+        m2.fail_link(&nm, NodeId(0), 0);
+        assert!(nm.repair_routes(&m2).full);
+    }
+
+    #[test]
+    fn repair_with_no_delta_is_a_noop() {
+        let mut t = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        let before = route_tables(&t);
+        let outcome = t.repair_routes(&FaultMask::new());
+        assert!(!outcome.full);
+        assert_eq!(outcome.dests_rebuilt + outcome.dests_touched, 0);
+        assert_eq!(route_tables(&t), before);
+    }
+
+    #[test]
+    fn repair_host_link_rebuilds_only_that_host() {
+        // A dying host uplink cuts exactly one destination; everyone
+        // else's trees route around nothing (hosts are leaves).
+        let pristine = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        let victim = pristine.hosts()[0];
+        let mut mask = FaultMask::new();
+        mask.fail_link(&pristine, victim, 0);
+        let mut full = pristine.clone();
+        full.compute_routes_masked(&mask);
+        let mut repaired = pristine.clone();
+        let outcome = repaired.repair_routes(&mask);
+        assert!(!outcome.full);
+        assert_eq!(outcome.dests_rebuilt, 1, "only the cut host's tree");
+        assert_eq!(route_tables(&full), route_tables(&repaired));
+        assert!(repaired
+            .try_next_ports(pristine.hosts()[1], victim)
+            .is_empty());
     }
 
     #[test]

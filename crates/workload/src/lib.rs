@@ -30,7 +30,7 @@ pub mod runner;
 pub mod scenario;
 pub mod stats;
 
-pub use fault::{run_fault_rq, run_fault_tcp, FaultRunReport, FaultScenario};
+pub use fault::{run_fault_rq, run_fault_tcp, FaultRunReport, FaultScenario, RecoveryStats};
 pub use hotspot::{run_hotspot_rq, HotspotScenario};
 pub use runner::{
     build_rq_specs, build_tcp_conns, foreground_goodputs, install_rq, op_results, run_incast_rq,

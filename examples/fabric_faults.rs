@@ -1,5 +1,8 @@
 //! Mid-run core-switch failure on the paper's 250-host fat-tree:
-//! Polyraptor vs. TCP when the fabric actively fails underneath them.
+//! Polyraptor vs. TCP when the fabric actively fails underneath them,
+//! plus the two fast-recovery mechanisms in isolation — batched sweep
+//! re-pulls (vs. the legacy one-nudge-per-sweep recovery) and
+//! incremental route repair (vs. a full masked recomputation).
 //!
 //! The victim is the core switch that the most ECMP-pinned TCP flows
 //! cross at the failure instant (chosen by replaying the fabric's ECMP
@@ -14,9 +17,40 @@
 //! cargo run --release --example fabric_faults -- --smoke # 16-host quick run
 //! ```
 
+use polyraptor_repro::netsim::{FaultMask, NodeKind, Topology};
 use polyraptor_repro::workload::{
     run_fault_rq, run_fault_tcp, Fabric, FaultScenario, RankCurve, RqRunOptions, TcpRunOptions,
 };
+
+/// Wall-clock the control-plane bill of one link failure on `fabric`:
+/// a full masked recomputation vs. the incremental repair.
+fn time_reroute(fabric: &Fabric) -> (f64, f64, usize) {
+    let pristine = fabric.build();
+    // Victim: the first switch-switch link (an edge/leaf uplink).
+    let (node, port) = (0..pristine.node_count() as u32)
+        .map(polyraptor_repro::netsim::NodeId)
+        .filter(|&n| pristine.kind(n) == NodeKind::Switch)
+        .find_map(|n| {
+            pristine
+                .node_ports(n)
+                .iter()
+                .position(|p| pristine.kind(p.peer) == NodeKind::Switch)
+                .map(|p| (n, p as u16))
+        })
+        .expect("fabric has switch-switch links");
+    let mut mask = FaultMask::new();
+    mask.fail_link(&pristine, node, port);
+    let wall = |f: &mut dyn FnMut(&mut Topology)| {
+        let mut t = pristine.clone();
+        let start = std::time::Instant::now();
+        f(&mut t);
+        start.elapsed().as_secs_f64() * 1e3
+    };
+    let full_ms = wall(&mut |t| t.compute_routes_masked(&mask));
+    let mut rebuilt = 0;
+    let repair_ms = wall(&mut |t| rebuilt = t.repair_routes(&mask).dests_rebuilt);
+    (full_ms, repair_ms, rebuilt)
+}
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -56,15 +90,53 @@ fn main() {
         );
         println!(
             "  {label:<10} makespan {:.2} ms (healthy {:.2} ms)  timeouts {}  \
-             lost-to-fault {}  reroutes {}  trees repaired {}",
+             lost-to-fault {}  reroutes {} ({} incremental)  trees repaired {}",
             faulted.makespan().as_secs_f64() * 1e3,
             healthy.makespan().as_secs_f64() * 1e3,
             faulted.timeouts,
             faulted.fabric.lost_to_fault,
             faulted.fabric.reroutes,
+            faulted.fabric.reroutes_incremental,
             faulted.fabric.trees_repaired,
         );
+        if let Some(rec) = faulted.recovery() {
+            println!(
+                "  {label:<10} recovery latency p50 {:.2} p99 {:.2} max {:.2} ms \
+                 ({} flows in flight at failure)",
+                rec.p50_ns as f64 / 1e6,
+                rec.p99_ns as f64 / 1e6,
+                rec.max_ns as f64 / 1e6,
+                rec.flows,
+            );
+        }
     }
+
+    // Batch sweep recovery, isolated: the identical Polyraptor run with
+    // batching off recovers one symbol per keep-alive sweep.
+    let mut legacy_opts = RqRunOptions::default();
+    legacy_opts.pr.repull_batch_cap = 0;
+    let legacy = run_fault_rq(&sc, &fabric, &legacy_opts);
+    let (b, l) = (
+        rq.recovery().expect("faulted run").max_ns,
+        legacy.recovery().expect("faulted run").max_ns,
+    );
+    println!(
+        "\nbatch sweep recovery: post-fault tail {:.2} ms vs {:.2} ms legacy \
+         single-nudge sweep ({:.1}x)",
+        b as f64 / 1e6,
+        l as f64 / 1e6,
+        l as f64 / b as f64,
+    );
+
+    // Incremental route repair, isolated: the control-plane bill of one
+    // link failure on this fabric.
+    let (full_ms, repair_ms, rebuilt) = time_reroute(&fabric);
+    println!(
+        "incremental route repair: {repair_ms:.3} ms ({rebuilt} destination trees rebuilt) \
+         vs {full_ms:.3} ms full recompute ({:.1}x)",
+        full_ms / repair_ms,
+    );
+
     println!(
         "\nEvery Polyraptor session completes — spraying rides around the blackhole and\n\
          coded repair replaces lost symbols, no timeouts involved; TCP's ECMP-pinned\n\
