@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use netsim::{FaultMask, Topology};
-use workload::{run_fault_rq, Fabric, FaultScenario, RqRunOptions};
+use workload::{run_churn_rq, run_fault_rq, ChurnScenario, Fabric, FaultScenario, RqRunOptions};
 
 fn fault_recovery(c: &mut Criterion) {
     let mut g = c.benchmark_group("fault/recovery");
@@ -47,6 +47,40 @@ fn recovery_tail(c: &mut Criterion) {
     });
     g.bench_function("legacy_sweep", |b| {
         b.iter(|| run_fault_rq(&sc, &fabric, &legacy_opts));
+    });
+    g.finish();
+}
+
+/// The churn soak as a benchmark: 6 fetches under a 12-event Poisson
+/// fault process (links, flaps, switches, host failures + re-target) on
+/// the 16-host fabric. The simulated completion/recovery percentiles
+/// are printed alongside the wall time.
+fn churn(c: &mut Criterion) {
+    let mut sc = ChurnScenario::ten_event(6, 2 << 20, 2);
+    sc.fault_events = 12;
+    let fabric = Fabric::small();
+    let rep = run_churn_rq(&sc, &fabric, &RqRunOptions::default());
+    let comp = rep.completion();
+    println!(
+        "fault/churn: completion p50 {} p99 {} max {} ns; {} stranded / {} re-targeted; \
+         {} flaps coalesced",
+        comp.p50_ns,
+        comp.p99_ns,
+        comp.max_ns,
+        rep.stranded_sessions,
+        rep.retargeted_sessions,
+        rep.fabric.flaps_coalesced,
+    );
+    let mut g = c.benchmark_group("fault/churn");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes((6 * (2 << 20)) as u64));
+    g.bench_function("poisson_12ev_k4", |b| {
+        b.iter(|| run_churn_rq(&sc, &fabric, &RqRunOptions::default()));
+    });
+    let mut spread = sc;
+    spread.shared_risk_placement = true;
+    g.bench_function("poisson_12ev_k4_shared_risk", |b| {
+        b.iter(|| run_churn_rq(&spread, &fabric, &RqRunOptions::default()));
     });
     g.finish();
 }
@@ -96,8 +130,21 @@ fn reroute_cost(c: &mut Criterion) {
             BatchSize::LargeInput,
         );
     });
+    // Restore repair: the switch comes back. Before this existed every
+    // restoration paid the full masked recompute above; now it is pure
+    // restore surgery (zero BFS on a fat-tree core).
+    let mut failed = pristine.clone();
+    failed.repair_routes(&switch_mask);
+    let empty_mask = FaultMask::new();
+    g.bench_function("repair_switch_up_k10", |b| {
+        b.iter_batched(
+            || failed.clone(),
+            |mut t| t.repair_routes(&empty_mask),
+            BatchSize::LargeInput,
+        );
+    });
     g.finish();
 }
 
-criterion_group!(benches, fault_recovery, recovery_tail, reroute_cost);
+criterion_group!(benches, fault_recovery, recovery_tail, churn, reroute_cost);
 criterion_main!(benches);

@@ -33,11 +33,23 @@ use crate::wire::{PrPayload, SessionId, CONTROL_BYTES};
 const KIND_START: u64 = 1;
 const KIND_PACER: u64 = 2;
 const KIND_SWEEP: u64 = 3;
+const KIND_HOSTFAIL: u64 = 4;
 
 /// Token for a session's start timer — schedule this at `spec.start` on
 /// **every** participating host.
 pub fn start_token(session: SessionId) -> u64 {
     KIND_START << 56 | u64::from(session.0)
+}
+
+/// Token for a host-failure notification: the control plane (in these
+/// experiments, the workload layer that scripted the fault) tells this
+/// host that `dead` failed. The agent strands every receive session that
+/// was pulling from `dead` and re-targets the remaining need at each
+/// session's surviving replicas. Schedule it at the failure instant plus
+/// the control-plane convergence delay — the same lag the fabric's
+/// reroute pays.
+pub fn host_fail_token(dead: NodeId) -> u64 {
+    KIND_HOSTFAIL << 56 | u64::from(dead.0)
 }
 
 fn pacer_token() -> u64 {
@@ -56,6 +68,10 @@ enum PullClass {
     Credit,
     /// Keep-alive sweep re-pull: nudge + batched loss write-off.
     Recover,
+    /// Host-failure re-target re-pull to a surviving replica: nudge +
+    /// a batch sized (at transmission time) to what the decode still
+    /// needs — the dead sender's remaining share moves to the survivor.
+    Retarget,
 }
 
 /// The host-wide pull scheduler: one *logical* pull queue shared by all
@@ -129,6 +145,13 @@ pub struct PolyraptorAgent {
     active_recv: usize,
     /// Completed-session records (read by the experiment harness).
     pub records: Vec<SessionRecord>,
+    /// (session, dead sender) strandings this host observed via
+    /// host-failure notifications.
+    pub stranded_sessions: u64,
+    /// Strandings for which a surviving replica was re-targeted (the
+    /// rest had no survivor and ride on the keep-alive sweep until the
+    /// dead host revives).
+    pub retargeted_sessions: u64,
 }
 
 impl PolyraptorAgent {
@@ -146,6 +169,8 @@ impl PolyraptorAgent {
             sweep_armed: false,
             active_recv: 0,
             records: Vec::new(),
+            stranded_sessions: 0,
+            retargeted_sessions: 0,
         }
     }
 
@@ -212,6 +237,15 @@ impl PolyraptorAgent {
             let Some(sender_idx) = rs.spec.sender_index(target) else {
                 continue;
             };
+            // A re-target pull whose survivor died while the pull sat in
+            // the queue must be dropped, not transmitted: it would burn
+            // the round's symbol budget on a corpse and undersize the
+            // batches of the remaining survivors. (Recover pulls are
+            // different — when *every* sender is dead they double as the
+            // sweep's revival probe, so they always go out.)
+            if class == PullClass::Retarget && rs.sender_stranded(sender_idx) {
+                continue;
+            }
             rs.pulls_sent += 1;
             // Cumulative count and recovery batch, read *now* — a
             // delayed pull carries the freshest information at the
@@ -224,6 +258,10 @@ impl PolyraptorAgent {
                 PullClass::Recover => (
                     true,
                     rs.take_repull_batch(sender_idx, self.cfg.repull_batch_cap),
+                ),
+                PullClass::Retarget => (
+                    true,
+                    rs.take_retarget_batch(sender_idx, self.cfg.repull_batch_cap),
                 ),
             };
             let count = rs.report_count(sender_idx);
@@ -247,12 +285,42 @@ impl PolyraptorAgent {
             // they re-arm with the wider recovery spacing.
             let spacing = match class {
                 PullClass::Credit => self.cfg.pull_spacing_ns,
-                PullClass::Recover => self.cfg.repull_spacing_ns,
+                PullClass::Recover | PullClass::Retarget => self.cfg.repull_spacing_ns,
             };
             ctx.timer_after(spacing, pacer_token());
             return;
         }
         self.pacer_armed = false;
+    }
+
+    /// A host-failure notification arrived: strand every receive
+    /// session pulling from `dead` and re-target the remaining need at
+    /// each session's surviving replicas (one re-target re-pull per
+    /// survivor; the batches are sized at transmission time and jointly
+    /// capped by what the decode still needs). Sessions whose every
+    /// sender is dead stay on the keep-alive sweep — only a revival can
+    /// save them, and the sweep keeps probing for exactly that.
+    fn on_host_failure(&mut self, dead: NodeId, ctx: &mut Ctx<PrPayload>) {
+        let mut retargets: Vec<(SessionId, NodeId)> = Vec::new();
+        for (sid, rs) in self.recv_sessions.iter_mut() {
+            if rs.done || !rs.mark_sender_stranded(dead) {
+                continue;
+            }
+            self.stranded_sessions += 1;
+            let survivors = rs.surviving_senders();
+            if survivors.is_empty() {
+                continue;
+            }
+            self.retargeted_sessions += 1;
+            rs.begin_recovery_round();
+            for s in survivors {
+                retargets.push((*sid, s));
+            }
+        }
+        for (sid, target) in retargets {
+            self.enqueue_pull(sid, target, PullClass::Retarget, ctx);
+        }
+        self.arm_sweep(ctx);
     }
 
     fn arm_sweep(&mut self, ctx: &mut Ctx<PrPayload>) {
@@ -412,6 +480,10 @@ impl Agent<PrPayload> for PolyraptorAgent {
             }
             KIND_PACER => self.pacer_tick(ctx),
             KIND_SWEEP => self.sweep(ctx),
+            KIND_HOSTFAIL => {
+                let dead = NodeId((token & 0xFFFF_FFFF) as u32);
+                self.on_host_failure(dead, ctx);
+            }
             other => panic!("unknown timer kind {other}"),
         }
     }

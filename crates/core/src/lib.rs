@@ -65,11 +65,11 @@ pub mod sender;
 pub mod session;
 pub mod wire;
 
-pub use agent::{start_token, PolyraptorAgent};
+pub use agent::{host_fail_token, start_token, PolyraptorAgent};
 pub use config::{MulticastPull, OracleMode, PrConfig};
 pub use metrics::SessionRecord;
 pub use oracle::{required_overhead, session_object, Oracle};
 pub use receiver::ReceiverSession;
 pub use sender::SenderSession;
-pub use session::{Initiator, SessionSpec};
+pub use session::{Initiator, SessionSpec, SessionState};
 pub use wire::{symbol_packet_bytes, PrPayload, SessionId, CONTROL_BYTES};

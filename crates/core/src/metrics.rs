@@ -25,6 +25,12 @@ pub struct SessionRecord {
     pub trimmed_seen: u64,
     /// Pull packets issued for this session.
     pub pulls_sent: u64,
+    /// Senders that died (host failure) and were written off mid-session
+    /// — non-zero means the transfer survived on replica redundancy.
+    pub retargets: u32,
+    /// Symbols re-pulled from surviving replicas on re-target (bounded
+    /// by what the decode still needed when the sender died).
+    pub retarget_symbols: u64,
 }
 
 impl SessionRecord {
@@ -57,6 +63,8 @@ mod tests {
             symbols: 0,
             trimmed_seen: 0,
             pulls_sent: 0,
+            retargets: 0,
+            retarget_symbols: 0,
         }
     }
 

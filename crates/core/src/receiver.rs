@@ -19,7 +19,7 @@ use netsim::{NodeId, SimTime};
 use crate::config::{OracleMode, PrConfig};
 use crate::metrics::SessionRecord;
 use crate::oracle::Oracle;
-use crate::session::SessionSpec;
+use crate::session::{SessionSpec, SessionState};
 
 /// Receiver-side state for one session.
 pub struct ReceiverSession {
@@ -60,6 +60,14 @@ pub struct ReceiverSession {
     /// (reset each sweep) — caps a round's total at what the decode
     /// still needs.
     repull_round: u64,
+    /// Senders known dead (host failure): excluded from sweeps and
+    /// recovery targets; their remaining share rides on the survivors.
+    stranded: Vec<bool>,
+    /// Senders stranded over this session's lifetime (metrics).
+    retargets: u32,
+    /// Symbols re-pulled from surviving replicas on re-target (metrics;
+    /// never exceeds what the decode still needed at stranding time).
+    retarget_symbols: u64,
     /// Set once the start timer fired or the first symbol arrived.
     pub started: bool,
     /// Object recovered; FINs sent.
@@ -103,6 +111,9 @@ impl ReceiverSession {
             partitions,
             k: k as u64,
             repull_round: 0,
+            stranded: vec![false; n_senders],
+            retargets: 0,
+            retarget_symbols: 0,
             started: false,
             done: false,
             last_activity: spec.start,
@@ -241,14 +252,15 @@ impl ReceiverSession {
         batch
     }
 
-    /// The senders a recovery sweep should re-pull: every sender with a
-    /// positive stranded estimate (deterministic index order), or — when
-    /// the estimator sees nothing stranded but the session is quiet
-    /// anyway (diverged accounting, lost control packets) — the next
-    /// round-robin keep-alive target alone.
+    /// The senders a recovery sweep should re-pull: every live sender
+    /// with a positive stranded estimate (deterministic index order), or
+    /// — when the estimator sees nothing stranded but the session is
+    /// quiet anyway (diverged accounting, lost control packets) — the
+    /// next round-robin keep-alive target alone. Senders marked dead by
+    /// [`ReceiverSession::mark_sender_stranded`] are never targeted.
     pub fn recovery_targets(&mut self) -> Vec<NodeId> {
         let stranded: Vec<NodeId> = (0..self.spec.senders.len())
-            .filter(|&i| self.stranded_estimate(i) > 0)
+            .filter(|&i| !self.stranded[i] && self.stranded_estimate(i) > 0)
             .map(|i| self.spec.senders[i])
             .collect();
         if stranded.is_empty() {
@@ -263,11 +275,87 @@ impl ReceiverSession {
         self.oracle.symbols_received()
     }
 
-    /// The next sender to target with a keep-alive pull (round-robin).
+    /// The next sender to target with a keep-alive pull (round-robin
+    /// over the senders not known dead; plain round-robin when every
+    /// sender is dead — they may yet revive, and the keep-alive must
+    /// keep probing *someone* for liveness).
     pub fn next_sweep_target(&mut self) -> NodeId {
-        let t = self.spec.senders[self.rr % self.spec.senders.len()];
+        let n = self.spec.senders.len();
+        for _ in 0..n {
+            let i = self.rr % n;
+            self.rr += 1;
+            if !self.stranded[i] {
+                return self.spec.senders[i];
+            }
+        }
+        let t = self.spec.senders[self.rr % n];
         self.rr += 1;
         t
+    }
+
+    // ---- host-failure stranding and re-target ---------------------------
+
+    /// Where this session stands in the fault-churn lifecycle.
+    pub fn state(&self) -> SessionState {
+        if self.done {
+            SessionState::Complete
+        } else if self.stranded.iter().any(|&s| s) {
+            SessionState::Stranded
+        } else {
+            SessionState::Active
+        }
+    }
+
+    /// The control plane reports the host at `dead` failed. If it is a
+    /// live sender of this session, mark it stranded: write off
+    /// everything it still owed (so the loss ledger stops attributing
+    /// credit to a corpse) and exclude it from sweeps and recovery
+    /// rounds. Returns `true` when the sender was newly stranded — the
+    /// agent then re-targets the remaining need at the survivors.
+    pub fn mark_sender_stranded(&mut self, dead: NodeId) -> bool {
+        let Some(idx) = self.spec.sender_index(dead) else {
+            return false;
+        };
+        if self.stranded[idx] || self.done {
+            return false;
+        }
+        self.stranded[idx] = true;
+        self.retargets += 1;
+        self.written_off[idx] += self.stranded_estimate(idx);
+        true
+    }
+
+    /// Whether `spec.senders[idx]` is marked dead.
+    pub fn sender_stranded(&self, idx: usize) -> bool {
+        self.stranded[idx]
+    }
+
+    /// Senders not known dead, in index order — the re-target candidates.
+    pub fn surviving_senders(&self) -> Vec<NodeId> {
+        (0..self.spec.senders.len())
+            .filter(|&i| !self.stranded[i])
+            .map(|i| self.spec.senders[i])
+            .collect()
+    }
+
+    /// Size the batch of a re-target re-pull to `spec.senders[idx]`,
+    /// read at pull transmission time: the symbols the decode still
+    /// needs (already-decoded symbols are never re-fetched — the
+    /// data-redundancy payoff), capped by `cap` and by what this round
+    /// already requested, so a re-target round across several survivors
+    /// never re-pulls more than `symbols_needed` at the moment of
+    /// stranding. Accounting mirrors [`ReceiverSession::take_repull_batch`]:
+    /// the write-off advances the survivor's credit clock (its window
+    /// refills by `batch` fresh symbols) and the ledger licenses the
+    /// refill plus the forced nudge.
+    pub fn take_retarget_batch(&mut self, idx: usize, cap: u32) -> u32 {
+        let budget = self.symbols_needed().saturating_sub(self.repull_round);
+        let batch = budget.min(u64::from(cap)).min(u64::from(u32::MAX)) as u32;
+        self.repull_round += u64::from(batch);
+        self.written_off[idx] += u64::from(batch);
+        self.granted[idx] += u64::from(batch) + 1;
+        self.retarget_symbols += u64::from(batch);
+        batch
     }
 
     /// Produce the completion record (call exactly once, at completion).
@@ -282,6 +370,8 @@ impl ReceiverSession {
             symbols: self.symbols_received(),
             trimmed_seen: self.trimmed_seen,
             pulls_sent: self.pulls_sent,
+            retargets: self.retargets,
+            retarget_symbols: self.retarget_symbols,
         }
     }
 }
@@ -452,6 +542,64 @@ mod tests {
             }
         }
         assert_eq!(rs.recovery_targets().len(), 1, "quiet ⇒ single nudge");
+    }
+
+    #[test]
+    fn stranding_excludes_the_dead_sender_and_retarget_caps_at_need() {
+        let cfg = PrConfig::paper_default();
+        let spec = SessionSpec::multi_source(
+            SessionId(6),
+            64 * cfg.symbol_size,
+            vec![NodeId(1), NodeId(2), NodeId(3)],
+            NodeId(0),
+            SimTime::ZERO,
+        );
+        let mut rs = ReceiverSession::new(spec, NodeId(0), &cfg, 1);
+        assert_eq!(rs.state(), SessionState::Active);
+        assert!(rs.mark_sender_stranded(NodeId(2)));
+        assert!(!rs.mark_sender_stranded(NodeId(2)), "idempotent");
+        assert!(!rs.mark_sender_stranded(NodeId(9)), "not a sender");
+        assert_eq!(rs.state(), SessionState::Stranded);
+        assert_eq!(
+            rs.stranded_estimate(1),
+            0,
+            "the dead sender's debt is written off at stranding"
+        );
+        let survivors: Vec<u32> = rs.surviving_senders().iter().map(|n| n.0).collect();
+        assert_eq!(survivors, vec![1, 3]);
+        // Sweeps and recovery rounds never target the corpse.
+        for _ in 0..6 {
+            assert_ne!(rs.next_sweep_target(), NodeId(2));
+        }
+        assert!(!rs.recovery_targets().contains(&NodeId(2)));
+        // A re-target round across the survivors is capped by what the
+        // decode still needs, however many re-pulls the pacer sends.
+        let needed = rs.symbols_needed();
+        rs.begin_recovery_round();
+        let mut total = 0u64;
+        for _ in 0..4 {
+            total += u64::from(rs.take_retarget_batch(0, 1_000_000));
+            total += u64::from(rs.take_retarget_batch(2, 1_000_000));
+        }
+        assert_eq!(total, needed, "re-target re-pulls exactly the need");
+    }
+
+    #[test]
+    fn all_senders_dead_falls_back_to_probing() {
+        let spec = SessionSpec::multi_source(
+            SessionId(7),
+            1440,
+            vec![NodeId(1), NodeId(2)],
+            NodeId(0),
+            SimTime::ZERO,
+        );
+        let mut rs = ReceiverSession::new(spec, NodeId(0), &PrConfig::paper_default(), 1);
+        assert!(rs.mark_sender_stranded(NodeId(1)));
+        assert!(rs.mark_sender_stranded(NodeId(2)));
+        assert!(rs.surviving_senders().is_empty());
+        // The sweep still probes someone — a revival must be noticed.
+        let t = rs.next_sweep_target();
+        assert!(t == NodeId(1) || t == NodeId(2));
     }
 
     #[test]

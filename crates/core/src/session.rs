@@ -24,6 +24,21 @@ pub fn source_partition(k: usize, s: usize, idx: usize) -> (usize, usize) {
     }
 }
 
+/// Lifecycle of a receiver-side session as the fault-churn machinery
+/// sees it (see `ReceiverSession::state`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Transfer in progress, every sender believed alive.
+    Active,
+    /// At least one sender is known dead (host failure): its remaining
+    /// share has been written off and — when a surviving replica exists
+    /// — re-targeted there. The session still completes; the state
+    /// records that it needed the paper's data redundancy to do so.
+    Stranded,
+    /// Object recovered; FINs sent.
+    Complete,
+}
+
 /// Which side initiates the transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Initiator {

@@ -82,6 +82,68 @@ proptest! {
         );
     }
 
+    /// A re-target round — opened when a host failure strands a sender —
+    /// never re-pulls more symbols from the surviving replicas than the
+    /// decode still needs *at the moment of stranding*: already-decoded
+    /// symbols are reused, never re-fetched, and no credit is minted
+    /// across replicas however many survivors the pacer re-pulls or how
+    /// often.
+    #[test]
+    fn retarget_never_exceeds_symbols_needed_at_stranding(
+        k in 1usize..200,
+        n_senders in 2usize..5,
+        n_arrivals in 0usize..120,
+        dead in 0usize..4,
+        cap in 1u32..600,
+        repulls in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let cfg = PrConfig::paper_default();
+        let spec = SessionSpec::multi_source(
+            SessionId(78),
+            k * cfg.symbol_size,
+            (1..=n_senders as u32).map(NodeId).collect(),
+            NodeId(0),
+            SimTime::ZERO,
+        );
+        let mut rs = ReceiverSession::new(spec, NodeId(0), &cfg, 42);
+        let mut rng = netsim::Pcg32::new(seed);
+        for _ in 0..n_arrivals {
+            if rs.done {
+                break;
+            }
+            let idx = rng.below(n_senders as u64) as u8;
+            let esi = rng.below(4 * k as u64) as u32;
+            if rs.on_symbol(idx, esi, None, SimTime::ZERO) {
+                rs.done = true;
+            }
+        }
+        if rs.done {
+            return Ok(());
+        }
+        let dead = NodeId(1 + (dead % n_senders) as u32);
+        prop_assert!(rs.mark_sender_stranded(dead));
+        let needed_at_stranding = rs.symbols_needed();
+        rs.begin_recovery_round();
+        let survivors: Vec<usize> = (0..n_senders)
+            .filter(|&i| NodeId(1 + i as u32) != dead)
+            .collect();
+        let mut total = 0u64;
+        for _ in 0..repulls {
+            for &idx in &survivors {
+                let batch = rs.take_retarget_batch(idx, cap);
+                prop_assert!(batch <= cap, "single batch above the cap");
+                total += u64::from(batch);
+            }
+        }
+        prop_assert!(
+            total <= needed_at_stranding,
+            "re-target round requested {} symbols but the decode needed only {}",
+            total,
+            needed_at_stranding
+        );
+    }
+
     /// The sender honors any (count, batch) sequence without ever
     /// believing more credit than it emitted: after arbitrary re-pull
     /// abuse, cumulative emissions stay bounded by what the pulls could

@@ -116,12 +116,31 @@ impl FaultMask {
     }
 
     /// Whether `self` restores anything that `earlier` had failed.
-    /// Restorations can shorten paths anywhere in the graph, so
-    /// incremental route repair must fall back to a full recomputation
-    /// whenever this is true.
     pub fn restores_since(&self, earlier: &FaultMask) -> bool {
         earlier.links.difference(&self.links).next().is_some()
             || earlier.nodes.difference(&self.nodes).next().is_some()
+    }
+
+    /// Directed `(node, port)` link entries failed in `earlier` but no
+    /// longer in `self` — the link half of a restoration delta, which
+    /// [`Topology::repair_routes`](crate::topology::Topology::repair_routes)
+    /// heals with bounded restore surgery. Deterministic (set) order.
+    pub fn restored_links_since(&self, earlier: &FaultMask) -> Vec<(NodeId, u16)> {
+        earlier
+            .links
+            .difference(&self.links)
+            .map(|&(n, p)| (NodeId(n), p))
+            .collect()
+    }
+
+    /// Nodes failed in `earlier` but no longer in `self` — the node half
+    /// of a restoration delta. Deterministic (set) order.
+    pub fn restored_nodes_since(&self, earlier: &FaultMask) -> Vec<NodeId> {
+        earlier
+            .nodes
+            .difference(&self.nodes)
+            .map(|&n| NodeId(n))
+            .collect()
     }
 }
 
@@ -144,16 +163,21 @@ pub enum FaultAction {
         /// The repaired port on `node`.
         port: u16,
     },
-    /// Detected switch failure: everything queued at the switch is lost,
+    /// Detected node failure: everything queued at the node is lost,
     /// packets arriving at it (or in flight on its links) are lost, and
-    /// routes/multicast trees are recomputed around it.
+    /// routes/multicast trees are recomputed around it. Despite the
+    /// name, **hosts are legal victims**: a host victim models a host /
+    /// NIC failure — its access link goes dark, its queues flush, its
+    /// sessions strand until the workload re-targets them (see
+    /// `workload::churn`) or the host revives.
     SwitchDown {
-        /// The failing switch (must be a switch, not a host).
+        /// The failing node (switch, or host for a host/NIC failure).
         switch: NodeId,
     },
-    /// Switch repair; routes are recomputed.
+    /// Node repair; routes are recomputed. A repaired host's parked NIC
+    /// (and its neighbours' queues towards it) resume transmitting.
     SwitchUp {
-        /// The repaired switch.
+        /// The repaired node.
         switch: NodeId,
     },
     /// Set both directions of a link to `rate_bps` (the topology rate
@@ -224,6 +248,48 @@ impl FaultPlan {
         self
     }
 
+    /// Chainable: host/NIC failure at `at` (a [`FaultAction::SwitchDown`]
+    /// aimed at a host — see that variant for the semantics).
+    pub fn host_down(self, at: SimTime, host: NodeId) -> Self {
+        self.switch_down(at, host)
+    }
+
+    /// Chainable: host repair at `at`.
+    pub fn host_up(self, at: SimTime, host: NodeId) -> Self {
+        self.switch_up(at, host)
+    }
+
+    /// The hosts this plan takes down, with their failure instants and
+    /// (when scripted) repair instants — what a workload needs to strand
+    /// and re-target the victims' sessions. Insertion order.
+    pub fn host_failures(&self, topo: &Topology) -> Vec<HostFailure> {
+        let mut out: Vec<HostFailure> = Vec::new();
+        for ev in &self.events {
+            match ev.action {
+                FaultAction::SwitchDown { switch }
+                    if topo.kind(switch) == crate::topology::NodeKind::Host =>
+                {
+                    out.push(HostFailure {
+                        host: switch,
+                        at: ev.at,
+                        repaired_at: None,
+                    });
+                }
+                FaultAction::SwitchUp { switch } => {
+                    if let Some(f) = out
+                        .iter_mut()
+                        .rev()
+                        .find(|f| f.host == switch && f.repaired_at.is_none())
+                    {
+                        f.repaired_at = Some(ev.at);
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
     /// Chainable: rate change (0 = silent blackhole) at `at`.
     pub fn rate_change(mut self, at: SimTime, node: NodeId, port: u16, rate_bps: u64) -> Self {
         self.push(
@@ -251,6 +317,246 @@ impl FaultPlan {
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
+}
+
+/// One host failure scripted in a plan (see [`FaultPlan::host_failures`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostFailure {
+    /// The failed host.
+    pub host: NodeId,
+    /// When it goes down.
+    pub at: SimTime,
+    /// When the plan repairs it (`None` = permanent).
+    pub repaired_at: Option<SimTime>,
+}
+
+/// Relative weights of the event classes a [`FaultProcess`] draws.
+/// Classes whose weight is zero — or that have no candidate victims on
+/// the given fabric — are simply never drawn.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultMix {
+    /// Detected switch–switch link failure (repaired after the process's
+    /// repair delay, if any).
+    pub link: f64,
+    /// Transit-switch failure (host-free switches only, so no rack is
+    /// isolated by a single event).
+    pub switch: f64,
+    /// Host/NIC failure — the replica-loss case the workload layer's
+    /// session re-target exists for.
+    pub host: f64,
+    /// Link flap: down and back up within the flap delay, i.e. faster
+    /// than the control plane converges — exercises coalescing.
+    pub flap: f64,
+}
+
+impl FaultMix {
+    /// Equal weight on all four classes.
+    pub fn uniform() -> Self {
+        Self {
+            link: 1.0,
+            switch: 1.0,
+            host: 1.0,
+            flap: 1.0,
+        }
+    }
+
+    /// Links and flaps only (no element stays down for long).
+    pub fn links_only() -> Self {
+        Self {
+            link: 1.0,
+            switch: 0.0,
+            host: 0.0,
+            flap: 1.0,
+        }
+    }
+}
+
+/// A seeded Poisson process of fabric faults: exponential inter-arrival
+/// gaps at a configured rate, each event drawing its class from a
+/// [`FaultMix`] and its victim uniformly from the class's candidates.
+/// [`FaultProcess::compile`] turns it into a deterministic [`FaultPlan`]
+/// — same seed, same fabric ⇒ identical plan — so sustained fault churn
+/// is scriptable and replayable like any single-fault scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultProcess {
+    /// Fault events per second of simulated time.
+    pub rate_per_sec: f64,
+    /// Event class weights.
+    pub mix: FaultMix,
+    /// Repair each link/switch/host failure this long after it strikes
+    /// (`None` = failures are permanent). Flaps repair after
+    /// [`FaultProcess::flap_delay_ns`] regardless.
+    pub repair_delay_ns: Option<u64>,
+    /// Down-to-up delay of a flap event. Keep it below the simulator's
+    /// `reroute_delay_ns` to exercise coalescing (the default 1 ms sits
+    /// well under the 25 ms the fault scenarios use).
+    pub flap_delay_ns: u64,
+    /// RNG seed (arrival times, class draws, victim draws).
+    pub seed: u64,
+}
+
+impl FaultProcess {
+    /// A Poisson fault process at `rate_per_sec` with the given mix and
+    /// repair delay; flap delay defaults to 1 ms and the seed to 0
+    /// (override with the builder setters).
+    pub fn poisson(rate_per_sec: f64, mix: FaultMix, repair_delay_ns: Option<u64>) -> Self {
+        assert!(rate_per_sec > 0.0, "fault rate must be positive");
+        Self {
+            rate_per_sec,
+            mix,
+            repair_delay_ns,
+            flap_delay_ns: 1_000_000,
+            seed: 0,
+        }
+    }
+
+    /// Builder: set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: set the flap down-to-up delay.
+    pub fn flap_delay(mut self, ns: u64) -> Self {
+        self.flap_delay_ns = ns;
+        self
+    }
+
+    /// Compile `events` fault events over `topo` starting at `start`
+    /// into a deterministic plan. Victim candidates per class: links =
+    /// switch–switch links, switches = host-free (transit) switches,
+    /// hosts = all hosts. Classes with zero weight or no candidates are
+    /// never drawn; panics if that leaves no class at all.
+    pub fn compile(&self, topo: &Topology, start: SimTime, events: usize) -> FaultPlan {
+        use crate::topology::NodeKind;
+        let mut links: Vec<(NodeId, u16)> = Vec::new();
+        for n in 0..topo.node_count() as u32 {
+            let node = NodeId(n);
+            if topo.kind(node) != NodeKind::Switch {
+                continue;
+            }
+            for (pi, p) in topo.node_ports(node).iter().enumerate() {
+                if topo.kind(p.peer) == NodeKind::Switch && p.peer.0 > n {
+                    links.push((node, pi as u16));
+                }
+            }
+        }
+        let switches = topo.core_switches();
+        let hosts = topo.hosts().to_vec();
+        // (weight, class) pairs that can actually fire on this fabric.
+        let classes: Vec<(f64, u8)> = [
+            (self.mix.link, 0u8, !links.is_empty()),
+            (self.mix.switch, 1, !switches.is_empty()),
+            (self.mix.host, 2, !hosts.is_empty()),
+            (self.mix.flap, 3, !links.is_empty()),
+        ]
+        .into_iter()
+        .filter(|&(w, _, has)| w > 0.0 && has)
+        .map(|(w, c, _)| (w, c))
+        .collect();
+        let total: f64 = classes.iter().map(|&(w, _)| w).sum();
+        assert!(
+            total > 0.0,
+            "fault mix has no drawable class on this fabric"
+        );
+        let mut rng = crate::rng::Pcg32::new(self.seed ^ 0xFA_17_90_15);
+        let mean_gap_ns = 1e9 / self.rate_per_sec;
+        let mut t = start.as_nanos() as f64;
+        let mut plan = FaultPlan::new();
+        // Outage windows already scheduled, keyed by victim. Re-failing
+        // an element that is still down would corrupt the model: the
+        // mask is a set, so the *first* scheduled repair would revive it
+        // and silently truncate the second outage. Victims are redrawn
+        // (bounded, deterministic) until one is up at the event instant.
+        let mut down_until: std::collections::BTreeMap<DownKey, u64> =
+            std::collections::BTreeMap::new();
+        let link_key = |n: NodeId, p: u16| -> DownKey {
+            let back = topo.port(n, p);
+            if (n.0, p) <= (back.peer.0, back.peer_port) {
+                DownKey::Link(n.0, p)
+            } else {
+                DownKey::Link(back.peer.0, back.peer_port)
+            }
+        };
+        for _ in 0..events {
+            t += rng.exp(mean_gap_ns);
+            let at = SimTime::from_nanos(t as u64);
+            let mut draw = rng.f64() * total;
+            let mut class = classes[classes.len() - 1].1;
+            for &(w, c) in &classes {
+                if draw < w {
+                    class = c;
+                    break;
+                }
+                draw -= w;
+            }
+            let up_delay = if class == 3 {
+                Some(self.flap_delay_ns)
+            } else {
+                self.repair_delay_ns
+            };
+            let until = up_delay.map_or(u64::MAX, |d| at.as_nanos() + d);
+            match class {
+                0 | 3 => {
+                    let Some((node, port)) = draw_up_victim(&mut rng, &links, |&(n, p)| {
+                        down_until
+                            .get(&link_key(n, p))
+                            .is_none_or(|&u| u <= at.as_nanos())
+                    }) else {
+                        continue; // every candidate is down right now
+                    };
+                    down_until.insert(link_key(node, port), until);
+                    plan.push(at, FaultAction::LinkDown { node, port });
+                    if let Some(d) = up_delay {
+                        plan.push(at + d, FaultAction::LinkUp { node, port });
+                    }
+                }
+                1 | 2 => {
+                    let candidates = if class == 1 { &switches } else { &hosts };
+                    let Some(victim) = draw_up_victim(&mut rng, candidates, |&n| {
+                        down_until
+                            .get(&DownKey::Node(n.0))
+                            .is_none_or(|&u| u <= at.as_nanos())
+                    }) else {
+                        continue;
+                    };
+                    down_until.insert(DownKey::Node(victim.0), until);
+                    plan.push(at, FaultAction::SwitchDown { switch: victim });
+                    if let Some(d) = self.repair_delay_ns {
+                        plan.push(at + d, FaultAction::SwitchUp { switch: victim });
+                    }
+                }
+                _ => unreachable!("classes are 0..=3"),
+            }
+        }
+        plan
+    }
+}
+
+/// Canonical identity of a failable element during plan compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum DownKey {
+    /// Lower endpoint's (node, port) of a link.
+    Link(u32, u16),
+    Node(u32),
+}
+
+/// Draw a victim uniformly from `candidates`, redrawing (bounded,
+/// deterministic) while the pick is still down; `None` if no up victim
+/// was found — the caller skips the event rather than corrupting an
+/// outage window already scheduled on the victim.
+fn draw_up_victim<T: Copy>(
+    rng: &mut crate::rng::Pcg32,
+    candidates: &[T],
+    is_up: impl Fn(&T) -> bool,
+) -> Option<T> {
+    for _ in 0..32 {
+        let pick = candidates[rng.below(candidates.len() as u64) as usize];
+        if is_up(&pick) {
+            return Some(pick);
+        }
+    }
+    None
 }
 
 #[cfg(test)]

@@ -11,9 +11,11 @@
 //!   topology builders with pluggable multipath path sets
 //!   ([`topology::RouteSet`]: shortest-path ECMP or FatPaths-style
 //!   non-minimal) and per-flow ECMP or per-packet spraying forwarding;
-//! * scripted mid-run fault injection ([`fault::FaultPlan`]): link and
-//!   switch failures with route recomputation, multicast-tree repair,
-//!   and fault-aware loss accounting;
+//! * scripted mid-run fault injection ([`fault::FaultPlan`]): link,
+//!   switch, and host failures with incremental route repair (including
+//!   restore repair and flap coalescing), multicast-tree repair, and
+//!   fault-aware loss accounting — plus a seeded Poisson fault
+//!   generator ([`fault::FaultProcess`]) for sustained churn;
 //! * in-network multicast over deterministic forwarding trees;
 //! * a transport-agnostic [`sim::Agent`] hook — Polyraptor and the TCP
 //!   baseline plug in without `netsim` knowing either.
@@ -72,7 +74,9 @@ pub mod sim;
 pub mod time;
 pub mod topology;
 
-pub use fault::{FaultAction, FaultEvent, FaultMask, FaultPlan};
+pub use fault::{
+    FaultAction, FaultEvent, FaultMask, FaultMix, FaultPlan, FaultProcess, HostFailure,
+};
 pub use packet::{Dest, FlowId, GroupId, Packet, SimPayload, HEADER_BYTES};
 pub use queue::{Enqueued, PortQueue, QueueConfig, QueueStats};
 pub use rng::Pcg32;

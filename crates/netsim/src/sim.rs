@@ -223,6 +223,23 @@ pub struct FabricStats {
     pub route_dests_rebuilt: u64,
     /// Multicast trees rebuilt during reroutes.
     pub trees_repaired: u64,
+    /// Down+up pairs of the same element that both landed inside one
+    /// convergence window: the pair cancels out of the pending mask
+    /// delta, so the deferred reroute sees a no-op — a flapping link
+    /// costs its flushed packets, never a route recomputation.
+    pub flaps_coalesced: u64,
+    /// Reroutes whose delta contained restorations that were healed by
+    /// bounded restore surgery (per-destination rebuilds only where a
+    /// distance could shrink) instead of a full recomputation.
+    pub restores_incremental: u64,
+}
+
+/// Canonical identity of a failable element, for flap tracking: links
+/// are keyed by the lower of their two directed `(node, port)` entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum FaultKey {
+    Link(u32, u16),
+    Node(u32),
 }
 
 /// A registered multicast group: membership is retained so the
@@ -255,6 +272,10 @@ pub struct Simulator<P: SimPayload, A: Agent<P>> {
     /// A deferred reroute is already scheduled (coalesces bursts of
     /// fault events into one recompute).
     reroute_pending: bool,
+    /// Elements that went down since the last applied reroute — an Up
+    /// for one of these inside the same convergence window is a
+    /// coalesced flap (the pair cancels out of the pending delta).
+    pending_down: std::collections::BTreeSet<FaultKey>,
     /// Per-port rate overrides (hotspot/failure injection); keyed by
     /// (node, port), in bits per second. Zero means the link is down.
     rate_overrides: HashMap<(u32, u16), u64>,
@@ -295,6 +316,7 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
             stats: FabricStats::default(),
             mask: FaultMask::new(),
             reroute_pending: false,
+            pending_down: std::collections::BTreeSet::new(),
             rate_overrides: HashMap::new(),
         }
     }
@@ -559,11 +581,20 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
         }
     }
 
+    /// Canonical flap-tracking key of a link (the lower directed entry).
+    fn link_key(&self, node: NodeId, port: u16) -> FaultKey {
+        let back = self.topo.port(node, port);
+        let (a, b) = ((node.0, port), (back.peer.0, back.peer_port));
+        let (n, p) = a.min(b);
+        FaultKey::Link(n, p)
+    }
+
     fn apply_fault(&mut self, action: FaultAction) {
         match action {
             FaultAction::LinkDown { node, port } => {
                 let back = *self.topo.port(node, port);
                 self.mask.fail_link(&self.topo, node, port);
+                self.pending_down.insert(self.link_key(node, port));
                 self.flush_port(node, port);
                 self.flush_port(back.peer, back.peer_port);
                 self.request_reroute();
@@ -571,17 +602,21 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
             FaultAction::LinkUp { node, port } => {
                 let back = *self.topo.port(node, port);
                 self.mask.restore_link(&self.topo, node, port);
+                if self.pending_down.remove(&self.link_key(node, port)) {
+                    // Down and up inside one convergence window: the
+                    // pair cancels out of the pending reroute's delta.
+                    self.stats.flaps_coalesced += 1;
+                }
                 self.request_reroute();
                 self.kick_port(node, port);
                 self.kick_port(back.peer, back.peer_port);
             }
             FaultAction::SwitchDown { switch } => {
-                assert_eq!(
-                    self.topo.kind(switch),
-                    NodeKind::Switch,
-                    "SwitchDown targets switches; host failures are not modelled"
-                );
+                // Hosts are legal victims: a host going down models a
+                // host/NIC failure — its access link goes dark and its
+                // queued traffic is lost, exactly like a switch victim.
                 self.mask.fail_node(switch);
+                self.pending_down.insert(FaultKey::Node(switch.0));
                 for p in 0..self.topo.node_ports(switch).len() as u16 {
                     self.flush_port(switch, p);
                 }
@@ -589,12 +624,17 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
             }
             FaultAction::SwitchUp { switch } => {
                 self.mask.restore_node(switch);
+                if self.pending_down.remove(&FaultKey::Node(switch.0)) {
+                    self.stats.flaps_coalesced += 1;
+                }
                 self.request_reroute();
-                // Neighbours may have queued towards the repaired switch
-                // while it routed around; restart any idle ports.
+                // Neighbours may have queued towards the repaired node
+                // while it routed around (and a repaired host's own NIC
+                // may have parked traffic); restart any idle ports.
                 for p in 0..self.topo.node_ports(switch).len() as u16 {
                     let back = *self.topo.port(switch, p);
                     self.kick_port(back.peer, back.peer_port);
+                    self.kick_port(switch, p);
                 }
             }
             FaultAction::RateChange {
@@ -642,10 +682,14 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
     /// multicast trees (receivers a fault cut off are skipped until a
     /// later repair restores them).
     fn reroute(&mut self) {
+        self.pending_down.clear();
         let outcome = self.topo.repair_routes(&self.mask);
         self.stats.reroutes += 1;
         if !outcome.full {
             self.stats.reroutes_incremental += 1;
+            if outcome.restored > 0 {
+                self.stats.restores_incremental += 1;
+            }
         }
         self.stats.route_dests_rebuilt += outcome.dests_rebuilt as u64;
         // Stale routes during the convergence window may have enqueued
@@ -1370,11 +1414,171 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "host failures are not modelled")]
-    fn switch_down_on_host_panics() {
-        let (mut sim, a, _b) = two_host_sim(SimConfig::ndp(1));
-        let plan = FaultPlan::new().switch_down(SimTime::ZERO, a);
+    fn switch_down_on_host_kills_and_revives_the_host() {
+        // Host victims are a behaviour, not a panic: the host's access
+        // link goes dark (arrivals lost, queued traffic flushed) and a
+        // later SwitchUp brings it back.
+        let (mut sim, a, b) = two_host_sim(SimConfig::ndp(1));
+        for i in 0..20 {
+            sim.agent_mut(a).to_send.push(data_pkt(a, b, i));
+        }
+        sim.schedule_timer(a, SimTime::ZERO, 0);
+        // Kill the *receiver* host mid-burst, revive near the end.
+        let plan = FaultPlan::new()
+            .host_down(SimTime::from_micros(100), b)
+            .host_up(SimTime::from_micros(400), b);
         sim.schedule_faults(&plan);
         sim.run_to_completion();
+        let stats = sim.stats();
+        assert_eq!(stats.reroutes, 2, "down + up each reroute");
+        assert!(
+            stats.lost_to_fault > 0,
+            "mid-burst host death must cost packets"
+        );
+        let got = sim.agent(b).received.len();
+        assert!(got < 20, "the dead window's packets are gone");
+        // After the repair the host receives again.
+        sim.agent_mut(a).to_send.push(data_pkt(a, b, 99));
+        sim.schedule_timer(a, SimTime::from_micros(500), 0);
+        sim.run_to_completion();
+        assert!(sim.agent(b).received.iter().any(|(_, p)| *p == P::Data(99)));
+    }
+
+    #[test]
+    fn switch_and_host_victims_account_identically() {
+        // The same FaultAction handles both victim kinds: killing the
+        // sender host parks its NIC (packets flushed once, then queued
+        // unsent), killing the switch flushes the fabric — both surface
+        // as lost_to_fault, never as silent strands.
+        let run = |kill_host: bool| {
+            let (mut sim, a, b) = two_host_sim(SimConfig::ndp(2));
+            for i in 0..10 {
+                sim.agent_mut(a).to_send.push(data_pkt(a, b, i));
+            }
+            sim.schedule_timer(a, SimTime::ZERO, 0);
+            let victim = if kill_host { a } else { NodeId(1) };
+            let plan = FaultPlan::new().switch_down(SimTime::from_micros(30), victim);
+            sim.schedule_faults(&plan);
+            sim.run_to_completion();
+            (sim.stats(), sim.agent(b).received.len())
+        };
+        let (host_stats, host_got) = run(true);
+        let (switch_stats, switch_got) = run(false);
+        assert!(host_stats.lost_to_fault > 0 && switch_stats.lost_to_fault > 0);
+        assert!(host_got < 10, "host death cut the stream");
+        assert!(switch_got < 10, "switch death cut the stream");
+        assert_eq!(host_stats.reroutes, 1);
+        assert_eq!(switch_stats.reroutes, 1);
+    }
+
+    #[test]
+    fn flap_inside_convergence_window_coalesces_to_noop() {
+        // A link that goes down and comes back before the deferred
+        // reroute fires must cost zero full recomputes: the pair cancels
+        // out of the pending delta and the reroute is a no-op repair.
+        let t = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        let hosts = t.hosts().to_vec();
+        let (src, dst) = (hosts[0], hosts[15]);
+        let edge = t.edge_switch(src);
+        let up = t
+            .node_ports(edge)
+            .iter()
+            .position(|p| t.kind(p.peer) == NodeKind::Switch)
+            .expect("edge has uplinks") as u16;
+        let mut cfg = SimConfig::ndp(21);
+        cfg.reroute_delay_ns = 200_000;
+        let mut sim = Simulator::new(t, cfg);
+        for &h in &hosts {
+            sim.set_agent(
+                h,
+                Echo {
+                    to_send: vec![],
+                    received: vec![],
+                },
+            );
+        }
+        for i in 0..40 {
+            sim.agent_mut(src).to_send.push(data_pkt(src, dst, i));
+        }
+        sim.schedule_timer(src, SimTime::ZERO, 0);
+        // Down at 100 µs, up at 150 µs — inside the 200 µs window.
+        let plan = FaultPlan::new()
+            .link_down(SimTime::from_micros(100), edge, up)
+            .link_up(SimTime::from_micros(150), edge, up);
+        sim.schedule_faults(&plan);
+        sim.run_to_completion();
+        let stats = sim.stats();
+        assert_eq!(stats.flaps_coalesced, 1, "the pair coalesced");
+        assert_eq!(stats.reroutes, 1, "one deferred reroute fired");
+        assert_eq!(
+            stats.reroutes_incremental, 1,
+            "the no-op delta must never fall back to a full recompute"
+        );
+        assert_eq!(stats.route_dests_rebuilt, 0, "nothing to rebuild");
+        let got = sim.agent(dst).received.len();
+        assert_eq!(
+            got as u64 + stats.lost_to_fault,
+            40,
+            "flap losses stay accounted"
+        );
+        assert!(got > 0, "traffic resumes over the restored link");
+    }
+
+    #[test]
+    fn restoration_after_convergence_repairs_incrementally() {
+        // Down and up in *separate* convergence windows: the up-reroute
+        // carries a restoration delta, which must be healed by restore
+        // surgery, not a full recompute.
+        let (mut sim, src, dst, agg) = fat_tree_sim(23);
+        for i in 0..60 {
+            sim.agent_mut(src).to_send.push(data_pkt(src, dst, i));
+        }
+        sim.schedule_timer(src, SimTime::ZERO, 0);
+        let plan = FaultPlan::new()
+            .switch_down(SimTime::from_micros(80), agg)
+            .switch_up(SimTime::from_micros(500), agg);
+        sim.schedule_faults(&plan);
+        sim.run_to_completion();
+        let stats = sim.stats();
+        assert_eq!(stats.reroutes, 2);
+        assert_eq!(stats.flaps_coalesced, 0, "windows were separate");
+        assert_eq!(
+            stats.restores_incremental, 1,
+            "the restoration reroute must use restore surgery"
+        );
+        assert_eq!(stats.reroutes_incremental, 2, "both reroutes incremental");
+    }
+
+    #[test]
+    fn poisson_fault_process_is_deterministic_and_mixed() {
+        use crate::fault::{FaultMix, FaultProcess};
+        let t = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        let proc = FaultProcess::poisson(1000.0, FaultMix::uniform(), Some(2_000_000)).seed(7);
+        let a = proc.compile(&t, SimTime::from_micros(100), 24);
+        let b = proc.compile(&t, SimTime::from_micros(100), 24);
+        assert_eq!(a, b, "same seed ⇒ identical plan");
+        let c = proc.seed(8).compile(&t, SimTime::from_micros(100), 24);
+        assert_ne!(a, c, "different seed ⇒ different plan");
+        // Every down has a scripted repair, times are non-decreasing
+        // per element class, and the mix covers hosts.
+        let downs = a
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.action,
+                    FaultAction::LinkDown { .. } | FaultAction::SwitchDown { .. }
+                )
+            })
+            .count();
+        let ups = a.events().len() - downs;
+        assert_eq!(downs, 24, "one down per drawn event");
+        assert_eq!(ups, downs, "every failure is repaired");
+        let host_failures = a.host_failures(&t);
+        assert!(
+            !host_failures.is_empty(),
+            "uniform mix over 24 events should draw a host"
+        );
+        assert!(host_failures.iter().all(|f| f.repaired_at.is_some()));
     }
 }

@@ -73,8 +73,8 @@ pub enum RouteSet {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RouteRepair {
     /// The repair fell back to a full [`Topology::compute_routes_masked`]
-    /// (restoration in the delta, non-minimal path set, or too many
-    /// destination trees invalidated for surgery to pay off).
+    /// (non-minimal path set, or too many destination trees invalidated
+    /// for surgery to pay off).
     pub full: bool,
     /// Destination trees rebuilt by per-destination BFS. Equals the host
     /// count on a full fallback; usually a small fraction of it after a
@@ -83,6 +83,11 @@ pub struct RouteRepair {
     /// Destination route columns touched by dead-entry surgery alone
     /// (advertised ports removed without any distance change).
     pub dests_touched: usize,
+    /// Restored elements (undirected links + nodes) in the delta. When
+    /// `full` is false these were healed by bounded restore surgery —
+    /// re-advertising equal-cost ports in place and BFS-rebuilding only
+    /// destinations whose distance can shrink.
+    pub restored: usize,
 }
 
 /// A network graph plus routing tables.
@@ -95,6 +100,12 @@ pub struct Topology {
     /// `routes[node][dst_host_index]` = advertised ports of `node`
     /// towards that host. Empty until [`Topology::compute_routes`].
     routes: Vec<Vec<Vec<u16>>>,
+    /// `dist[dst_host_index][node]` = BFS hop count from `node` to that
+    /// host under the mask the routes were computed with (`u32::MAX` =
+    /// unreachable). Kept alongside the route tables so restore repair
+    /// can decide in O(1) per destination whether a restored element can
+    /// shorten any path.
+    dist: Vec<Vec<u32>>,
     route_set: RouteSet,
     /// The fault mask the current `routes` were computed against — the
     /// baseline [`Topology::repair_routes`] diffs new masks against.
@@ -116,6 +127,7 @@ impl Topology {
             hosts: Vec::new(),
             host_index: Vec::new(),
             routes: Vec::new(),
+            dist: Vec::new(),
             route_set: RouteSet::Minimal,
             routes_mask: FaultMask::new(),
         }
@@ -209,30 +221,31 @@ impl Topology {
     pub fn compute_routes_masked(&mut self, mask: &FaultMask) {
         let n = self.node_count();
         self.routes = vec![vec![Vec::new(); self.hosts.len()]; n];
-        let mut dist = vec![u32::MAX; n];
+        self.dist = vec![vec![u32::MAX; n]; self.hosts.len()];
         let mut frontier: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
         for (h_idx, &host) in self.hosts.clone().iter().enumerate() {
-            self.compute_dest_routes(h_idx, host, mask, &mut dist, &mut frontier);
+            self.compute_dest_routes(h_idx, host, mask, &mut frontier);
         }
         self.routes_mask = mask.clone();
     }
 
     /// Rebuild the routing column of one destination host: BFS from the
-    /// destination outward, then record every node's advertised ports.
-    /// The BFS traverses links in reverse, but the mask is symmetric per
-    /// link and per node, so checking the (u, port) direction suffices.
+    /// destination outward (recording the distances in `self.dist`), then
+    /// record every node's advertised ports. The BFS traverses links in
+    /// reverse, but the mask is symmetric per link and per node, so
+    /// checking the (u, port) direction suffices.
     fn compute_dest_routes(
         &mut self,
         h_idx: usize,
         host: NodeId,
         mask: &FaultMask,
-        dist: &mut [u32],
         frontier: &mut std::collections::VecDeque<u32>,
     ) {
         let n = self.node_count();
         for u in 0..n {
             self.routes[u][h_idx].clear();
         }
+        let dist = &mut self.dist[h_idx];
         dist.fill(u32::MAX);
         frontier.clear();
         if mask.node_is_down(host) {
@@ -283,52 +296,74 @@ impl Topology {
         }
     }
 
-    /// Incrementally repair the routing tables after the fault mask grew
-    /// — the fast path for the common case of one (or a few) new link or
-    /// switch failures.
+    /// Incrementally repair the routing tables after the fault mask
+    /// changed — the fast path for the common case of one (or a few) new
+    /// link or switch failures or restorations.
     ///
-    /// The repair diffs `mask` against the mask the tables were last
-    /// computed with and excises the newly dead directed `(node, port)`
-    /// entries from every destination column they are advertised in.
-    /// Removing an advertised port can only change shortest-path
-    /// *distances* when it was the node's last advertised port (any
-    /// surviving advertised port still reaches a neighbour one hop
-    /// closer, so every distance is preserved by induction); only those
-    /// destinations are rebuilt by a per-destination BFS. Hosts are
-    /// leaves that nothing routes through, so emptying a host's own
+    /// **Failures.** The repair diffs `mask` against the mask the tables
+    /// were last computed with and excises the newly dead directed
+    /// `(node, port)` entries from every destination column they are
+    /// advertised in. Removing an advertised port can only change
+    /// shortest-path *distances* when it was the node's last advertised
+    /// port (any surviving advertised port still reaches a neighbour one
+    /// hop closer, so every distance is preserved by induction); only
+    /// those destinations are rebuilt by a per-destination BFS. Hosts
+    /// are leaves that nothing routes through, so emptying a host's own
     /// column entry never invalidates the tree.
+    ///
+    /// **Restorations.** A restored element can only *shrink* distances.
+    /// Using the retained distance tables the repair decides per
+    /// destination in O(degree) whether the restored link/node lies on a
+    /// strictly shorter path: if not, the restoration is pure surgery —
+    /// the restored ports are re-advertised exactly where they are
+    /// equal-cost next hops — and only destinations whose distance can
+    /// actually shrink (including previously cut-off ones) are rebuilt
+    /// by a per-destination BFS. This replaces the old behaviour of
+    /// falling back to a full recomputation on every restoration, which
+    /// made flapping links pay the full control-plane bill each cycle.
     ///
     /// Falls back to a full [`Topology::compute_routes_masked`] — and
     /// says so in the returned [`RouteRepair`] — whenever surgery cannot
-    /// be proven cheap and exact: routes never computed, a restoration
-    /// in the delta (new capacity can shorten paths anywhere), the
-    /// non-minimal path set active (sideways-detour eligibility depends
-    /// on exact distances), or a mass failure dirtying more than a
-    /// quarter of all destinations.
+    /// be proven cheap and exact: routes never computed, the non-minimal
+    /// path set active (sideways-detour eligibility depends on exact
+    /// distances), or a mass delta dirtying more than a quarter of all
+    /// destinations.
     ///
     /// The result is always identical to a full recomputation against
     /// `mask` (property-tested in `fabric_invariants`).
     pub fn repair_routes(&mut self, mask: &FaultMask) -> RouteRepair {
+        let restored_links = mask.restored_links_since(&self.routes_mask);
+        let restored_nodes = mask.restored_nodes_since(&self.routes_mask);
+        // Directed restored entries come in symmetric pairs; count and
+        // process each undirected link once.
+        let restored_undirected: Vec<(u32, u16)> = restored_links
+            .iter()
+            .map(|&(n, p)| (n.0, p))
+            .filter(|&(n, p)| {
+                let back = &self.ports[n as usize][p as usize];
+                (n, p) <= (back.peer.0, back.peer_port)
+            })
+            .collect();
+        let restored = restored_undirected.len() + restored_nodes.len();
         let full = RouteRepair {
             full: true,
             dests_rebuilt: self.hosts.len(),
             dests_touched: self.hosts.len(),
+            restored,
         };
-        if self.routes.is_empty()
-            || self.route_set == RouteSet::NonMinimal
-            || mask.restores_since(&self.routes_mask)
-        {
+        if self.routes.is_empty() || self.route_set == RouteSet::NonMinimal {
             self.compute_routes_masked(mask);
             return full;
         }
         let new_links = mask.new_links_since(&self.routes_mask);
         let new_nodes = mask.new_nodes_since(&self.routes_mask);
-        if new_links.is_empty() && new_nodes.is_empty() {
+        if new_links.is_empty() && new_nodes.is_empty() && restored == 0 {
             self.routes_mask = mask.clone();
             return RouteRepair {
                 full: false,
                 dests_rebuilt: 0,
                 dests_touched: 0,
+                restored: 0,
             };
         }
         // Every newly dead directed (node, port) hop: the failed links
@@ -349,9 +384,8 @@ impl Topology {
         // outcomes in bitmaps that are aggregated afterwards.
         let mut col_touched = vec![false; self.hosts.len()];
         let mut col_dirty = vec![false; self.hosts.len()];
-        // A newly failed destination host (the simulator only fails
-        // switches, but the mask API allows it) needs its column
-        // cleared — the rebuild handles that uniformly.
+        // A newly failed destination host needs its column cleared — the
+        // rebuild handles that uniformly.
         for &w in &new_nodes {
             if let Some(h) = self.host_index[w.0 as usize] {
                 col_dirty[h as usize] = true;
@@ -363,45 +397,195 @@ impl Topology {
             // can cascade; those trees are rebuilt. Dead nodes'
             // distances are irrelevant (their rows are cleared below),
             // and hosts are leaves nothing routes through.
-            let empties_matter =
-                self.kinds[u as usize] == NodeKind::Switch && !mask.node_is_down(NodeId(u));
+            let alive = !mask.node_is_down(NodeId(u));
+            let empties_matter = self.kinds[u as usize] == NodeKind::Switch && alive;
+            let is_host = self.kinds[u as usize] == NodeKind::Host;
             for (h_idx, list) in self.routes[u as usize].iter_mut().enumerate() {
                 if let Some(pos) = list.iter().position(|&x| x == p) {
                     list.remove(pos);
                     col_touched[h_idx] = true;
-                    if list.is_empty() && empties_matter {
-                        col_dirty[h_idx] = true;
+                    if list.is_empty() {
+                        if empties_matter {
+                            col_dirty[h_idx] = true;
+                        } else if is_host && alive {
+                            // A host with no way out is cut off (hosts
+                            // have one link), and nothing routes through
+                            // it, so no switch empties on its behalf —
+                            // record the unreachability directly or the
+                            // distance table would go stale for restore
+                            // checks.
+                            self.dist[h_idx][u as usize] = u32::MAX;
+                        }
                     }
                 }
             }
         }
+        // A dead node advertises nothing and is unreachable everywhere
+        // (full recomputation never visits it); clear its rows and
+        // distances wholesale.
+        for &w in &new_nodes {
+            for h_idx in 0..self.hosts.len() {
+                self.routes[w.0 as usize][h_idx].clear();
+                self.dist[h_idx][w.0 as usize] = u32::MAX;
+            }
+        }
+        // Restore surgery, against the post-excision tables. Distances
+        // of non-dirty columns are exact here (failure surgery preserves
+        // them by the last-port argument), so each restored element can
+        // be checked and patched in place; dirty columns are skipped —
+        // their BFS rebuild below covers everything at once.
+        self.restore_surgery(mask, &restored_undirected, &restored_nodes, &mut col_dirty);
         let dirty: Vec<usize> = (0..self.hosts.len()).filter(|&h| col_dirty[h]).collect();
         let touched = (0..self.hosts.len())
             .filter(|&h| col_touched[h] && !col_dirty[h])
             .count();
-        // A dead node advertises nothing (full recomputation skips it);
-        // clear its rows wholesale.
-        for &w in &new_nodes {
-            for h_idx in 0..self.hosts.len() {
-                self.routes[w.0 as usize][h_idx].clear();
-            }
-        }
         if dirty.len() * 4 > self.hosts.len() {
             self.compute_routes_masked(mask);
             return full;
         }
-        let n = self.node_count();
-        let mut dist = vec![u32::MAX; n];
         let mut frontier = std::collections::VecDeque::new();
         for &h_idx in &dirty {
             let host = self.hosts[h_idx];
-            self.compute_dest_routes(h_idx, host, mask, &mut dist, &mut frontier);
+            self.compute_dest_routes(h_idx, host, mask, &mut frontier);
         }
         self.routes_mask = mask.clone();
         RouteRepair {
             full: false,
             dests_rebuilt: dirty.len(),
             dests_touched: touched,
+            restored,
+        }
+    }
+
+    /// Patch the route tables for restored elements, column by column.
+    /// For every destination whose distances cannot shrink, restored
+    /// ports are re-advertised exactly where they are equal-cost next
+    /// hops; destinations where the restored element lies on a strictly
+    /// shorter path (or re-attaches a cut-off region) are flagged in
+    /// `col_dirty` for a per-destination BFS rebuild. Elements are
+    /// processed sequentially, so a restored node's freshly computed
+    /// distance feeds the checks of later elements in the same delta.
+    // The column loops index several parallel per-destination tables
+    // (`col_dirty`, `self.dist`, `self.hosts`, `self.routes`); iterator
+    // chains would obscure that they advance in lockstep.
+    #[allow(clippy::needless_range_loop)]
+    fn restore_surgery(
+        &mut self,
+        mask: &FaultMask,
+        restored_links: &[(u32, u16)],
+        restored_nodes: &[NodeId],
+        col_dirty: &mut [bool],
+    ) {
+        for &w in restored_nodes {
+            let wu = w.0 as usize;
+            let n_ports = self.ports[wu].len();
+            for h_idx in 0..self.hosts.len() {
+                if col_dirty[h_idx] {
+                    continue;
+                }
+                // The restored node is this column's destination host:
+                // the whole column was cleared when it died.
+                if self.hosts[h_idx] == w {
+                    col_dirty[h_idx] = true;
+                    continue;
+                }
+                // New distance of w: one past its closest usable
+                // neighbour (usable = link up, peer up, peer reachable).
+                let mut dw = u32::MAX;
+                for pi in 0..n_ports {
+                    let peer = self.ports[wu][pi].peer;
+                    if mask.link_is_down(w, pi as u16) || mask.node_is_down(peer) {
+                        continue;
+                    }
+                    let dp = self.dist[h_idx][peer.0 as usize];
+                    if dp != u32::MAX {
+                        dw = dw.min(dp + 1);
+                    }
+                }
+                if dw == u32::MAX {
+                    continue; // still cut off; row stays empty
+                }
+                // Any usable neighbour strictly farther than dw + 1
+                // (including unreachable ones) gets closer through w —
+                // the shrink can cascade, so rebuild this destination.
+                // Exception: a leaf host (nothing routes through it) can
+                // only have its own row change, which is pure surgery.
+                let shrinks = (0..n_ports).any(|pi| {
+                    let peer = self.ports[wu][pi].peer;
+                    !mask.link_is_down(w, pi as u16)
+                        && !mask.node_is_down(peer)
+                        && self.dist[h_idx][peer.0 as usize] > dw.saturating_add(1)
+                        && !self.is_leaf_host(peer)
+                });
+                if shrinks {
+                    col_dirty[h_idx] = true;
+                    continue;
+                }
+                // Pure surgery: record w's own advertised ports, make w
+                // an additional equal-cost hop at neighbours one further
+                // out, and re-attach leaf hosts w was the way out for.
+                self.dist[h_idx][wu] = dw;
+                let mut row = Vec::new();
+                for pi in 0..n_ports {
+                    let port = self.ports[wu][pi];
+                    if mask.link_is_down(w, pi as u16) || mask.node_is_down(port.peer) {
+                        continue;
+                    }
+                    let dp = self.dist[h_idx][port.peer.0 as usize];
+                    if dp != u32::MAX && dp + 1 == dw {
+                        row.push(pi as u16);
+                    } else if dp == dw + 1 {
+                        insert_port(
+                            &mut self.routes[port.peer.0 as usize][h_idx],
+                            port.peer_port,
+                        );
+                    } else if dp > dw + 1 && self.is_leaf_host(port.peer) {
+                        self.dist[h_idx][port.peer.0 as usize] = dw + 1;
+                        self.routes[port.peer.0 as usize][h_idx] = vec![port.peer_port];
+                    }
+                }
+                self.routes[wu][h_idx] = row;
+            }
+        }
+        for &(u, p) in restored_links {
+            let port = self.ports[u as usize][p as usize];
+            let (v, q) = (port.peer, port.peer_port);
+            // The link only carries traffic if both endpoints are alive.
+            if mask.node_is_down(NodeId(u)) || mask.node_is_down(v) {
+                continue;
+            }
+            for h_idx in 0..self.hosts.len() {
+                if col_dirty[h_idx] {
+                    continue;
+                }
+                let du = self.dist[h_idx][u as usize];
+                let dv = self.dist[h_idx][v.0 as usize];
+                if du == u32::MAX && dv == u32::MAX {
+                    continue; // both sides cut off; the link helps nobody
+                }
+                // One side unreachable or ≥2 hops farther: the restored
+                // link shortens (or creates) paths — rebuild, unless the
+                // far side is a leaf host, whose revival can't cascade
+                // (nothing routes through it) and is patched in place.
+                let (near, far) = (du.min(dv), du.max(dv));
+                if far > near.saturating_add(1) {
+                    let (far_node, far_port) = if du > dv { (NodeId(u), p) } else { (v, q) };
+                    if self.is_leaf_host(far_node) {
+                        self.dist[h_idx][far_node.0 as usize] = near + 1;
+                        self.routes[far_node.0 as usize][h_idx] = vec![far_port];
+                    } else {
+                        col_dirty[h_idx] = true;
+                    }
+                    continue;
+                }
+                // Equal-cost surgery: the downhill direction (if any)
+                // becomes a newly advertised shortest-path port.
+                if du == dv + 1 {
+                    insert_port(&mut self.routes[u as usize][h_idx], p);
+                } else if dv == du + 1 {
+                    insert_port(&mut self.routes[v.0 as usize][h_idx], q);
+                }
+            }
         }
     }
 
@@ -509,6 +693,26 @@ impl Topology {
     /// rack).
     pub fn same_rack(&self, a: NodeId, b: NodeId) -> bool {
         self.edge_switch(a) == self.edge_switch(b)
+    }
+
+    /// Whether two hosts share a coarse shared-risk group: the same
+    /// rack, or edge switches with a common switch neighbour — on a
+    /// fat-tree that is "same pod" (one aggregation switch serves both),
+    /// the blast radius of a single aggregation failure. Shared-risk-
+    /// aware replica placement (`workload::scenario`) uses this to
+    /// spread replica sets so no single agg/core event can strand more
+    /// than one of them; fabrics where every pair shares risk (e.g. a
+    /// two-tier leaf–spine, where all leaves see all spines) simply fall
+    /// back to the rack rule.
+    pub fn shared_risk(&self, a: NodeId, b: NodeId) -> bool {
+        let (ea, eb) = (self.edge_switch(a), self.edge_switch(b));
+        if ea == eb {
+            return true;
+        }
+        self.ports[ea.0 as usize].iter().any(|p| {
+            self.kind(p.peer) == NodeKind::Switch
+                && self.ports[eb.0 as usize].iter().any(|q| q.peer == p.peer)
+        })
     }
 
     /// One-way store-and-forward delay of a `bytes`-sized packet from
@@ -620,6 +824,14 @@ impl Topology {
         t
     }
 
+    /// Whether a node is a single-port host — a leaf nothing can route
+    /// through, so its reachability changes never cascade. Restore
+    /// surgery patches such nodes in place instead of rebuilding whole
+    /// destination columns.
+    fn is_leaf_host(&self, n: NodeId) -> bool {
+        self.kinds[n.0 as usize] == NodeKind::Host && self.ports[n.0 as usize].len() == 1
+    }
+
     /// Switches with no directly attached hosts — the "core layer" in a
     /// hierarchical fabric (fat-tree core, leaf-spine spines). Fault
     /// scenarios use this to aim failures at pure transit switches,
@@ -634,6 +846,15 @@ impl Topology {
                         .all(|p| self.kind(p.peer) == NodeKind::Switch)
             })
             .collect()
+    }
+}
+
+/// Insert a port into an advertised-port list, keeping the ascending
+/// order `compute_dest_routes` records (so surgery stays bit-identical
+/// to a full recomputation); no-op if already present.
+fn insert_port(list: &mut Vec<u16>, p: u16) {
+    if let Err(pos) = list.binary_search(&p) {
+        list.insert(pos, p);
     }
 }
 
@@ -1005,18 +1226,36 @@ mod tests {
     }
 
     #[test]
-    fn repair_falls_back_on_restoration_and_non_minimal() {
+    fn repair_restores_incrementally_and_non_minimal_falls_back() {
+        // The true core layer is the last-added (k/2)² nodes
+        // (`core_switches()` also returns aggs).
         let mut t = Topology::fat_tree(4, 1_000_000_000, 10_000);
-        let core = t.core_switches()[0];
+        let core = NodeId(t.node_count() as u32 - 1);
         let mut mask = FaultMask::new();
         mask.fail_node(core);
         assert!(!t.repair_routes(&mask).full);
-        // Restoring the core can shorten paths anywhere: full fallback.
+        // Restoring the core re-adds equal-cost capacity without
+        // changing any distance on a fat-tree: pure restore surgery.
         mask.restore_node(core);
         let outcome = t.repair_routes(&mask);
-        assert!(outcome.full, "restoration must force a full recompute");
+        assert!(!outcome.full, "restoration must repair incrementally");
+        assert_eq!(outcome.restored, 1);
+        assert_eq!(outcome.dests_rebuilt, 0, "no distance shrank");
         let healthy = Topology::fat_tree(4, 1_000_000_000, 10_000);
         assert_eq!(route_tables(&t), route_tables(&healthy));
+        // An aggregation switch's death cuts its group's cores off from
+        // the pod; the restoration must rebuild exactly that pod's
+        // columns (where distances genuinely changed) and still match.
+        let mut t2 = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        let agg = t2.core_switches()[0]; // host-free ⇒ agg or core; [0] is an agg
+        let mut m2 = FaultMask::new();
+        m2.fail_node(agg);
+        t2.repair_routes(&m2);
+        m2.restore_node(agg);
+        let o2 = t2.repair_routes(&m2);
+        assert!(!o2.full, "agg restoration must repair incrementally");
+        assert_eq!(o2.dests_rebuilt, 4, "one pod's host columns rebuilt");
+        assert_eq!(route_tables(&t2), route_tables(&healthy));
         // Non-minimal path sets depend on exact distances: full fallback.
         let mut nm = Topology::jellyfish(8, 3, 1, 1_000_000_000, 10_000, 3);
         nm.set_route_set(RouteSet::NonMinimal);
@@ -1024,6 +1263,78 @@ mod tests {
         let mut m2 = FaultMask::new();
         m2.fail_link(&nm, NodeId(0), 0);
         assert!(nm.repair_routes(&m2).full);
+    }
+
+    #[test]
+    fn restore_repair_link_and_host_cases() {
+        // A host link flaps down and up: the restoration rebuilds only
+        // the cut host's own column (its distance was genuinely cut to
+        // MAX) and re-advertises the link everywhere else in place.
+        let pristine = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        let victim = pristine.hosts()[0];
+        let mut t = pristine.clone();
+        let mut mask = FaultMask::new();
+        mask.fail_link(&t, victim, 0);
+        assert!(!t.repair_routes(&mask).full);
+        mask.restore_link(&t, victim, 0);
+        let outcome = t.repair_routes(&mask);
+        assert!(!outcome.full, "link restoration must repair in place");
+        assert_eq!(outcome.restored, 1);
+        assert_eq!(
+            outcome.dests_rebuilt, 1,
+            "only the cut host's column is rebuilt"
+        );
+        assert_eq!(route_tables(&t), route_tables(&pristine));
+
+        // A whole host (node) dies and revives: same exactness.
+        let mut t2 = pristine.clone();
+        let mut m2 = FaultMask::new();
+        m2.fail_node(victim);
+        assert!(!t2.repair_routes(&m2).full);
+        m2.restore_node(victim);
+        let o2 = t2.repair_routes(&m2);
+        assert!(!o2.full, "host restoration must repair in place");
+        assert_eq!(route_tables(&t2), route_tables(&pristine));
+    }
+
+    #[test]
+    fn restore_repair_rebuilds_on_distance_shrink() {
+        // A triangle a—b—c with hosts at a and c plus ballast hosts at b
+        // (so two dirty columns stay under the mass-delta threshold).
+        // Failing the a—c shortcut forces the long way; restoring it
+        // must shrink distances back, which only a BFS rebuild can do.
+        let mut t = Topology::new();
+        let h0 = t.add_node(NodeKind::Host);
+        let a = t.add_node(NodeKind::Switch);
+        let b = t.add_node(NodeKind::Switch);
+        let c = t.add_node(NodeKind::Switch);
+        let h1 = t.add_node(NodeKind::Host);
+        t.connect(h0, a, 1_000_000_000, 10_000);
+        t.connect(a, b, 1_000_000_000, 10_000);
+        t.connect(b, c, 1_000_000_000, 10_000);
+        t.connect(a, c, 1_000_000_000, 10_000); // the shortcut
+        t.connect(c, h1, 1_000_000_000, 10_000);
+        for _ in 0..6 {
+            let hb = t.add_node(NodeKind::Host);
+            t.connect(hb, b, 1_000_000_000, 10_000);
+        }
+        t.compute_routes();
+        let pristine = t.clone();
+        assert_eq!(t.path_hops(h0, h1), 3, "shortcut path");
+        let mut mask = FaultMask::new();
+        // Port 2 on a is the a—c shortcut (ports: h0, b, c).
+        mask.fail_link(&t, a, 2);
+        t.repair_routes(&mask);
+        assert_eq!(t.path_hops(h0, h1), 4, "detour through b");
+        mask.restore_link(&t, a, 2);
+        let outcome = t.repair_routes(&mask);
+        assert!(!outcome.full);
+        assert!(
+            outcome.dests_rebuilt >= 1,
+            "shrinking distances need a BFS rebuild"
+        );
+        assert_eq!(route_tables(&t), route_tables(&pristine));
+        assert_eq!(t.path_hops(h0, h1), 3, "shortcut back in use");
     }
 
     #[test]

@@ -262,6 +262,83 @@ proptest! {
         }
     }
 
+    /// Restore repair and flap coalescing are exact: an arbitrary
+    /// seeded sequence of failures *and restorations* — links (fabric
+    /// and host links), transit switches, and whole hosts — applied one
+    /// `repair_routes` delta at a time yields bit-identical route
+    /// tables to a from-scratch `compute_routes_masked` of the
+    /// accumulated mask, on every topology family. (A down+up pair
+    /// landing in one delta is the coalesced-flap case: the repair must
+    /// see it as a no-op.)
+    #[test]
+    fn restore_repair_matches_full_recompute(fabric in any_fabric(), seed in any::<u64>()) {
+        let (pristine, label) = fabric;
+        let mut rng = netsim::Pcg32::new(seed);
+        // Candidate elements: every link (host links included — host
+        // disconnection and re-attachment is exactly the churn case)
+        // plus transit switches and hosts as node victims.
+        let mut links = Vec::new();
+        for n in 0..pristine.node_count() as u32 {
+            let node = NodeId(n);
+            for (pi, p) in pristine.node_ports(node).iter().enumerate() {
+                if p.peer.0 > n {
+                    links.push((node, pi as u16));
+                }
+            }
+        }
+        let mut nodes: Vec<NodeId> = pristine.core_switches();
+        nodes.extend(pristine.hosts().iter().copied());
+        let mut mask = FaultMask::new();
+        let mut failed_links: Vec<(NodeId, u16)> = Vec::new();
+        let mut failed_nodes: Vec<NodeId> = Vec::new();
+        let mut repaired = pristine.clone();
+        for step in 0..4 {
+            // Each step mutates the mask by one or two ops (two ops in
+            // one delta covers fail+restore coalescing) then repairs.
+            let ops = 1 + rng.below(2);
+            for _ in 0..ops {
+                let restore = !(failed_links.is_empty() && failed_nodes.is_empty())
+                    && rng.below(2) == 0;
+                if restore {
+                    let pick_link = !failed_links.is_empty()
+                        && (failed_nodes.is_empty() || rng.below(2) == 0);
+                    if pick_link {
+                        let i = rng.below(failed_links.len() as u64) as usize;
+                        let (n, p) = failed_links.swap_remove(i);
+                        mask.restore_link(&repaired, n, p);
+                    } else {
+                        let i = rng.below(failed_nodes.len() as u64) as usize;
+                        mask.restore_node(failed_nodes.swap_remove(i));
+                    }
+                } else if rng.below(2) == 0 {
+                    let (n, p) = links[rng.below(links.len() as u64) as usize];
+                    if !mask.link_is_down(n, p) {
+                        mask.fail_link(&repaired, n, p);
+                        failed_links.push((n, p));
+                    }
+                } else {
+                    let w = nodes[rng.below(nodes.len() as u64) as usize];
+                    if !mask.node_is_down(w) {
+                        mask.fail_node(w);
+                        failed_nodes.push(w);
+                    }
+                }
+            }
+            repaired.repair_routes(&mask);
+            let mut full = pristine.clone();
+            full.compute_routes_masked(&mask);
+            for n in 0..pristine.node_count() as u32 {
+                for &h in pristine.hosts() {
+                    prop_assert_eq!(
+                        repaired.try_next_ports(NodeId(n), h),
+                        full.try_next_ports(NodeId(n), h),
+                        "{}: node {} dest {} diverged at step {}", label, n, h.0, step
+                    );
+                }
+            }
+        }
+    }
+
     /// Any single fabric-link or transit/aggregation-switch failure in a
     /// k ≥ 4 fat-tree leaves every host pair routable after a masked
     /// recompute (edge switches are excluded: killing one provably

@@ -1,0 +1,322 @@
+//! Fault-churn scenario: a replicated storage *fetch* workload under a
+//! sustained Poisson fault process — links fail and repair, links flap
+//! faster than the control plane converges, transit switches die, and
+//! **hosts** die, taking their replicas with them.
+//!
+//! This is where the paper's two redundancies meet: *path* redundancy
+//! (spraying + reroute + restore repair) absorbs the fabric events, and
+//! *data* redundancy (fountain-coded replicas) absorbs the host events —
+//! a client whose replica dies re-targets a surviving replica and
+//! re-pulls only the symbols its decode still needs, reusing everything
+//! already received. RepFlow-style replication and FatPaths layered
+//! routing claim exactly this ground; the churn report measures it:
+//! completion percentiles, per-fault recovery percentiles, stranded /
+//! re-targeted session counts, and the fabric's coalescing counters.
+//!
+//! The whole run is seeded end to end (arrivals, placement, fault
+//! process, spraying), so a churn soak is byte-identical per seed like
+//! every other experiment in this repo.
+
+use netsim::{
+    FabricStats, FaultMix, FaultPlan, FaultProcess, Pcg32, SimConfig, SimTime, Simulator, Topology,
+};
+use polyraptor::{host_fail_token, PolyraptorAgent};
+
+use crate::fault::{RecoveryStats, REROUTE_DELAY_NS};
+use crate::runner::{
+    build_rq_specs, collect_rq_results, install_rq, Fabric, RqRunOptions, TransferResult,
+};
+use crate::scenario::{LogicalSession, Pattern, StorageScenario, PAPER_LAMBDA_PER_HOST};
+
+/// Parameters of a churn soak: the storage fetch workload plus the
+/// Poisson fault process sustained over it.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnScenario {
+    /// Fetch sessions (all foreground; a dead client must always be a
+    /// scripted, repairable event — background unicast writes would turn
+    /// a host death into an unfinishable transfer).
+    pub sessions: usize,
+    /// Object size per session in bytes.
+    pub object_bytes: usize,
+    /// Replicas per session (3 = the paper's replication factor; host
+    /// failures need >= 2 for a survivor to re-target).
+    pub replicas: usize,
+    /// Fault events drawn from the Poisson process.
+    pub fault_events: usize,
+    /// Fault events per second of simulated time.
+    pub fault_rate_per_sec: f64,
+    /// Every non-flap failure repairs this long after it strikes. Kept
+    /// mandatory: a permanently dead client could never finish its
+    /// fetch, and the soak's contract is that *everything* completes.
+    pub repair_delay_ns: u64,
+    /// Event class weights (see [`FaultMix`]).
+    pub mix: FaultMix,
+    /// Shared-risk-aware replica placement (compare both settings under
+    /// the same seed to see correlated-failure exposure move).
+    pub shared_risk_placement: bool,
+    /// Master seed (placement, arrivals, fault process, fabric).
+    pub seed: u64,
+}
+
+impl ChurnScenario {
+    /// The ISSUE's reference configuration: a 10-event uniform-mix
+    /// Poisson run over 3-replica fetches, faults repairing after 40 ms.
+    pub fn ten_event(sessions: usize, object_bytes: usize, seed: u64) -> Self {
+        Self {
+            sessions,
+            object_bytes,
+            replicas: 3,
+            fault_events: 10,
+            fault_rate_per_sec: 400.0,
+            repair_delay_ns: 40_000_000,
+            mix: FaultMix::uniform(),
+            shared_risk_placement: false,
+            seed,
+        }
+    }
+
+    /// The underlying storage workload (fetch pattern, no background).
+    fn storage(&self) -> StorageScenario {
+        StorageScenario {
+            sessions: self.sessions,
+            object_bytes: self.object_bytes,
+            replicas: self.replicas,
+            lambda_per_host: PAPER_LAMBDA_PER_HOST,
+            background_frac: 0.0,
+            pattern: Pattern::Read,
+            seed: self.seed,
+            normalize_load: true,
+            shared_risk_placement: self.shared_risk_placement,
+        }
+    }
+
+    /// The logical fetch sessions this scenario generates on a fabric —
+    /// exactly what the run uses (tests introspect placement and feed
+    /// [`ChurnScenario::plan`]).
+    pub fn storage_sessions(&self, topo: &Topology) -> Vec<LogicalSession> {
+        self.storage().generate(topo)
+    }
+
+    /// The compiled fault plan over a given fabric: the Poisson process
+    /// starts at the first session arrival (faults before any traffic
+    /// would test nothing) with a flap delay safely inside the 25 ms
+    /// control-plane convergence window.
+    pub fn plan(&self, topo: &Topology, sessions: &[LogicalSession]) -> FaultPlan {
+        let first = sessions
+            .iter()
+            .map(|s| s.start)
+            .min()
+            .expect("scenario has sessions");
+        FaultProcess::poisson(
+            self.fault_rate_per_sec,
+            self.mix,
+            Some(self.repair_delay_ns),
+        )
+        .flap_delay(REROUTE_DELAY_NS / 5)
+        .seed(self.seed ^ 0xC4_0A_11)
+        .compile(topo, first, self.fault_events)
+    }
+}
+
+/// Everything a churn run reports.
+#[derive(Debug, Clone)]
+pub struct ChurnReport {
+    /// Per-session transfer results (one per fetch client).
+    pub flows: Vec<TransferResult>,
+    /// Fabric counters — `flaps_coalesced`, `restores_incremental`,
+    /// `reroutes`, `lost_to_fault`, …
+    pub fabric: FabricStats,
+    /// Down-events of the executed plan (failure instants, all classes).
+    pub fault_instants: Vec<SimTime>,
+    /// Host failures the plan scripted.
+    pub host_failures: usize,
+    /// (session, dead sender) strandings observed across all clients.
+    pub stranded_sessions: u64,
+    /// Strandings re-targeted at a surviving replica.
+    pub retargeted_sessions: u64,
+    /// Symbols re-pulled from survivors on re-target, summed over all
+    /// sessions (each bounded by its decode's remaining need).
+    pub retarget_symbols: u64,
+    /// Sender retransmission timeouts (structurally 0 for Polyraptor —
+    /// recovery is pull-paced, never timer-paced; kept explicit so the
+    /// soak can assert it).
+    pub timeouts: u64,
+}
+
+impl ChurnReport {
+    /// Completion-time percentiles over every fetch.
+    pub fn completion(&self) -> RecoveryStats {
+        RecoveryStats::from_latencies(
+            self.flows
+                .iter()
+                .map(|f| f.finish.as_nanos() - f.start.as_nanos())
+                .collect(),
+        )
+        .expect("churn run has flows")
+    }
+
+    /// Recovery percentiles: for every fault instant and every fetch in
+    /// flight at it, the time from the fault to that fetch's completion.
+    /// `None` when no fetch ever spanned a fault.
+    pub fn recovery(&self) -> Option<RecoveryStats> {
+        let mut lat = Vec::new();
+        for &at in &self.fault_instants {
+            for f in &self.flows {
+                if f.start < at && f.finish > at {
+                    lat.push(f.finish.as_nanos() - at.as_nanos());
+                }
+            }
+        }
+        RecoveryStats::from_latencies(lat)
+    }
+}
+
+/// Run the churn scenario under Polyraptor. Every fetch must complete —
+/// sustained churn with repair is survivable by construction (path
+/// redundancy for the fabric, data redundancy for the replicas) — or
+/// the collector panics.
+pub fn run_churn_rq(sc: &ChurnScenario, fabric: &Fabric, opts: &RqRunOptions) -> ChurnReport {
+    assert!(sc.replicas >= 2, "churn needs a survivor to re-target");
+    let topo = fabric.build_with_route_set(opts.route_set);
+    let sessions = sc.storage().generate(&topo);
+    let plan = sc.plan(&topo, &sessions);
+    let mut sim_cfg = SimConfig::ndp(sc.seed ^ 0xC0_17);
+    sim_cfg.switch_queue = opts.switch_queue;
+    sim_cfg.route = opts.route;
+    sim_cfg.reroute_delay_ns = REROUTE_DELAY_NS;
+    let mut sim: Simulator<_, PolyraptorAgent> = Simulator::new(topo, sim_cfg);
+    let hosts = sim.topology().hosts().to_vec();
+    let mut seed_rng = Pcg32::new(sc.seed ^ 0xA6E27);
+    for &h in &hosts {
+        let s = seed_rng.next_u64();
+        sim.set_agent(h, PolyraptorAgent::new(h, opts.pr, s));
+    }
+    let specs = build_rq_specs(&mut sim, &sessions, Pattern::Read);
+    for spec in &specs {
+        install_rq(&mut sim, spec);
+    }
+    sim.schedule_faults(&plan);
+
+    // Control-plane host-failure notifications: every client fetching
+    // from a host the plan kills learns of the death one convergence
+    // window after it strikes (or after its own session starts, for
+    // fetches that begin mid-outage) — the same lag the fabric's reroute
+    // pays. Failures already repaired by then were transient; the
+    // keep-alive sweep alone covers those.
+    let host_failures = plan.host_failures(sim.topology());
+    for f in &host_failures {
+        for ls in &sessions {
+            if !ls.replicas.contains(&f.host) {
+                continue;
+            }
+            let notify = f.at.max(ls.start) + REROUTE_DELAY_NS;
+            if f.repaired_at.is_some_and(|up| up <= notify) {
+                continue;
+            }
+            sim.schedule_timer(ls.client, notify, host_fail_token(f.host));
+        }
+    }
+
+    sim.run_to_completion();
+    let flows = collect_rq_results(&sim, &sessions, Pattern::Read);
+    let (mut stranded, mut retargeted, mut retarget_symbols) = (0u64, 0u64, 0u64);
+    for (_, agent) in sim.agents() {
+        stranded += agent.stranded_sessions;
+        retargeted += agent.retargeted_sessions;
+        retarget_symbols += agent
+            .records
+            .iter()
+            .map(|r| r.retarget_symbols)
+            .sum::<u64>();
+    }
+    let fault_instants = plan
+        .events()
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.action,
+                netsim::FaultAction::LinkDown { .. } | netsim::FaultAction::SwitchDown { .. }
+            )
+        })
+        .map(|e| e.at)
+        .collect();
+    ChurnReport {
+        flows,
+        fabric: sim.stats(),
+        fault_instants,
+        host_failures: host_failures.len(),
+        stranded_sessions: stranded,
+        retargeted_sessions: retargeted,
+        retarget_symbols,
+        timeouts: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ChurnScenario {
+        ChurnScenario::ten_event(6, 128 << 10, 3)
+    }
+
+    #[test]
+    fn churn_run_completes_every_fetch() {
+        let rep = run_churn_rq(&small(), &Fabric::small(), &RqRunOptions::default());
+        // The collector asserts per-endpoint completion; check shape.
+        assert_eq!(rep.flows.len(), 6, "one fetch record per session");
+        assert!(rep.fabric.reroutes >= 1, "churn must reroute");
+        assert_eq!(rep.timeouts, 0);
+        let c = rep.completion();
+        assert!(c.p50_ns <= c.p99_ns && c.p99_ns <= c.max_ns);
+    }
+
+    #[test]
+    fn churn_is_deterministic_per_seed() {
+        let a = run_churn_rq(&small(), &Fabric::small(), &RqRunOptions::default());
+        let b = run_churn_rq(&small(), &Fabric::small(), &RqRunOptions::default());
+        assert_eq!(a.fabric, b.fabric);
+        assert_eq!(a.stranded_sessions, b.stranded_sessions);
+        let fp = |r: &ChurnReport| -> Vec<(u32, u64, u64)> {
+            r.flows
+                .iter()
+                .map(|f| (f.session, f.start.as_nanos(), f.finish.as_nanos()))
+                .collect()
+        };
+        assert_eq!(fp(&a), fp(&b));
+    }
+
+    #[test]
+    fn shared_risk_placement_spreads_replicas_on_fat_tree() {
+        let topo = Fabric::small().build();
+        let mut sc = small();
+        sc.shared_risk_placement = true;
+        // k=4 fat-tree has 4 pods of 4 hosts: 3 replicas can always be
+        // spread across distinct pods.
+        let sessions = sc.storage().generate(&topo);
+        for s in &sessions {
+            for (i, &a) in s.replicas.iter().enumerate() {
+                for &b in &s.replicas[..i] {
+                    assert!(
+                        !topo.shared_risk(a, b),
+                        "replicas {} and {} share a risk group",
+                        a.0,
+                        b.0
+                    );
+                }
+            }
+        }
+        // The default placement does collide somewhere (that's the
+        // comparison the flag exists for).
+        let default_sessions = small().storage().generate(&topo);
+        let mut collisions = 0;
+        for s in &default_sessions {
+            for (i, &a) in s.replicas.iter().enumerate() {
+                for &b in &s.replicas[..i] {
+                    collisions += usize::from(topo.shared_risk(a, b));
+                }
+            }
+        }
+        assert!(collisions > 0, "default placement ignores shared risk");
+    }
+}

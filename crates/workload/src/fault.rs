@@ -124,6 +124,7 @@ impl FaultScenario {
             pattern: Pattern::Write,
             seed: self.seed,
             normalize_load: true,
+            shared_risk_placement: false,
         }
     }
 
@@ -262,17 +263,7 @@ impl FaultRunReport {
     /// the legacy single-nudge sweep was paced at one symbol per sweep
     /// interval (~450 ms at paper scale).
     pub fn recovery(&self) -> Option<RecoveryStats> {
-        let lat = self.recovery_latencies_ns();
-        if lat.is_empty() {
-            return None;
-        }
-        let pick = |p: f64| lat[((p / 100.0) * (lat.len() - 1) as f64).round() as usize];
-        Some(RecoveryStats {
-            flows: lat.len(),
-            p50_ns: pick(50.0),
-            p99_ns: pick(99.0),
-            max_ns: *lat.last().expect("non-empty"),
-        })
+        RecoveryStats::from_latencies(self.recovery_latencies_ns())
     }
 }
 
@@ -288,6 +279,25 @@ pub struct RecoveryStats {
     pub p99_ns: u64,
     /// Worst-case recovery latency (the post-fault completion tail).
     pub max_ns: u64,
+}
+
+impl RecoveryStats {
+    /// Summarize a latency (or duration) sample into p50/p99/max;
+    /// `None` for an empty sample. Sorts in place — callers need not
+    /// pre-sort. Shared by the single-fault and churn reports.
+    pub fn from_latencies(mut lat: Vec<u64>) -> Option<Self> {
+        if lat.is_empty() {
+            return None;
+        }
+        lat.sort_unstable();
+        let pick = |p: f64| lat[((p / 100.0) * (lat.len() - 1) as f64).round() as usize];
+        Some(Self {
+            flows: lat.len(),
+            p50_ns: pick(50.0),
+            p99_ns: pick(99.0),
+            max_ns: *lat.last().expect("non-empty"),
+        })
+    }
 }
 
 /// Run the fault scenario under Polyraptor (multicast replication,

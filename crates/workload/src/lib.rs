@@ -11,6 +11,9 @@
 //!   workload with a deterministic mid-run core-switch failure,
 //!   Polyraptor (reroute + coded repair) vs. the ECMP-pinned TCP
 //!   baseline (timeout-driven tail inflation);
+//! * [`churn`] — sustained Poisson fault churn (links, flaps, switches,
+//!   **host failures**) over a fetch workload, with session re-target to
+//!   surviving replicas and completion/recovery percentiles;
 //! * [`hotspot`] — silent mid-fabric rate degradation, spraying vs.
 //!   per-flow ECMP;
 //! * [`runner`] — mapping logical sessions onto Polyraptor
@@ -23,6 +26,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod churn;
 pub mod csv;
 pub mod fault;
 pub mod hotspot;
@@ -30,6 +34,7 @@ pub mod runner;
 pub mod scenario;
 pub mod stats;
 
+pub use churn::{run_churn_rq, ChurnReport, ChurnScenario};
 pub use fault::{run_fault_rq, run_fault_tcp, FaultRunReport, FaultScenario, RecoveryStats};
 pub use hotspot::{run_hotspot_rq, HotspotScenario};
 pub use runner::{

@@ -654,6 +654,7 @@ mod tests {
             replicas: 3,
             lambda_per_host: crate::scenario::PAPER_LAMBDA_PER_HOST,
             normalize_load: true,
+            shared_risk_placement: false,
             background_frac: 0.2,
             pattern: Pattern::Write,
             seed: 7,
@@ -682,6 +683,7 @@ mod tests {
             replicas: 3,
             lambda_per_host: crate::scenario::PAPER_LAMBDA_PER_HOST,
             normalize_load: true,
+            shared_risk_placement: false,
             background_frac: 0.2,
             pattern: Pattern::Read,
             seed: 8,
@@ -699,6 +701,7 @@ mod tests {
             replicas: 3,
             lambda_per_host: crate::scenario::PAPER_LAMBDA_PER_HOST,
             normalize_load: true,
+            shared_risk_placement: false,
             background_frac: 0.2,
             pattern: Pattern::Write,
             seed: 7,

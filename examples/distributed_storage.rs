@@ -26,6 +26,7 @@ fn main() {
         pattern: Pattern::Write,
         seed: 7,
         normalize_load: true,
+        shared_risk_placement: false,
     };
 
     println!(

@@ -84,6 +84,7 @@ fn distributed_storage_write_completes_deterministically() {
         pattern: Pattern::Write,
         seed: 42,
         normalize_load: true,
+        shared_risk_placement: false,
     };
     let a = run_storage_rq(&sc, &Fabric::small(), &RqRunOptions::default());
     assert!(!a.is_empty());
@@ -180,6 +181,7 @@ fn storage_writes_complete_on_leaf_spine_and_jellyfish() {
         pattern: Pattern::Write,
         seed: 5,
         normalize_load: true,
+        shared_risk_placement: false,
     };
     for fabric in [Fabric::small_leaf_spine(), Fabric::small_jellyfish()] {
         let results = run_storage_rq(&sc, &fabric, &RqRunOptions::default());

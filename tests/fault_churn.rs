@@ -1,0 +1,162 @@
+//! Integration soak for the fault-churn subsystem: a seeded Poisson
+//! fault process (links, sub-convergence-window flaps, transit
+//! switches, and host failures) sustained over a replicated storage
+//! fetch run at test scale.
+//!
+//! The contract under churn-with-repair is total: every fetch completes
+//! with zero timeouts (Polyraptor's recovery is pull-paced — the sweep
+//! re-pulls written-off loss, and a dead replica's remaining share is
+//! re-targeted at a survivor), flapping links coalesce instead of
+//! paying full route recomputes, restorations repair incrementally, and
+//! the whole run is byte-identical per seed.
+
+use polyraptor_repro::netsim::FaultAction;
+use polyraptor_repro::workload::{run_churn_rq, ChurnReport, ChurnScenario, Fabric, RqRunOptions};
+
+/// Seed 2 at this scale draws all four event classes and strands live
+/// sessions (verified by the plan assertions below, so a regression in
+/// the generator can't silently hollow the test out).
+fn scenario() -> ChurnScenario {
+    let mut sc = ChurnScenario::ten_event(6, 2 << 20, 2);
+    sc.fault_events = 12;
+    sc
+}
+
+#[test]
+fn churn_soak_completes_everything_and_retargets_all_stranded() {
+    let sc = scenario();
+    let fabric = Fabric::small();
+
+    // The compiled plan really exercises the advertised mix: >= 10
+    // events including >= 1 host failure and >= 1 flap.
+    let topo = fabric.build();
+    let sessions = sc.storage_sessions(&topo);
+    let plan = sc.plan(&topo, &sessions);
+    let downs = plan
+        .events()
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.action,
+                FaultAction::LinkDown { .. } | FaultAction::SwitchDown { .. }
+            )
+        })
+        .count();
+    assert!(downs >= 10, "soak needs >= 10 fault events (got {downs})");
+    assert!(
+        !plan.host_failures(&topo).is_empty(),
+        "soak needs a host failure"
+    );
+
+    let rep = run_churn_rq(&sc, &fabric, &RqRunOptions::default());
+    // Every fetch completed (the collector asserts per-endpoint
+    // completion; the count pins the shape) with zero timeouts.
+    assert_eq!(rep.flows.len(), 6, "one completed fetch per session");
+    assert_eq!(rep.timeouts, 0, "recovery is pull-paced, never timer-paced");
+    // Host failures stranded live sessions, and every stranding was
+    // re-targeted at a surviving replica.
+    assert!(rep.host_failures >= 1);
+    assert!(
+        rep.stranded_sessions >= 1,
+        "a host failure must strand a live fetch at this scale"
+    );
+    assert_eq!(
+        rep.retargeted_sessions, rep.stranded_sessions,
+        "every stranded session must be re-targeted"
+    );
+    assert!(
+        rep.retarget_symbols > 0,
+        "re-target must move the dead replica's share to survivors"
+    );
+    // The fabric half of the story: flaps coalesced into no-op deltas.
+    // (Bunched repairs at this event rate legitimately exceed the
+    // mass-delta threshold, so restore-repair is asserted separately by
+    // `links_only_churn_never_pays_a_full_recompute` below, where the
+    // repairs are spaced.)
+    assert!(
+        rep.fabric.flaps_coalesced >= 1,
+        "sub-convergence-window flaps must coalesce"
+    );
+    assert!(rep.fabric.lost_to_fault > 0, "churn must cost packets");
+    // Recovery is bounded: every fetch in flight at a fault instant
+    // still finished (completion is asserted above; the percentiles
+    // exist and are ordered).
+    let rec = rep.recovery().expect("faults struck mid-fetch");
+    assert!(rec.p50_ns <= rec.p99_ns && rec.p99_ns <= rec.max_ns);
+}
+
+#[test]
+fn links_only_churn_never_pays_a_full_recompute() {
+    // A churn of link failures and flaps with spaced repairs is the
+    // control-plane acceptance case: every flap coalesces to a no-op
+    // delta, every restoration takes the bounded restore-repair path,
+    // and *no* reroute falls back to a full recomputation — while every
+    // fetch still completes.
+    let mut sc = ChurnScenario::ten_event(6, 2 << 20, 0);
+    sc.fault_events = 10;
+    sc.fault_rate_per_sec = 120.0;
+    sc.repair_delay_ns = 12_000_000;
+    sc.mix = polyraptor_repro::netsim::FaultMix::links_only();
+    let rep = run_churn_rq(&sc, &Fabric::small(), &RqRunOptions::default());
+    assert_eq!(rep.flows.len(), 6, "every fetch completes");
+    assert!(
+        rep.fabric.flaps_coalesced >= 1,
+        "flaps must coalesce (got {})",
+        rep.fabric.flaps_coalesced
+    );
+    assert!(
+        rep.fabric.restores_incremental >= 1,
+        "spaced restorations must take restore repair"
+    );
+    assert_eq!(
+        rep.fabric.reroutes, rep.fabric.reroutes_incremental,
+        "links-only churn must never fall back to a full route recompute"
+    );
+}
+
+#[test]
+fn churn_soak_is_byte_identical_per_seed() {
+    let sc = scenario();
+    let fabric = Fabric::small();
+    let fingerprint = |rep: &ChurnReport| -> Vec<(u32, u64, u64, usize)> {
+        rep.flows
+            .iter()
+            .map(|f| (f.session, f.start.as_nanos(), f.finish.as_nanos(), f.bytes))
+            .collect()
+    };
+    let a = run_churn_rq(&sc, &fabric, &RqRunOptions::default());
+    let b = run_churn_rq(&sc, &fabric, &RqRunOptions::default());
+    assert_eq!(a.fabric, b.fabric, "identical fabric stats field for field");
+    assert_eq!(fingerprint(&a), fingerprint(&b), "identical per-flow stats");
+    assert_eq!(a.stranded_sessions, b.stranded_sessions);
+    assert_eq!(a.retargeted_sessions, b.retargeted_sessions);
+    assert_eq!(a.retarget_symbols, b.retarget_symbols);
+    assert_eq!(a.fault_instants, b.fault_instants);
+
+    // A different seed produces a different run (the soak is not
+    // accidentally fault-free or schedule-independent).
+    let mut other = sc;
+    other.seed = 3;
+    let c = run_churn_rq(&other, &fabric, &RqRunOptions::default());
+    assert_ne!(fingerprint(&a), fingerprint(&c));
+}
+
+#[test]
+fn shared_risk_placement_compares_under_identical_churn() {
+    // Same seed, same fault plan, different placement: both complete;
+    // the spread placement never lets one event strand two replicas of
+    // one session (asserted structurally in workload::churn's unit
+    // tests — here we assert the run-level contract holds for both).
+    let sc = scenario();
+    let mut spread = sc;
+    spread.shared_risk_placement = true;
+    let fabric = Fabric::small();
+    let a = run_churn_rq(&sc, &fabric, &RqRunOptions::default());
+    let b = run_churn_rq(&spread, &fabric, &RqRunOptions::default());
+    assert_eq!(a.flows.len(), b.flows.len());
+    assert_eq!(a.timeouts + b.timeouts, 0);
+    assert_eq!(
+        a.fault_instants, b.fault_instants,
+        "placement must not perturb the fault process"
+    );
+}
