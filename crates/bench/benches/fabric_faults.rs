@@ -143,6 +143,59 @@ fn reroute_cost(c: &mut Criterion) {
             BatchSize::LargeInput,
         );
     });
+
+    // Layered policies (4 FatPaths-style layers): per-layer restore
+    // repair vs the full recompute it replaces — the guard that layered
+    // restorations stay well under the full bill, on the k=10 fat-tree
+    // and on a 150-host Jellyfish. (The old `RouteSet::NonMinimal`
+    // path paid `masked_recompute_layered_*` on every restoration.)
+    for (label, mut layered) in [
+        ("k10", Topology::fat_tree(10, 1_000_000_000, 10_000)),
+        (
+            "jelly",
+            Topology::jellyfish(50, 5, 3, 1_000_000_000, 10_000, 1),
+        ),
+    ] {
+        layered.set_policy(netsim::RoutingPolicy::layered(4, 7));
+        layered.compute_routes();
+        // Victim: the first inter-switch link of the first switch (an
+        // edge uplink on the fat-tree, a random-graph link on
+        // Jellyfish).
+        let victim = (0..layered.node_count() as u32)
+            .map(netsim::NodeId)
+            .filter(|&n| layered.kind(n) == netsim::NodeKind::Switch)
+            .find_map(|n| {
+                layered
+                    .node_ports(n)
+                    .iter()
+                    .position(|p| layered.kind(p.peer) == netsim::NodeKind::Switch)
+                    .map(|p| (n, p as u16))
+            })
+            .expect("fabric has switch-switch links");
+        let mut link_mask = FaultMask::new();
+        link_mask.fail_link(&layered, victim.0, victim.1);
+        let mut layered_failed = layered.clone();
+        let outcome = layered_failed.repair_routes(&link_mask);
+        assert!(!outcome.full, "layered link repair must stay incremental");
+        g.bench_function(format!("masked_recompute_layered_{label}"), |b| {
+            b.iter_batched(
+                || layered.clone(),
+                |mut t| t.compute_routes_masked(&link_mask),
+                BatchSize::LargeInput,
+            );
+        });
+        g.bench_function(format!("repair_layered_restore_{label}"), |b| {
+            b.iter_batched(
+                || layered_failed.clone(),
+                |mut t| {
+                    let o = t.repair_routes(&empty_mask);
+                    assert!(!o.full, "layered restore repair must stay incremental");
+                    o
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
     g.finish();
 }
 

@@ -308,6 +308,22 @@ impl FaultPlan {
         &self.events
     }
 
+    /// The failure instants of every down event (link and node alike),
+    /// in insertion order — what fault reports correlate in-flight
+    /// transfers against.
+    pub fn down_instants(&self) -> Vec<SimTime> {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.action,
+                    FaultAction::LinkDown { .. } | FaultAction::SwitchDown { .. }
+                )
+            })
+            .map(|e| e.at)
+            .collect()
+    }
+
     /// Number of scripted events.
     pub fn len(&self) -> usize {
         self.events.len()

@@ -8,9 +8,12 @@
 //! * store-and-forward links with per-link rate and propagation delay;
 //! * drop-tail **and** NDP trimming/dual-priority switch queues;
 //! * fat-tree, leaf–spine, and Jellyfish (random regular graph)
-//!   topology builders with pluggable multipath path sets
-//!   ([`topology::RouteSet`]: shortest-path ECMP or FatPaths-style
-//!   non-minimal) and per-flow ECMP or per-packet spraying forwarding;
+//!   topology builders with FatPaths-style path-diversity layers
+//!   ([`topology::RoutingPolicy`]: layer 0 = shortest-path ECMP, extra
+//!   layers = seeded near-disjoint link subsets with 2× bounded
+//!   stretch), per-flow or per-packet layer assignment with
+//!   re-assignment away from dead layers, and per-flow ECMP or
+//!   per-packet spraying forwarding within a layer;
 //! * scripted mid-run fault injection ([`fault::FaultPlan`]): link,
 //!   switch, and host failures with incremental route repair (including
 //!   restore repair and flap coalescing), multicast-tree repair, and
@@ -80,6 +83,9 @@ pub use fault::{
 pub use packet::{Dest, FlowId, GroupId, Packet, SimPayload, HEADER_BYTES};
 pub use queue::{Enqueued, PortQueue, QueueConfig, QueueStats};
 pub use rng::Pcg32;
-pub use sim::{ecmp_choice, Agent, Ctx, FabricStats, RouteMode, SimConfig, Simulator};
+pub use sim::{
+    ecmp_choice, layer_choice, Agent, Ctx, FabricStats, LayerAssign, RouteMode, SimConfig,
+    Simulator,
+};
 pub use time::{serialization_ns, SimTime};
-pub use topology::{NodeId, NodeKind, Port, RouteRepair, RouteSet, Topology};
+pub use topology::{NodeId, NodeKind, Port, RouteRepair, RoutingPolicy, Topology};

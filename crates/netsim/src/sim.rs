@@ -6,9 +6,12 @@
 //! packet arrivals, port transmissions, agent timers, and scripted
 //! fabric faults (see [`crate::fault`]).
 //!
-//! Hosts hand packets to their NIC queue; switches forward by shortest
-//! path (per-flow ECMP hash or per-packet spraying across equal-cost
-//! ports) or along a registered multicast tree. The link model is
+//! Hosts hand packets to their NIC queue; switches forward within the
+//! packet's routing layer (assigned per flow, see
+//! [`LayerAssign`], with re-assignment away from layers whose path to
+//! the destination is dead) picking among the layer's advertised ports
+//! by per-flow ECMP hash or per-packet spraying, or along a registered
+//! multicast tree (built on the minimal layer). The link model is
 //! store-and-forward: a packet arrives at the next node after
 //! serialization + propagation.
 //!
@@ -27,7 +30,7 @@ use crate::packet::{Dest, GroupId, Packet, SimPayload};
 use crate::queue::{Enqueued, PortQueue, QueueConfig, QueueStats};
 use crate::rng::Pcg32;
 use crate::time::{serialization_ns, SimTime};
-use crate::topology::{NodeId, NodeKind, Topology};
+use crate::topology::{NodeId, NodeKind, RoutingPolicy, Topology};
 
 /// Transport hook: one agent runs on every host and receives packets and
 /// timers addressed to that host. Implementations queue outgoing packets
@@ -94,7 +97,8 @@ impl<P> Ctx<P> {
     }
 }
 
-/// Path selection among equal-cost ports.
+/// Path selection among equal-cost ports (within the assigned routing
+/// layer).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RouteMode {
     /// Per-flow ECMP: hash of (flow id, switch id) picks the port —
@@ -105,6 +109,32 @@ pub enum RouteMode {
     Spray,
 }
 
+/// How unicast traffic is assigned to routing layers (see
+/// [`RoutingPolicy`]) — the pluggable flow→layer strategy, and the
+/// extension point for FatPaths-style flowlet/loss-driven switching.
+/// With a single-layer (minimal) policy it degenerates to classic
+/// single-table forwarding.
+///
+/// Note there is deliberately no per-*packet* (or per-hop) layer
+/// spraying: a packet that mixes layers across hops has no single
+/// weighted-distance potential bounding its walk, so loop freedom and
+/// the 2× stretch bound would be lost. Per-packet path diversity comes
+/// from [`RouteMode::Spray`] *within* the assigned layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerAssign {
+    /// Per-flow hash (the FatPaths default): every packet of a flow
+    /// rides one layer, so a flow sees stable path characteristics and
+    /// every switch agrees on the layer without per-packet state.
+    /// Flows are re-assigned away from a layer whose path to the
+    /// destination is dead at a hop (no advertised port, or every
+    /// advertised port locally known down) — at most one move per
+    /// (flow, destination) per convergence window, counted in
+    /// [`FabricStats::layer_reassignments`]; the moves are forgotten
+    /// when routes converge (layers only reweight links, so after a
+    /// repair every layer reaches everything the fabric reaches).
+    FlowHash,
+}
+
 /// Simulator-wide configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct SimConfig {
@@ -113,8 +143,11 @@ pub struct SimConfig {
     /// Queue discipline on host NICs (deep drop-tail by default: host
     /// memory is plentiful; transports self-limit).
     pub host_queue: QueueConfig,
-    /// Path selection policy.
+    /// Path selection policy (within the assigned layer).
     pub route: RouteMode,
+    /// Flow→layer assignment strategy (irrelevant under a single-layer
+    /// routing policy).
+    pub layer_assign: LayerAssign,
     /// Control-plane convergence time: a detected fault kills traffic
     /// immediately, but routes (and multicast trees) are only recomputed
     /// this many nanoseconds later — during the window, packets keep
@@ -132,6 +165,7 @@ impl SimConfig {
             switch_queue: QueueConfig::NDP_DEFAULT,
             host_queue: QueueConfig::DropTail { cap_pkts: 100_000 },
             route: RouteMode::Spray,
+            layer_assign: LayerAssign::FlowHash,
             reroute_delay_ns: 0,
             seed,
         }
@@ -143,6 +177,7 @@ impl SimConfig {
             switch_queue: QueueConfig::DROPTAIL_DEFAULT,
             host_queue: QueueConfig::DropTail { cap_pkts: 100_000 },
             route: RouteMode::EcmpFlow,
+            layer_assign: LayerAssign::FlowHash,
             reroute_delay_ns: 0,
             seed,
         }
@@ -232,6 +267,16 @@ pub struct FabricStats {
     /// bounded restore surgery (per-destination rebuilds only where a
     /// distance could shrink) instead of a full recomputation.
     pub restores_incremental: u64,
+    /// Per-layer utilisation: unicast packets forwarded at switches,
+    /// indexed by the routing layer that carried them (single-layer
+    /// policies count everything in slot 0; slots past the policy's
+    /// layer count stay 0).
+    pub layer_forwarded: [u64; RoutingPolicy::MAX_LAYERS],
+    /// Flows moved away from a layer whose path to the destination was
+    /// dead at a hop — either no advertised port there, or every
+    /// advertised port locally known down — onto a live layer. At most
+    /// one move per (flow, destination) per convergence window.
+    pub layer_reassignments: u64,
 }
 
 /// Canonical identity of a failable element, for flap tracking: links
@@ -279,6 +324,13 @@ pub struct Simulator<P: SimPayload, A: Agent<P>> {
     /// Per-port rate overrides (hotspot/failure injection); keyed by
     /// (node, port), in bits per second. Zero means the link is down.
     rate_overrides: HashMap<(u32, u16), u64>,
+    /// Per-(flow, destination) layer re-assignments under
+    /// [`LayerAssign::FlowHash`]: a flow moved away from a dead layer
+    /// keeps its new layer until the next applied reroute (the repaired
+    /// tables make every layer whole again, so the map is cleared there
+    /// — bounding it to one convergence window's flows). Never
+    /// iterated, so the HashMap does not threaten determinism.
+    layer_overrides: HashMap<(u64, u32), u8>,
 }
 
 impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
@@ -318,6 +370,7 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
             reroute_pending: false,
             pending_down: std::collections::BTreeSet::new(),
             rate_overrides: HashMap::new(),
+            layer_overrides: HashMap::new(),
         }
     }
 
@@ -683,6 +736,13 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
     /// later repair restores them).
     fn reroute(&mut self) {
         self.pending_down.clear();
+        // Layer re-assignments were a stale-window measure: the repaired
+        // tables below reflect the live mask, and layers only reweight
+        // links (never remove them), so every layer reaches everything
+        // the fabric reaches again — flows return to their hashed
+        // layer. Forgetting the overrides also bounds their memory to
+        // one convergence window's flows.
+        self.layer_overrides.clear();
         let outcome = self.topo.repair_routes(&self.mask);
         self.stats.reroutes += 1;
         if !outcome.full {
@@ -757,10 +817,57 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
         }
     }
 
+    /// Whether `layer` has at least one advertised port at `node`
+    /// towards `dst` that is locally usable (link and far end up under
+    /// the live mask — switch-local knowledge, no control plane
+    /// required).
+    fn layer_live(&self, layer: usize, node: NodeId, dst: NodeId) -> bool {
+        self.topo
+            .try_next_ports_on(layer, node, dst)
+            .iter()
+            .any(|&p| self.mask.port_is_up(&self.topo, node, p))
+    }
+
     fn forward(&mut self, node: NodeId, pkt: Packet<P>) {
         match pkt.dst {
             Dest::Host(dst) => {
-                let choices = self.topo.try_next_ports(node, dst);
+                // The layer machinery (hash, override lookup,
+                // re-assignment) only exists under multi-layer
+                // policies; the single-layer default skips it entirely
+                // — forwarding's hot path stays exactly the
+                // pre-layering code.
+                let n_layers = self.topo.layer_count();
+                let mut layer = 0;
+                if n_layers > 1 {
+                    let LayerAssign::FlowHash = self.config.layer_assign;
+                    let override_entry = self.layer_overrides.get(&(pkt.flow.0, dst.0)).copied();
+                    let assigned = override_entry
+                        .map(|l| l as usize)
+                        .unwrap_or_else(|| layer_choice(pkt.flow, n_layers));
+                    // Re-assignment away from a layer whose path to the
+                    // destination is dead at this hop: scan the other
+                    // layers round-robin for one with a live advertised
+                    // port. At most one move per (flow, destination)
+                    // per convergence window — an existing override is
+                    // never overwritten, or two half-dead layers could
+                    // ping-pong a packet between neighbouring switches
+                    // for the whole stale window. A layer with live
+                    // ports keeps its traffic even if some of its ports
+                    // are dead (the pick below may still lose packets
+                    // during the convergence window, as before).
+                    layer = assigned;
+                    if override_entry.is_none() && !self.layer_live(assigned, node, dst) {
+                        if let Some(alt) = (1..n_layers)
+                            .map(|k| (assigned + k) % n_layers)
+                            .find(|&l| self.layer_live(l, node, dst))
+                        {
+                            layer = alt;
+                            self.stats.layer_reassignments += 1;
+                            self.layer_overrides.insert((pkt.flow.0, dst.0), alt as u8);
+                        }
+                    }
+                }
+                let choices = self.topo.try_next_ports_on(layer, node, dst);
                 if choices.is_empty() {
                     // The destination is unreachable under the current
                     // fault mask; outside faults this is a config bug.
@@ -773,6 +880,7 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
                     self.stats.lost_to_fault += 1;
                     return;
                 }
+                self.stats.layer_forwarded[layer] += 1;
                 let port = match self.config.route {
                     RouteMode::EcmpFlow => choices[ecmp_choice(pkt.flow, node, choices.len())],
                     RouteMode::Spray => choices[self.rng.below(choices.len() as u64) as usize],
@@ -854,6 +962,19 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
 pub fn ecmp_choice(flow: crate::packet::FlowId, node: NodeId, n_choices: usize) -> usize {
     let h = crate::rng::Pcg32::new(flow.0 ^ (u64::from(node.0) << 40)).next_u32();
     h as usize % n_choices
+}
+
+/// The routing layer [`LayerAssign::FlowHash`] assigns a flow to: a
+/// deterministic hash of the flow id alone, so every switch agrees on
+/// the flow's layer without per-packet state — equivalent to the source
+/// stamping the layer in the packet header, as FatPaths does. Exposed
+/// so experiment code can predict a flow's layer.
+pub fn layer_choice(flow: crate::packet::FlowId, n_layers: usize) -> usize {
+    if n_layers <= 1 {
+        return 0;
+    }
+    let h = crate::rng::Pcg32::new(flow.0 ^ 0x7A9E_12C4_55AA_01FE).next_u32();
+    h as usize % n_layers
 }
 
 #[cfg(test)]
@@ -1547,6 +1668,132 @@ mod tests {
             "the restoration reroute must use restore surgery"
         );
         assert_eq!(stats.reroutes_incremental, 2, "both reroutes incremental");
+    }
+
+    #[test]
+    fn layered_policy_spreads_flows_and_counts_per_layer() {
+        // Many distinct flows on a 4-layer fat-tree: the flow hash must
+        // land traffic on several layers, and the per-layer utilisation
+        // counters must account every switch-forwarded unicast packet.
+        let mut t = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        t.set_policy(crate::topology::RoutingPolicy::layered(4, 5));
+        t.compute_routes();
+        let hosts = t.hosts().to_vec();
+        let mut sim: Simulator<P, Echo> = Simulator::new(t, SimConfig::ndp(5));
+        for &h in &hosts {
+            sim.set_agent(
+                h,
+                Echo {
+                    to_send: vec![],
+                    received: vec![],
+                },
+            );
+        }
+        let (src, dst) = (hosts[0], hosts[15]);
+        for i in 0..64 {
+            let mut pkt = data_pkt(src, dst, i);
+            pkt.flow = FlowId(u64::from(i)); // one flow per packet
+            sim.agent_mut(src).to_send.push(pkt);
+        }
+        sim.schedule_timer(src, SimTime::ZERO, 0);
+        sim.run_to_completion();
+        assert_eq!(sim.agent(dst).received.len(), 64);
+        let stats = sim.stats();
+        assert_eq!(stats.layer_reassignments, 0, "healthy fabric: no moves");
+        let used = stats.layer_forwarded.iter().filter(|&&c| c > 0).count();
+        assert!(used >= 2, "64 flows must spread over >= 2 of 4 layers");
+        assert_eq!(
+            stats.layer_forwarded[4..].iter().sum::<u64>(),
+            0,
+            "slots past the layer count stay empty"
+        );
+    }
+
+    #[test]
+    fn dead_layer_reassigns_flows_mid_window() {
+        // Diamond fabric a—sA—{s1|s2}—sB—b under a 2-layer policy. Find
+        // a policy seed whose layer 1 advertises the s1 branch as sA's
+        // only port towards b, and a flow hashed onto layer 1; killing
+        // the sA—s1 link mid-stream with a long convergence window must
+        // then re-assign the flow onto the live layer at sA instead of
+        // blackholing it until the deferred reroute.
+        let build = |seed: u64| -> (Topology, NodeId, NodeId, NodeId) {
+            let mut t = Topology::new();
+            let a = t.add_node(NodeKind::Host);
+            let sa = t.add_node(NodeKind::Switch);
+            let s1 = t.add_node(NodeKind::Switch);
+            let s2 = t.add_node(NodeKind::Switch);
+            let sb = t.add_node(NodeKind::Switch);
+            let b = t.add_node(NodeKind::Host);
+            t.connect(a, sa, 1_000_000_000, 10_000);
+            t.connect(sa, s1, 1_000_000_000, 10_000); // sa port 1
+            t.connect(sa, s2, 1_000_000_000, 10_000); // sa port 2
+            t.connect(s1, sb, 1_000_000_000, 10_000);
+            t.connect(s2, sb, 1_000_000_000, 10_000);
+            t.connect(sb, b, 1_000_000_000, 10_000);
+            t.set_policy(crate::topology::RoutingPolicy::layered(2, seed));
+            t.compute_routes();
+            (t, a, sa, b)
+        };
+        let seed = (0..64)
+            .find(|&s| {
+                let (t, _, sa, b) = build(s);
+                t.try_next_ports_on(1, sa, b) == [1u16]
+            })
+            .expect("some seed prefers the s1 branch on layer 1");
+        let (t, a, sa, b) = build(seed);
+        let flow = (0..64)
+            .map(FlowId)
+            .find(|&f| layer_choice(f, 2) == 1)
+            .expect("some flow hashes onto layer 1");
+        let mut cfg = SimConfig::ndp(3);
+        cfg.reroute_delay_ns = 500_000; // long stale-routing window
+        let mut sim = Simulator::new(t, cfg);
+        for h in [a, b] {
+            sim.set_agent(
+                h,
+                Echo {
+                    to_send: vec![],
+                    received: vec![],
+                },
+            );
+        }
+        for i in 0..30 {
+            let mut pkt = data_pkt(a, b, i);
+            pkt.flow = flow;
+            sim.agent_mut(a).to_send.push(pkt);
+        }
+        sim.schedule_timer(a, SimTime::ZERO, 0);
+        // The NIC drains one packet per 12 µs; kill the s1 branch at
+        // 100 µs with most of the stream still to come.
+        let plan = FaultPlan::new().link_down(SimTime::from_micros(100), sa, 1);
+        sim.schedule_faults(&plan);
+        sim.run_to_completion();
+        let stats = sim.stats();
+        assert!(
+            stats.layer_reassignments >= 1,
+            "the dead layer must shed its flow"
+        );
+        // Without re-assignment the flow would blackhole at sA for the
+        // whole 500 µs window (its layer advertises only the dead
+        // port); with it, packets keep arriving mid-window over the
+        // live layer. (The live layer still sprays across its own
+        // port set — stale-window losses on the dead port remain, as
+        // for any flow, so not every packet survives.)
+        let rec = &sim.agent(b).received;
+        let post_fault = rec
+            .iter()
+            .filter(|(at, _)| *at > SimTime::from_micros(100))
+            .count();
+        assert!(
+            post_fault >= 5,
+            "re-assigned flow must keep delivering mid-window (got {post_fault})"
+        );
+        assert_eq!(
+            rec.len() as u64 + stats.lost_to_fault,
+            30,
+            "every packet arrives or is accounted as a fault loss"
+        );
     }
 
     #[test]

@@ -1,18 +1,26 @@
-//! Network topology: nodes, links, and multipath routing tables.
+//! Network topology: nodes, links, and layered multipath routing tables.
 //!
 //! The topology is a general undirected graph of hosts and switches with
-//! per-link rate and propagation delay. Routing tables are computed by
-//! per-destination BFS and record a pluggable **path set** per
-//! (node, destination) — see [`RouteSet`]: all shortest-path ports by
-//! default (classic ECMP structure), optionally augmented with loop-free
-//! non-minimal detours (FatPaths-style) so low-diameter random graphs
-//! expose their path redundancy too. The forwarding policy (hash-based
-//! ECMP vs. per-packet spraying) picks among the advertised ports at run
-//! time.
+//! per-link rate and propagation delay. Routing is organised as
+//! FatPaths-style **path-diversity layers** (see [`RoutingPolicy`]):
+//! layer 0 always carries the classic shortest-path/ECMP routes, and
+//! each additional layer draws a seeded random "preferred" half of the
+//! inter-switch links and routes on weighted shortest paths where a
+//! non-preferred link costs 2 hops. That steers every layer onto a
+//! near-disjoint link subset — the path diversity low-diameter random
+//! graphs (Jellyfish) structurally lack at minimal length — while
+//! keeping each layer loop-free (the weighted distance is a strictly
+//! decreasing potential) and bounding stretch at 2× the minimal hop
+//! count. Every layer has its own per-(node, destination) route table
+//! and distance table; the forwarding policy picks a layer per flow
+//! and then a port within the layer at run time.
 //!
 //! Routing is **re-runnable**: [`Topology::compute_routes_masked`]
-//! recomputes the tables against a live [`FaultMask`], which is how the
-//! simulator reroutes around mid-run link and switch failures.
+//! recomputes every layer against a live [`FaultMask`], and
+//! [`Topology::repair_routes`] heals each layer *incrementally* after a
+//! fault-mask delta — failures by dead-entry surgery, restorations by
+//! bounded restore surgery — which is how the simulator reroutes around
+//! mid-run link and switch failures without paying a full recompute.
 //!
 //! Three generators are provided: [`Topology::fat_tree`] (the paper's
 //! evaluation fabric, k = 10 → 250 hosts), [`Topology::leaf_spine`]
@@ -49,23 +57,78 @@ pub struct Port {
     pub prop_ns: u64,
 }
 
-/// Which path set [`Topology::compute_routes`] advertises per
-/// (node, destination).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum RouteSet {
-    /// All ports on shortest paths (classic BFS/ECMP multipath).
-    #[default]
-    Minimal,
-    /// Shortest-path ports plus loop-free sideways detours: a port to an
-    /// equal-distance neighbour is advertised when the neighbour's id is
-    /// lower than the node's. Every hop strictly decreases the potential
-    /// `(distance, node id)` lexicographically, so any walk over the
-    /// advertised ports terminates at the destination — the FatPaths
-    /// insight that low-diameter fabrics need *non-minimal* path sets to
-    /// expose their redundancy, realised without per-packet state.
-    /// Shortest-path ports are recorded first, so `next_ports(..)[0]`
-    /// always advances along a minimal path.
-    NonMinimal,
+/// The layered path-diversity policy [`Topology::compute_routes`]
+/// builds routes for — the FatPaths idea as a first-class, repairable
+/// data structure instead of a boolean.
+///
+/// Layer 0 is always the classic minimal (shortest-path/ECMP) route
+/// set. Each layer `ℓ ≥ 1` draws a seeded random half of the
+/// inter-switch links as *preferred* and routes on weighted shortest
+/// paths where a non-preferred link costs 2: paths stay on the
+/// preferred subset when they can and detour through non-preferred
+/// links only when they must, so different layers expose near-disjoint
+/// paths. Because every weight is in `{1, 2}`, a layer's weighted
+/// distance is at most twice the minimal hop count, and any walk over a
+/// layer's advertised ports takes at most `2 × minimal hops` — the
+/// FatPaths length bound, with loop freedom from the strictly
+/// decreasing weighted-distance potential.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutingPolicy {
+    /// Number of layers (`1..=MAX_LAYERS`); 1 = plain minimal routing.
+    pub layers: usize,
+    /// Seed for the per-layer preferred-link draws (layer 0 ignores it).
+    pub seed: u64,
+}
+
+impl Default for RoutingPolicy {
+    fn default() -> Self {
+        Self::minimal()
+    }
+}
+
+impl RoutingPolicy {
+    /// Hard cap on the layer count (per-layer fabric counters are
+    /// fixed-size arrays of this length).
+    pub const MAX_LAYERS: usize = 8;
+
+    /// Single-layer minimal routing (classic ECMP/BFS multipath).
+    pub fn minimal() -> Self {
+        Self { layers: 1, seed: 0 }
+    }
+
+    /// A layered policy: layer 0 minimal plus `layers - 1` seeded
+    /// random-preference layers.
+    pub fn layered(layers: usize, seed: u64) -> Self {
+        assert!(
+            (1..=Self::MAX_LAYERS).contains(&layers),
+            "layer count must be in 1..={}",
+            Self::MAX_LAYERS
+        );
+        Self { layers, seed }
+    }
+
+    /// The two-layer policy that replaces the old `RouteSet::NonMinimal`
+    /// loop-free-detour path set: one minimal layer plus one seeded
+    /// non-minimal layer.
+    pub fn non_minimal() -> Self {
+        Self::layered(2, 0)
+    }
+}
+
+/// One layer's routing state: advertised ports and weighted distances,
+/// both per (node, destination-host) and maintained in lockstep by
+/// full recomputation and incremental repair alike.
+#[derive(Debug, Clone, Default)]
+struct LayerTables {
+    /// `routes[node][dst_host_index]` = advertised ports of `node`
+    /// towards that host within this layer.
+    routes: Vec<Vec<Vec<u16>>>,
+    /// `dist[dst_host_index][node]` = weighted distance from `node` to
+    /// that host under the mask the routes were computed with
+    /// (`u32::MAX` = unreachable). Restore repair uses it to decide in
+    /// O(degree) per destination whether a restored element can shorten
+    /// any path.
+    dist: Vec<Vec<u32>>,
 }
 
 /// Outcome of an incremental [`Topology::repair_routes`] call —
@@ -73,15 +136,14 @@ pub enum RouteSet {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RouteRepair {
     /// The repair fell back to a full [`Topology::compute_routes_masked`]
-    /// (non-minimal path set, or too many destination trees invalidated
-    /// for surgery to pay off).
+    /// (routes were never computed under the current policy).
     pub full: bool,
-    /// Destination trees rebuilt by per-destination BFS. Equals the host
-    /// count on a full fallback; usually a small fraction of it after a
-    /// single link or switch failure.
+    /// (layer, destination) columns rebuilt by a per-destination
+    /// search. Equals `hosts × layers` on a full fallback; usually a
+    /// small fraction of it after a single link or switch failure.
     pub dests_rebuilt: usize,
-    /// Destination route columns touched by dead-entry surgery alone
-    /// (advertised ports removed without any distance change).
+    /// (layer, destination) route columns touched by dead-entry surgery
+    /// alone (advertised ports removed without any distance change).
     pub dests_touched: usize,
     /// Restored elements (undirected links + nodes) in the delta. When
     /// `full` is false these were healed by bounded restore surgery —
@@ -90,25 +152,29 @@ pub struct RouteRepair {
     pub restored: usize,
 }
 
-/// A network graph plus routing tables.
+/// A network graph plus layered routing tables.
 #[derive(Debug, Clone)]
 pub struct Topology {
     kinds: Vec<NodeKind>,
     ports: Vec<Vec<Port>>,
     hosts: Vec<NodeId>,
     host_index: Vec<Option<u32>>, // NodeId -> index into `hosts`
-    /// `routes[node][dst_host_index]` = advertised ports of `node`
-    /// towards that host. Empty until [`Topology::compute_routes`].
-    routes: Vec<Vec<Vec<u16>>>,
-    /// `dist[dst_host_index][node]` = BFS hop count from `node` to that
-    /// host under the mask the routes were computed with (`u32::MAX` =
-    /// unreachable). Kept alongside the route tables so restore repair
-    /// can decide in O(1) per destination whether a restored element can
-    /// shorten any path.
-    dist: Vec<Vec<u32>>,
-    route_set: RouteSet,
-    /// The fault mask the current `routes` were computed against — the
-    /// baseline [`Topology::repair_routes`] diffs new masks against.
+    /// One routing table set per layer (`layers[0]` = minimal routes).
+    /// Empty until [`Topology::compute_routes`].
+    layers: Vec<LayerTables>,
+    /// `weights[layer][node][port]` = that layer's link weight (1 or 2;
+    /// layer 0 and host links are always 1). Derived deterministically
+    /// from the policy seed and the link identity.
+    weights: Vec<Vec<Vec<u8>>>,
+    policy: RoutingPolicy,
+    /// The policy the current layer tables were computed under. When it
+    /// differs from `policy` (e.g. [`Topology::set_policy`] changed the
+    /// seed without a recompute), [`Topology::repair_routes`] must take
+    /// the full fallback — surgery against stale weight tables would
+    /// diverge from a fresh [`Topology::compute_routes_masked`].
+    routes_policy: Option<RoutingPolicy>,
+    /// The fault mask the current layer tables were computed against —
+    /// the baseline [`Topology::repair_routes`] diffs new masks against.
     routes_mask: FaultMask,
 }
 
@@ -126,23 +192,35 @@ impl Topology {
             ports: Vec::new(),
             hosts: Vec::new(),
             host_index: Vec::new(),
-            routes: Vec::new(),
-            dist: Vec::new(),
-            route_set: RouteSet::Minimal,
+            layers: Vec::new(),
+            weights: Vec::new(),
+            policy: RoutingPolicy::minimal(),
+            routes_policy: None,
             routes_mask: FaultMask::new(),
         }
     }
 
-    /// Select the path-set policy. Takes effect at the next
+    /// Select the layered routing policy. Takes effect at the next
     /// [`Topology::compute_routes`] / [`Topology::compute_routes_masked`]
     /// call; call one of them afterwards before forwarding.
-    pub fn set_route_set(&mut self, route_set: RouteSet) {
-        self.route_set = route_set;
+    pub fn set_policy(&mut self, policy: RoutingPolicy) {
+        assert!(
+            (1..=RoutingPolicy::MAX_LAYERS).contains(&policy.layers),
+            "layer count must be in 1..={}",
+            RoutingPolicy::MAX_LAYERS
+        );
+        self.policy = policy;
     }
 
-    /// The active path-set policy.
-    pub fn route_set(&self) -> RouteSet {
-        self.route_set
+    /// The active layered routing policy.
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
+    }
+
+    /// Number of layers the current route tables carry (0 before the
+    /// first [`Topology::compute_routes`]).
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
     }
 
     /// Add a node of the given kind, returning its id.
@@ -207,127 +285,117 @@ impl Topology {
         &self.ports[n.0 as usize][p as usize]
     }
 
-    /// Compute multipath routing tables on the healthy fabric (must be
-    /// called after the graph is final and before forwarding).
+    /// Compute every layer's routing tables on the healthy fabric (must
+    /// be called after the graph is final and before forwarding).
     pub fn compute_routes(&mut self) {
         self.compute_routes_masked(&FaultMask::new());
     }
 
-    /// Recompute the routing tables, treating every link and node in
-    /// `mask` as absent. Re-runnable at any time; the simulator calls
-    /// this when executing fault events mid-run. Destinations that the
-    /// mask disconnects simply end up with empty port lists (see
+    /// Recompute every layer's routing tables, treating every link and
+    /// node in `mask` as absent. Re-runnable at any time; the simulator
+    /// calls this when executing fault events mid-run. Destinations that
+    /// the mask disconnects simply end up with empty port lists (see
     /// [`Topology::try_next_ports`]).
     pub fn compute_routes_masked(&mut self, mask: &FaultMask) {
         let n = self.node_count();
-        self.routes = vec![vec![Vec::new(); self.hosts.len()]; n];
-        self.dist = vec![vec![u32::MAX; n]; self.hosts.len()];
-        let mut frontier: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
-        for (h_idx, &host) in self.hosts.clone().iter().enumerate() {
-            self.compute_dest_routes(h_idx, host, mask, &mut frontier);
+        let n_layers = self.policy.layers;
+        self.weights = (0..n_layers).map(|l| self.layer_weight_table(l)).collect();
+        self.layers = (0..n_layers)
+            .map(|_| LayerTables {
+                routes: vec![vec![Vec::new(); self.hosts.len()]; n],
+                dist: vec![vec![u32::MAX; n]; self.hosts.len()],
+            })
+            .collect();
+        let mut scratch = ColumnScratch::default();
+        for layer in 0..n_layers {
+            let tab = &mut self.layers[layer];
+            for h_idx in 0..self.hosts.len() {
+                compute_column(
+                    &self.ports,
+                    &self.weights[layer],
+                    layer == 0,
+                    mask,
+                    self.hosts[h_idx],
+                    h_idx,
+                    &mut tab.routes,
+                    &mut tab.dist[h_idx],
+                    &mut scratch,
+                );
+            }
         }
+        self.routes_policy = Some(self.policy);
         self.routes_mask = mask.clone();
     }
 
-    /// Rebuild the routing column of one destination host: BFS from the
-    /// destination outward (recording the distances in `self.dist`), then
-    /// record every node's advertised ports. The BFS traverses links in
-    /// reverse, but the mask is symmetric per link and per node, so
-    /// checking the (u, port) direction suffices.
-    fn compute_dest_routes(
-        &mut self,
-        h_idx: usize,
-        host: NodeId,
-        mask: &FaultMask,
-        frontier: &mut std::collections::VecDeque<u32>,
-    ) {
-        let n = self.node_count();
-        for u in 0..n {
-            self.routes[u][h_idx].clear();
+    /// One layer's link-weight table: 1 everywhere on layer 0 and on
+    /// host access links; on layers ≥ 1 each undirected inter-switch
+    /// link draws weight 1 ("preferred") or 2 with equal probability
+    /// from a seeded hash of (policy seed, layer, link identity) — same
+    /// policy, same graph ⇒ identical layers, independent of fault
+    /// history.
+    fn layer_weight_table(&self, layer: usize) -> Vec<Vec<u8>> {
+        let mut w: Vec<Vec<u8>> = self.ports.iter().map(|ps| vec![1u8; ps.len()]).collect();
+        if layer == 0 {
+            return w;
         }
-        let dist = &mut self.dist[h_idx];
-        dist.fill(u32::MAX);
-        frontier.clear();
-        if mask.node_is_down(host) {
-            return;
-        }
-        dist[host.0 as usize] = 0;
-        frontier.push_back(host.0);
-        while let Some(u) = frontier.pop_front() {
-            let du = dist[u as usize];
-            for (pi, port) in self.ports[u as usize].iter().enumerate() {
-                if mask.link_is_down(NodeId(u), pi as u16) || mask.node_is_down(port.peer) {
-                    continue;
-                }
-                let v = port.peer.0;
-                if dist[v as usize] == u32::MAX {
-                    dist[v as usize] = du + 1;
-                    frontier.push_back(v);
-                }
-            }
-        }
-        // Record each node's advertised ports: shortest-path ports
-        // first (so `next_ports(..)[0]` is always minimal), then —
-        // under `RouteSet::NonMinimal` — loop-free sideways detours.
-        for u in 0..n as u32 {
-            if dist[u as usize] == u32::MAX || u == host.0 || mask.node_is_down(NodeId(u)) {
+        for n in 0..self.node_count() {
+            if self.kinds[n] == NodeKind::Host {
                 continue;
             }
-            let du = dist[u as usize];
-            let usable = |pi: usize, p: &Port| {
-                !mask.link_is_down(NodeId(u), pi as u16)
-                    && !mask.node_is_down(p.peer)
-                    && dist[p.peer.0 as usize] != u32::MAX
-            };
-            let mut next: Vec<u16> = Vec::new();
-            for (pi, p) in self.ports[u as usize].iter().enumerate() {
-                if usable(pi, p) && dist[p.peer.0 as usize] + 1 == du {
-                    next.push(pi as u16);
+            for (pi, p) in self.ports[n].iter().enumerate() {
+                if self.kinds[p.peer.0 as usize] == NodeKind::Host {
+                    continue;
                 }
-            }
-            if self.route_set == RouteSet::NonMinimal {
-                for (pi, p) in self.ports[u as usize].iter().enumerate() {
-                    if usable(pi, p) && dist[p.peer.0 as usize] == du && p.peer.0 < u {
-                        next.push(pi as u16);
-                    }
+                // Canonical direction only; mirror to both.
+                if (n as u32, pi as u16) > (p.peer.0, p.peer_port) {
+                    continue;
                 }
+                let link_id = ((n as u64) << 16) | pi as u64;
+                let mut rng = Pcg32::new(
+                    self.policy.seed
+                        ^ (layer as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ link_id.wrapping_mul(0xD1B5_4A32_D192_ED03),
+                );
+                let weight = if rng.below(2) == 0 { 1 } else { 2 };
+                w[n][pi] = weight;
+                w[p.peer.0 as usize][p.peer_port as usize] = weight;
             }
-            self.routes[u as usize][h_idx] = next;
         }
+        w
     }
 
-    /// Incrementally repair the routing tables after the fault mask
-    /// changed — the fast path for the common case of one (or a few) new
-    /// link or switch failures or restorations.
+    /// Incrementally repair every layer's routing tables after the
+    /// fault mask changed — the fast path for the common case of one
+    /// (or a few) new link or switch failures or restorations.
     ///
     /// **Failures.** The repair diffs `mask` against the mask the tables
     /// were last computed with and excises the newly dead directed
-    /// `(node, port)` entries from every destination column they are
+    /// `(node, port)` entries from every layer column they are
     /// advertised in. Removing an advertised port can only change
     /// shortest-path *distances* when it was the node's last advertised
-    /// port (any surviving advertised port still reaches a neighbour one
-    /// hop closer, so every distance is preserved by induction); only
-    /// those destinations are rebuilt by a per-destination BFS. Hosts
-    /// are leaves that nothing routes through, so emptying a host's own
-    /// column entry never invalidates the tree.
+    /// port in that layer (any surviving advertised port still reaches a
+    /// neighbour strictly closer under the layer's weights, so every
+    /// distance is preserved by induction); only those (layer,
+    /// destination) columns are rebuilt by a per-destination search.
+    /// Hosts are leaves that nothing routes through, so emptying a
+    /// host's own column entry never invalidates the tree.
     ///
     /// **Restorations.** A restored element can only *shrink* distances.
-    /// Using the retained distance tables the repair decides per
-    /// destination in O(degree) whether the restored link/node lies on a
-    /// strictly shorter path: if not, the restoration is pure surgery —
-    /// the restored ports are re-advertised exactly where they are
-    /// equal-cost next hops — and only destinations whose distance can
-    /// actually shrink (including previously cut-off ones) are rebuilt
-    /// by a per-destination BFS. This replaces the old behaviour of
-    /// falling back to a full recomputation on every restoration, which
-    /// made flapping links pay the full control-plane bill each cycle.
+    /// Using each layer's retained distance table the repair decides per
+    /// (layer, destination) in O(degree) whether the restored link/node
+    /// lies on a strictly shorter weighted path: if not, the restoration
+    /// is pure surgery — the restored ports are re-advertised exactly
+    /// where they are equal-cost next hops — and only columns whose
+    /// distance can actually shrink (including previously cut-off ones)
+    /// are rebuilt.
     ///
     /// Falls back to a full [`Topology::compute_routes_masked`] — and
-    /// says so in the returned [`RouteRepair`] — whenever surgery cannot
-    /// be proven cheap and exact: routes never computed, the non-minimal
-    /// path set active (sideways-detour eligibility depends on exact
-    /// distances), or a mass delta dirtying more than a quarter of all
-    /// destinations.
+    /// says so in the returned [`RouteRepair`] — only when routes were
+    /// never computed under the current policy. The old non-minimal and
+    /// mass-delta fallbacks are gone: every layer repairs incrementally,
+    /// and a mass delta simply rebuilds its (large) dirty column set —
+    /// never more work than the full recompute it used to trigger, since
+    /// the full path visits every column anyway.
     ///
     /// The result is always identical to a full recomputation against
     /// `mask` (property-tested in `fabric_invariants`).
@@ -345,13 +413,14 @@ impl Topology {
             })
             .collect();
         let restored = restored_undirected.len() + restored_nodes.len();
+        let n_layers = self.policy.layers;
         let full = RouteRepair {
             full: true,
-            dests_rebuilt: self.hosts.len(),
-            dests_touched: self.hosts.len(),
+            dests_rebuilt: self.hosts.len() * n_layers,
+            dests_touched: self.hosts.len() * n_layers,
             restored,
         };
-        if self.routes.is_empty() || self.route_set == RouteSet::NonMinimal {
+        if self.routes_policy != Some(self.policy) {
             self.compute_routes_masked(mask);
             return full;
         }
@@ -378,218 +447,118 @@ impl Topology {
         }
         dead.sort_unstable();
         dead.dedup();
-        // Surgery runs dead-entry-major: each dead (u, p) sweeps node
-        // u's route row sequentially (cache-friendly — the row is one
-        // contiguous Vec per destination), flagging per-destination
-        // outcomes in bitmaps that are aggregated afterwards.
-        let mut col_touched = vec![false; self.hosts.len()];
-        let mut col_dirty = vec![false; self.hosts.len()];
-        // A newly failed destination host needs its column cleared — the
-        // rebuild handles that uniformly.
-        for &w in &new_nodes {
-            if let Some(h) = self.host_index[w.0 as usize] {
-                col_dirty[h as usize] = true;
+        // Surgery runs layer-major, dead-entry-major within a layer:
+        // each dead (u, p) sweeps node u's route row sequentially
+        // (cache-friendly — the row is one contiguous Vec per
+        // destination), flagging per-destination outcomes in bitmaps
+        // that are aggregated afterwards.
+        let mut dirty_cols: Vec<Vec<bool>> = Vec::with_capacity(n_layers);
+        let mut touched_total = 0usize;
+        for layer in 0..n_layers {
+            let mut col_touched = vec![false; self.hosts.len()];
+            let mut col_dirty = vec![false; self.hosts.len()];
+            // A newly failed destination host needs its column cleared —
+            // the rebuild handles that uniformly.
+            for &w in &new_nodes {
+                if let Some(h) = self.host_index[w.0 as usize] {
+                    col_dirty[h as usize] = true;
+                }
             }
-        }
-        for &(u, p) in &dead {
-            // A live switch that loses its last advertised port may now
-            // be farther from (or cut off from) the destination, which
-            // can cascade; those trees are rebuilt. Dead nodes'
-            // distances are irrelevant (their rows are cleared below),
-            // and hosts are leaves nothing routes through.
-            let alive = !mask.node_is_down(NodeId(u));
-            let empties_matter = self.kinds[u as usize] == NodeKind::Switch && alive;
-            let is_host = self.kinds[u as usize] == NodeKind::Host;
-            for (h_idx, list) in self.routes[u as usize].iter_mut().enumerate() {
-                if let Some(pos) = list.iter().position(|&x| x == p) {
-                    list.remove(pos);
-                    col_touched[h_idx] = true;
-                    if list.is_empty() {
-                        if empties_matter {
-                            col_dirty[h_idx] = true;
-                        } else if is_host && alive {
-                            // A host with no way out is cut off (hosts
-                            // have one link), and nothing routes through
-                            // it, so no switch empties on its behalf —
-                            // record the unreachability directly or the
-                            // distance table would go stale for restore
-                            // checks.
-                            self.dist[h_idx][u as usize] = u32::MAX;
+            let tab = &mut self.layers[layer];
+            for &(u, p) in &dead {
+                // A live switch that loses its last advertised port may
+                // now be farther from (or cut off from) the destination,
+                // which can cascade; those columns are rebuilt. Dead
+                // nodes' distances are irrelevant (their rows are
+                // cleared below), and hosts are leaves nothing routes
+                // through.
+                let alive = !mask.node_is_down(NodeId(u));
+                let empties_matter = self.kinds[u as usize] == NodeKind::Switch && alive;
+                let is_host = self.kinds[u as usize] == NodeKind::Host;
+                for (h_idx, list) in tab.routes[u as usize].iter_mut().enumerate() {
+                    if let Some(pos) = list.iter().position(|&x| x == p) {
+                        list.remove(pos);
+                        col_touched[h_idx] = true;
+                        if list.is_empty() {
+                            if empties_matter {
+                                col_dirty[h_idx] = true;
+                            } else if is_host && alive {
+                                // A host with no way out is cut off
+                                // (hosts have one link), and nothing
+                                // routes through it, so no switch
+                                // empties on its behalf — record the
+                                // unreachability directly or the
+                                // distance table would go stale for
+                                // restore checks.
+                                tab.dist[h_idx][u as usize] = u32::MAX;
+                            }
                         }
                     }
                 }
             }
-        }
-        // A dead node advertises nothing and is unreachable everywhere
-        // (full recomputation never visits it); clear its rows and
-        // distances wholesale.
-        for &w in &new_nodes {
-            for h_idx in 0..self.hosts.len() {
-                self.routes[w.0 as usize][h_idx].clear();
-                self.dist[h_idx][w.0 as usize] = u32::MAX;
+            // A dead node advertises nothing and is unreachable
+            // everywhere (full recomputation never visits it); clear its
+            // rows and distances wholesale.
+            for &w in &new_nodes {
+                for h_idx in 0..self.hosts.len() {
+                    tab.routes[w.0 as usize][h_idx].clear();
+                    tab.dist[h_idx][w.0 as usize] = u32::MAX;
+                }
             }
+            // Restore surgery, against the post-excision tables.
+            // Distances of non-dirty columns are exact here (failure
+            // surgery preserves them by the last-port argument), so each
+            // restored element can be checked and patched in place;
+            // dirty columns are skipped — their rebuild below covers
+            // everything at once.
+            restore_surgery_layer(
+                &self.kinds,
+                &self.ports,
+                &self.hosts,
+                &self.weights[layer],
+                mask,
+                &restored_undirected,
+                &restored_nodes,
+                &mut self.layers[layer],
+                &mut col_dirty,
+            );
+            touched_total += (0..self.hosts.len())
+                .filter(|&h| col_touched[h] && !col_dirty[h])
+                .count();
+            dirty_cols.push(col_dirty);
         }
-        // Restore surgery, against the post-excision tables. Distances
-        // of non-dirty columns are exact here (failure surgery preserves
-        // them by the last-port argument), so each restored element can
-        // be checked and patched in place; dirty columns are skipped —
-        // their BFS rebuild below covers everything at once.
-        self.restore_surgery(mask, &restored_undirected, &restored_nodes, &mut col_dirty);
-        let dirty: Vec<usize> = (0..self.hosts.len()).filter(|&h| col_dirty[h]).collect();
-        let touched = (0..self.hosts.len())
-            .filter(|&h| col_touched[h] && !col_dirty[h])
-            .count();
-        if dirty.len() * 4 > self.hosts.len() {
-            self.compute_routes_masked(mask);
-            return full;
-        }
-        let mut frontier = std::collections::VecDeque::new();
-        for &h_idx in &dirty {
-            let host = self.hosts[h_idx];
-            self.compute_dest_routes(h_idx, host, mask, &mut frontier);
+        let dirty_total: usize = dirty_cols
+            .iter()
+            .map(|cols| cols.iter().filter(|&&d| d).count())
+            .sum();
+        let mut scratch = ColumnScratch::default();
+        for (layer, cols) in dirty_cols.iter().enumerate() {
+            let tab = &mut self.layers[layer];
+            for h_idx in (0..cols.len()).filter(|&h| cols[h]) {
+                compute_column(
+                    &self.ports,
+                    &self.weights[layer],
+                    layer == 0,
+                    mask,
+                    self.hosts[h_idx],
+                    h_idx,
+                    &mut tab.routes,
+                    &mut tab.dist[h_idx],
+                    &mut scratch,
+                );
+            }
         }
         self.routes_mask = mask.clone();
         RouteRepair {
             full: false,
-            dests_rebuilt: dirty.len(),
-            dests_touched: touched,
+            dests_rebuilt: dirty_total,
+            dests_touched: touched_total,
             restored,
         }
     }
 
-    /// Patch the route tables for restored elements, column by column.
-    /// For every destination whose distances cannot shrink, restored
-    /// ports are re-advertised exactly where they are equal-cost next
-    /// hops; destinations where the restored element lies on a strictly
-    /// shorter path (or re-attaches a cut-off region) are flagged in
-    /// `col_dirty` for a per-destination BFS rebuild. Elements are
-    /// processed sequentially, so a restored node's freshly computed
-    /// distance feeds the checks of later elements in the same delta.
-    // The column loops index several parallel per-destination tables
-    // (`col_dirty`, `self.dist`, `self.hosts`, `self.routes`); iterator
-    // chains would obscure that they advance in lockstep.
-    #[allow(clippy::needless_range_loop)]
-    fn restore_surgery(
-        &mut self,
-        mask: &FaultMask,
-        restored_links: &[(u32, u16)],
-        restored_nodes: &[NodeId],
-        col_dirty: &mut [bool],
-    ) {
-        for &w in restored_nodes {
-            let wu = w.0 as usize;
-            let n_ports = self.ports[wu].len();
-            for h_idx in 0..self.hosts.len() {
-                if col_dirty[h_idx] {
-                    continue;
-                }
-                // The restored node is this column's destination host:
-                // the whole column was cleared when it died.
-                if self.hosts[h_idx] == w {
-                    col_dirty[h_idx] = true;
-                    continue;
-                }
-                // New distance of w: one past its closest usable
-                // neighbour (usable = link up, peer up, peer reachable).
-                let mut dw = u32::MAX;
-                for pi in 0..n_ports {
-                    let peer = self.ports[wu][pi].peer;
-                    if mask.link_is_down(w, pi as u16) || mask.node_is_down(peer) {
-                        continue;
-                    }
-                    let dp = self.dist[h_idx][peer.0 as usize];
-                    if dp != u32::MAX {
-                        dw = dw.min(dp + 1);
-                    }
-                }
-                if dw == u32::MAX {
-                    continue; // still cut off; row stays empty
-                }
-                // Any usable neighbour strictly farther than dw + 1
-                // (including unreachable ones) gets closer through w —
-                // the shrink can cascade, so rebuild this destination.
-                // Exception: a leaf host (nothing routes through it) can
-                // only have its own row change, which is pure surgery.
-                let shrinks = (0..n_ports).any(|pi| {
-                    let peer = self.ports[wu][pi].peer;
-                    !mask.link_is_down(w, pi as u16)
-                        && !mask.node_is_down(peer)
-                        && self.dist[h_idx][peer.0 as usize] > dw.saturating_add(1)
-                        && !self.is_leaf_host(peer)
-                });
-                if shrinks {
-                    col_dirty[h_idx] = true;
-                    continue;
-                }
-                // Pure surgery: record w's own advertised ports, make w
-                // an additional equal-cost hop at neighbours one further
-                // out, and re-attach leaf hosts w was the way out for.
-                self.dist[h_idx][wu] = dw;
-                let mut row = Vec::new();
-                for pi in 0..n_ports {
-                    let port = self.ports[wu][pi];
-                    if mask.link_is_down(w, pi as u16) || mask.node_is_down(port.peer) {
-                        continue;
-                    }
-                    let dp = self.dist[h_idx][port.peer.0 as usize];
-                    if dp != u32::MAX && dp + 1 == dw {
-                        row.push(pi as u16);
-                    } else if dp == dw + 1 {
-                        insert_port(
-                            &mut self.routes[port.peer.0 as usize][h_idx],
-                            port.peer_port,
-                        );
-                    } else if dp > dw + 1 && self.is_leaf_host(port.peer) {
-                        self.dist[h_idx][port.peer.0 as usize] = dw + 1;
-                        self.routes[port.peer.0 as usize][h_idx] = vec![port.peer_port];
-                    }
-                }
-                self.routes[wu][h_idx] = row;
-            }
-        }
-        for &(u, p) in restored_links {
-            let port = self.ports[u as usize][p as usize];
-            let (v, q) = (port.peer, port.peer_port);
-            // The link only carries traffic if both endpoints are alive.
-            if mask.node_is_down(NodeId(u)) || mask.node_is_down(v) {
-                continue;
-            }
-            for h_idx in 0..self.hosts.len() {
-                if col_dirty[h_idx] {
-                    continue;
-                }
-                let du = self.dist[h_idx][u as usize];
-                let dv = self.dist[h_idx][v.0 as usize];
-                if du == u32::MAX && dv == u32::MAX {
-                    continue; // both sides cut off; the link helps nobody
-                }
-                // One side unreachable or ≥2 hops farther: the restored
-                // link shortens (or creates) paths — rebuild, unless the
-                // far side is a leaf host, whose revival can't cascade
-                // (nothing routes through it) and is patched in place.
-                let (near, far) = (du.min(dv), du.max(dv));
-                if far > near.saturating_add(1) {
-                    let (far_node, far_port) = if du > dv { (NodeId(u), p) } else { (v, q) };
-                    if self.is_leaf_host(far_node) {
-                        self.dist[h_idx][far_node.0 as usize] = near + 1;
-                        self.routes[far_node.0 as usize][h_idx] = vec![far_port];
-                    } else {
-                        col_dirty[h_idx] = true;
-                    }
-                    continue;
-                }
-                // Equal-cost surgery: the downhill direction (if any)
-                // becomes a newly advertised shortest-path port.
-                if du == dv + 1 {
-                    insert_port(&mut self.routes[u as usize][h_idx], p);
-                } else if dv == du + 1 {
-                    insert_port(&mut self.routes[v.0 as usize][h_idx], q);
-                }
-            }
-        }
-    }
-
-    /// Advertised ports of `node` towards `dst` (a host).
+    /// Advertised layer-0 (minimal) ports of `node` towards `dst` (a
+    /// host).
     ///
     /// # Panics
     /// Panics if routes were not computed or `dst` is unreachable —
@@ -605,13 +574,30 @@ impl Topology {
         next
     }
 
-    /// Advertised ports of `node` towards `dst`, empty when `dst` is
-    /// unreachable under the mask the routes were computed with. The
-    /// simulator uses this to drop (rather than panic on) packets whose
-    /// destination a fault has disconnected.
+    /// Advertised layer-0 (minimal) ports of `node` towards `dst`,
+    /// empty when `dst` is unreachable under the mask the routes were
+    /// computed with. The simulator uses this to drop (rather than
+    /// panic on) packets whose destination a fault has disconnected.
     pub fn try_next_ports(&self, node: NodeId, dst: NodeId) -> &[u16] {
+        self.try_next_ports_on(0, node, dst)
+    }
+
+    /// Advertised ports of `node` towards `dst` within one routing
+    /// layer, empty when the layer has no path (the fault mask cut the
+    /// layer off — the simulator's layer re-assignment moves flows away
+    /// from such layers).
+    pub fn try_next_ports_on(&self, layer: usize, node: NodeId, dst: NodeId) -> &[u16] {
         let h = self.host_index(dst);
-        &self.routes[node.0 as usize][h]
+        &self.layers[layer].routes[node.0 as usize][h]
+    }
+
+    /// A layer's weighted distance from `node` to `dst` (`None` =
+    /// unreachable under the mask the routes were computed with). On
+    /// layer 0 the weighted distance is the plain hop count.
+    pub fn layer_distance(&self, layer: usize, node: NodeId, dst: NodeId) -> Option<u32> {
+        let h = self.host_index(dst);
+        let d = self.layers[layer].dist[h][node.0 as usize];
+        (d != u32::MAX).then_some(d)
     }
 
     /// Hop count of the shortest path between two hosts.
@@ -824,14 +810,6 @@ impl Topology {
         t
     }
 
-    /// Whether a node is a single-port host — a leaf nothing can route
-    /// through, so its reachability changes never cascade. Restore
-    /// surgery patches such nodes in place instead of rebuilding whole
-    /// destination columns.
-    fn is_leaf_host(&self, n: NodeId) -> bool {
-        self.kinds[n.0 as usize] == NodeKind::Host && self.ports[n.0 as usize].len() == 1
-    }
-
     /// Switches with no directly attached hosts — the "core layer" in a
     /// hierarchical fabric (fat-tree core, leaf-spine spines). Fault
     /// scenarios use this to aim failures at pure transit switches,
@@ -850,11 +828,259 @@ impl Topology {
 }
 
 /// Insert a port into an advertised-port list, keeping the ascending
-/// order `compute_dest_routes` records (so surgery stays bit-identical
-/// to a full recomputation); no-op if already present.
+/// order [`compute_column`] records (so surgery stays bit-identical to
+/// a full recomputation); no-op if already present.
 fn insert_port(list: &mut Vec<u16>, p: u16) {
     if let Err(pos) = list.binary_search(&p) {
         list.insert(pos, p);
+    }
+}
+
+/// Reusable scratch queues for [`compute_column`], so per-column
+/// searches allocate nothing: the plain BFS frontier for unit-weight
+/// layers and the binary heap for weighted ones.
+#[derive(Default)]
+struct ColumnScratch {
+    frontier: std::collections::VecDeque<u32>,
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u32, u32)>>,
+}
+
+/// Rebuild one layer's routing column for one destination host: a
+/// weighted shortest-path search from the destination outward (weights
+/// in {1, 2} per the layer's preferred-link draw), recording the
+/// distances in `dist`, then record every node's advertised ports —
+/// exactly the ports on weighted shortest paths, in ascending port
+/// order. With `uniform` (layer 0, whose weights are all 1 — i.e. the
+/// whole of every single-layer policy) the distance phase runs the
+/// original O(1)-per-node BFS instead of heap Dijkstra, keeping the
+/// pre-layering repair fast path at its old constant factor. The
+/// search traverses links in reverse, but the mask and the weights are
+/// symmetric per link, so checking the (u, port) direction suffices. A
+/// free function (not a method) so the repair path can borrow
+/// individual `Topology` fields disjointly.
+#[allow(clippy::too_many_arguments)]
+fn compute_column(
+    ports: &[Vec<Port>],
+    weights: &[Vec<u8>],
+    uniform: bool,
+    mask: &FaultMask,
+    host: NodeId,
+    h_idx: usize,
+    routes: &mut [Vec<Vec<u16>>],
+    dist: &mut [u32],
+    scratch: &mut ColumnScratch,
+) {
+    use std::cmp::Reverse;
+    let n = ports.len();
+    for row in routes.iter_mut() {
+        row[h_idx].clear();
+    }
+    dist.fill(u32::MAX);
+    if mask.node_is_down(host) {
+        return;
+    }
+    dist[host.0 as usize] = 0;
+    if uniform {
+        let frontier = &mut scratch.frontier;
+        frontier.clear();
+        frontier.push_back(host.0);
+        while let Some(u) = frontier.pop_front() {
+            let du = dist[u as usize];
+            for (pi, port) in ports[u as usize].iter().enumerate() {
+                if mask.link_is_down(NodeId(u), pi as u16) || mask.node_is_down(port.peer) {
+                    continue;
+                }
+                let v = port.peer.0;
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = du + 1;
+                    frontier.push_back(v);
+                }
+            }
+        }
+    } else {
+        let heap = &mut scratch.heap;
+        heap.clear();
+        heap.push(Reverse((0, host.0)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue; // stale heap entry
+            }
+            for (pi, port) in ports[u as usize].iter().enumerate() {
+                if mask.link_is_down(NodeId(u), pi as u16) || mask.node_is_down(port.peer) {
+                    continue;
+                }
+                let nd = d + weights[u as usize][pi] as u32;
+                let v = port.peer.0;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+    }
+    for u in 0..n as u32 {
+        if dist[u as usize] == u32::MAX || u == host.0 || mask.node_is_down(NodeId(u)) {
+            continue;
+        }
+        let du = dist[u as usize];
+        let mut next: Vec<u16> = Vec::new();
+        for (pi, p) in ports[u as usize].iter().enumerate() {
+            if mask.link_is_down(NodeId(u), pi as u16) || mask.node_is_down(p.peer) {
+                continue;
+            }
+            let dp = dist[p.peer.0 as usize];
+            if dp != u32::MAX && dp + weights[u as usize][pi] as u32 == du {
+                next.push(pi as u16);
+            }
+        }
+        routes[u as usize][h_idx] = next;
+    }
+}
+
+/// Patch one layer's route tables for restored elements, column by
+/// column. For every destination whose distances cannot shrink,
+/// restored ports are re-advertised exactly where they are equal-cost
+/// next hops under the layer's weights; destinations where the restored
+/// element lies on a strictly shorter weighted path (or re-attaches a
+/// cut-off region) are flagged in `col_dirty` for a per-destination
+/// rebuild. Elements are processed sequentially, so a restored node's
+/// freshly computed distance feeds the checks of later elements in the
+/// same delta.
+// The column loops index several parallel per-destination tables
+// (`col_dirty`, `tab.dist`, `hosts`, `tab.routes`); iterator chains
+// would obscure that they advance in lockstep.
+#[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+fn restore_surgery_layer(
+    kinds: &[NodeKind],
+    ports: &[Vec<Port>],
+    hosts: &[NodeId],
+    weights: &[Vec<u8>],
+    mask: &FaultMask,
+    restored_links: &[(u32, u16)],
+    restored_nodes: &[NodeId],
+    tab: &mut LayerTables,
+    col_dirty: &mut [bool],
+) {
+    // A single-port host is a leaf nothing can route through, so its
+    // reachability changes never cascade: restore surgery patches such
+    // nodes in place instead of rebuilding whole destination columns.
+    let leaf = |n: NodeId| kinds[n.0 as usize] == NodeKind::Host && ports[n.0 as usize].len() == 1;
+    let LayerTables { routes, dist } = tab;
+    for &w in restored_nodes {
+        let wu = w.0 as usize;
+        let n_ports = ports[wu].len();
+        for h_idx in 0..hosts.len() {
+            if col_dirty[h_idx] {
+                continue;
+            }
+            // The restored node is this column's destination host: the
+            // whole column was cleared when it died.
+            if hosts[h_idx] == w {
+                col_dirty[h_idx] = true;
+                continue;
+            }
+            // New distance of w: one link past its closest usable
+            // neighbour (usable = link up, peer up, peer reachable).
+            let mut dw = u32::MAX;
+            for pi in 0..n_ports {
+                let peer = ports[wu][pi].peer;
+                if mask.link_is_down(w, pi as u16) || mask.node_is_down(peer) {
+                    continue;
+                }
+                let dp = dist[h_idx][peer.0 as usize];
+                if dp != u32::MAX {
+                    dw = dw.min(dp + weights[wu][pi] as u32);
+                }
+            }
+            if dw == u32::MAX {
+                continue; // still cut off; row stays empty
+            }
+            // Any usable neighbour strictly farther than dw + w(link)
+            // (including unreachable ones) gets closer through w — the
+            // shrink can cascade, so rebuild this destination.
+            // Exception: a leaf host (nothing routes through it) can
+            // only have its own row change, which is pure surgery.
+            let shrinks = (0..n_ports).any(|pi| {
+                let peer = ports[wu][pi].peer;
+                !mask.link_is_down(w, pi as u16)
+                    && !mask.node_is_down(peer)
+                    && dist[h_idx][peer.0 as usize] > dw.saturating_add(weights[wu][pi] as u32)
+                    && !leaf(peer)
+            });
+            if shrinks {
+                col_dirty[h_idx] = true;
+                continue;
+            }
+            // Pure surgery: record w's own advertised ports, make w an
+            // additional equal-cost hop at neighbours one link further
+            // out, and re-attach leaf hosts w was the way out for.
+            dist[h_idx][wu] = dw;
+            let mut row = Vec::new();
+            for pi in 0..n_ports {
+                let port = ports[wu][pi];
+                if mask.link_is_down(w, pi as u16) || mask.node_is_down(port.peer) {
+                    continue;
+                }
+                let wl = weights[wu][pi] as u32;
+                let dp = dist[h_idx][port.peer.0 as usize];
+                if dp != u32::MAX && dp + wl == dw {
+                    row.push(pi as u16);
+                } else if dp == dw + wl {
+                    insert_port(&mut routes[port.peer.0 as usize][h_idx], port.peer_port);
+                } else if dp > dw + wl && leaf(port.peer) {
+                    dist[h_idx][port.peer.0 as usize] = dw + wl;
+                    routes[port.peer.0 as usize][h_idx] = vec![port.peer_port];
+                }
+            }
+            routes[wu][h_idx] = row;
+        }
+    }
+    for &(u, p) in restored_links {
+        let port = ports[u as usize][p as usize];
+        let (v, q) = (port.peer, port.peer_port);
+        // The link only carries traffic if both endpoints are alive.
+        if mask.node_is_down(NodeId(u)) || mask.node_is_down(v) {
+            continue;
+        }
+        let wl = weights[u as usize][p as usize] as u32;
+        for h_idx in 0..hosts.len() {
+            if col_dirty[h_idx] {
+                continue;
+            }
+            let du = dist[h_idx][u as usize];
+            let dv = dist[h_idx][v.0 as usize];
+            if du == u32::MAX && dv == u32::MAX {
+                continue; // both sides cut off; the link helps nobody
+            }
+            // One side unreachable or farther than the link's weight:
+            // the restored link shortens (or creates) paths — rebuild,
+            // unless the far side is a leaf host, whose revival can't
+            // cascade (nothing routes through it) and is patched in
+            // place.
+            let (near, far) = (du.min(dv), du.max(dv));
+            if far > near.saturating_add(wl) {
+                let (far_node, far_port) = if du > dv { (NodeId(u), p) } else { (v, q) };
+                if leaf(far_node) {
+                    dist[h_idx][far_node.0 as usize] = near + wl;
+                    routes[far_node.0 as usize][h_idx] = vec![far_port];
+                } else {
+                    col_dirty[h_idx] = true;
+                }
+                continue;
+            }
+            // Equal-cost surgery: the downhill direction (if any)
+            // becomes a newly advertised shortest-path port. (When the
+            // gap is smaller than the link's weight — e.g. equal
+            // distances, or a gap of 1 on a weight-2 link — no shortest
+            // path uses the link and nothing changes.)
+            if du != u32::MAX && dv != u32::MAX {
+                if du == dv + wl {
+                    insert_port(&mut routes[u as usize][h_idx], p);
+                } else if dv == du + wl {
+                    insert_port(&mut routes[v.0 as usize][h_idx], q);
+                }
+            }
+        }
     }
 }
 
@@ -1061,35 +1287,60 @@ mod tests {
     }
 
     #[test]
-    fn non_minimal_adds_loop_free_detours() {
+    fn layered_policy_widens_path_set_and_stays_loop_free() {
         let mut t = Topology::jellyfish(8, 3, 1, 1_000_000_000, 10_000, 3);
-        let minimal: usize = count_advertised(&t);
-        t.set_route_set(RouteSet::NonMinimal);
+        let minimal: usize = count_advertised(&t, 0);
+        // The old `RouteSet::NonMinimal` maps to a 2-layer policy.
+        assert_eq!(RoutingPolicy::non_minimal(), RoutingPolicy::layered(2, 0));
+        t.set_policy(RoutingPolicy::layered(3, 7));
         t.compute_routes();
-        let non_minimal: usize = count_advertised(&t);
-        assert!(
-            non_minimal > minimal,
-            "sideways detours must widen the path set ({minimal} -> {non_minimal})"
-        );
-        // Any walk over advertised ports still terminates (potential
-        // argument: (dist, id) strictly decreases).
+        assert_eq!(t.layer_count(), 3);
+        // Layer 0 is bit-identical to plain minimal routing.
+        assert_eq!(count_advertised(&t, 0), minimal);
+        // The union of layers advertises paths minimal routing lacks:
+        // some (node, dst) pair must advertise a port on a non-minimal
+        // layer that layer 0 does not.
+        let mut widened = false;
+        for layer in 1..t.layer_count() {
+            for n in 0..t.node_count() as u32 {
+                for &h in t.hosts() {
+                    if NodeId(n) == h {
+                        continue;
+                    }
+                    let min_ports = t.try_next_ports(NodeId(n), h);
+                    if t.try_next_ports_on(layer, NodeId(n), h)
+                        .iter()
+                        .any(|p| !min_ports.contains(p))
+                    {
+                        widened = true;
+                    }
+                }
+            }
+        }
+        assert!(widened, "extra layers must expose non-minimal paths");
+        // Any walk over a layer's advertised ports terminates within the
+        // 2x stretch bound (the weighted distance strictly decreases).
         let hosts = t.hosts().to_vec();
         let mut rng = Pcg32::new(99);
-        for _ in 0..200 {
-            let a = hosts[rng.below(hosts.len() as u64) as usize];
-            let b = hosts[rng.below(hosts.len() as u64) as usize];
-            if a == b {
-                continue;
-            }
-            let mut at = a;
-            let mut steps = 0;
-            while at != b {
-                let choices = t.next_ports(at, b);
-                at = t
-                    .port(at, choices[rng.below(choices.len() as u64) as usize])
-                    .peer;
-                steps += 1;
-                assert!(steps <= t.node_count(), "walk exceeded node count");
+        for layer in 0..t.layer_count() {
+            for _ in 0..100 {
+                let a = hosts[rng.below(hosts.len() as u64) as usize];
+                let b = hosts[rng.below(hosts.len() as u64) as usize];
+                if a == b {
+                    continue;
+                }
+                let bound = 2 * t.path_hops(a, b) as usize;
+                let mut at = a;
+                let mut steps = 0;
+                while at != b {
+                    let choices = t.try_next_ports_on(layer, at, b);
+                    assert!(!choices.is_empty(), "layer {layer} lost {}->{}", a.0, b.0);
+                    at = t
+                        .port(at, choices[rng.below(choices.len() as u64) as usize])
+                        .peer;
+                    steps += 1;
+                    assert!(steps <= bound, "layer {layer} walk exceeded 2x stretch");
+                }
             }
         }
         // next_ports[0] still walks a minimal path.
@@ -1098,12 +1349,12 @@ mod tests {
         assert_eq!(t.path_hops(a, b), minimal_t.path_hops(a, b));
     }
 
-    fn count_advertised(t: &Topology) -> usize {
+    fn count_advertised(t: &Topology, layer: usize) -> usize {
         let mut total = 0;
         for n in 0..t.node_count() as u32 {
             for &h in t.hosts() {
                 if NodeId(n) != h {
-                    total += t.try_next_ports(NodeId(n), h).len();
+                    total += t.try_next_ports_on(layer, NodeId(n), h).len();
                 }
             }
         }
@@ -1141,14 +1392,19 @@ mod tests {
         assert_eq!(t.next_ports(edge, hosts[15]).len(), 2);
     }
 
-    /// Full snapshot of the advertised route tables, for equivalence
-    /// checks between incremental repair and full recomputation.
-    fn route_tables(t: &Topology) -> Vec<Vec<Vec<u16>>> {
-        (0..t.node_count() as u32)
-            .map(|n| {
-                t.hosts()
-                    .iter()
-                    .map(|&h| t.try_next_ports(NodeId(n), h).to_vec())
+    /// Full snapshot of every layer's advertised route tables, for
+    /// equivalence checks between incremental repair and full
+    /// recomputation.
+    fn route_tables(t: &Topology) -> Vec<Vec<Vec<Vec<u16>>>> {
+        (0..t.layer_count())
+            .map(|layer| {
+                (0..t.node_count() as u32)
+                    .map(|n| {
+                        t.hosts()
+                            .iter()
+                            .map(|&h| t.try_next_ports_on(layer, NodeId(n), h).to_vec())
+                            .collect()
+                    })
                     .collect()
             })
             .collect()
@@ -1226,7 +1482,7 @@ mod tests {
     }
 
     #[test]
-    fn repair_restores_incrementally_and_non_minimal_falls_back() {
+    fn repair_restores_incrementally_on_every_layer() {
         // The true core layer is the last-added (k/2)² nodes
         // (`core_switches()` also returns aggs).
         let mut t = Topology::fat_tree(4, 1_000_000_000, 10_000);
@@ -1256,13 +1512,50 @@ mod tests {
         assert!(!o2.full, "agg restoration must repair incrementally");
         assert_eq!(o2.dests_rebuilt, 4, "one pod's host columns rebuilt");
         assert_eq!(route_tables(&t2), route_tables(&healthy));
-        // Non-minimal path sets depend on exact distances: full fallback.
-        let mut nm = Topology::jellyfish(8, 3, 1, 1_000_000_000, 10_000, 3);
-        nm.set_route_set(RouteSet::NonMinimal);
-        nm.compute_routes();
-        let mut m2 = FaultMask::new();
-        m2.fail_link(&nm, NodeId(0), 0);
-        assert!(nm.repair_routes(&m2).full);
+        // Layered policies repair incrementally too — the old
+        // non-minimal full-recompute fallback is gone. A host-link flap
+        // on a 3-layer Jellyfish dirties exactly one column per layer
+        // (hosts are leaves), so both deltas must be surgical and land
+        // exactly on the from-scratch tables.
+        let mut lt = Topology::jellyfish(12, 3, 2, 1_000_000_000, 10_000, 3);
+        lt.set_policy(RoutingPolicy::layered(3, 11));
+        lt.compute_routes();
+        let layered_pristine = lt.clone();
+        let victim_host = lt.hosts()[0];
+        let mut m3 = FaultMask::new();
+        m3.fail_link(&lt, victim_host, 0);
+        let fail_outcome = lt.repair_routes(&m3);
+        assert!(
+            !fail_outcome.full,
+            "layered host-link failure must repair incrementally"
+        );
+        let mut layered_full = layered_pristine.clone();
+        layered_full.compute_routes_masked(&m3);
+        assert_eq!(route_tables(&lt), route_tables(&layered_full));
+        m3.restore_link(&lt, victim_host, 0);
+        let o3 = lt.repair_routes(&m3);
+        assert!(!o3.full, "layered restoration must repair incrementally");
+        assert_eq!(o3.restored, 1);
+        assert_eq!(
+            o3.dests_rebuilt,
+            lt.layer_count(),
+            "only the cut host's column per layer"
+        );
+        assert_eq!(route_tables(&lt), route_tables(&layered_pristine));
+        // An inter-switch link's blast radius on a weighted layer can
+        // legitimately exceed the mass-delta threshold (weighted columns
+        // often advertise a single port) — but fallback or surgery, the
+        // repaired tables must equal a from-scratch recompute.
+        let mut sw = layered_pristine.clone();
+        let mut m4 = FaultMask::new();
+        m4.fail_link(&sw, NodeId(0), 0);
+        sw.repair_routes(&m4);
+        let mut sw_full = layered_pristine.clone();
+        sw_full.compute_routes_masked(&m4);
+        assert_eq!(route_tables(&sw), route_tables(&sw_full));
+        m4.restore_link(&sw, NodeId(0), 0);
+        sw.repair_routes(&m4);
+        assert_eq!(route_tables(&sw), route_tables(&layered_pristine));
     }
 
     #[test]
@@ -1335,6 +1628,28 @@ mod tests {
         );
         assert_eq!(route_tables(&t), route_tables(&pristine));
         assert_eq!(t.path_hops(h0, h1), 3, "shortcut back in use");
+    }
+
+    #[test]
+    fn repair_after_policy_change_takes_full_fallback() {
+        // Changing the policy (even just its seed) without recomputing
+        // invalidates the weight tables surgery would run against; the
+        // next repair must fall back to a full recompute under the new
+        // policy and land exactly on its from-scratch tables.
+        let mut t = Topology::jellyfish(8, 3, 1, 1_000_000_000, 10_000, 3);
+        t.set_policy(RoutingPolicy::layered(2, 1));
+        t.compute_routes();
+        t.set_policy(RoutingPolicy::layered(2, 2)); // same count, new seed
+        let mut mask = FaultMask::new();
+        mask.fail_link(&t, NodeId(0), 0);
+        assert!(t.repair_routes(&mask).full, "stale weights force fallback");
+        let mut fresh = Topology::jellyfish(8, 3, 1, 1_000_000_000, 10_000, 3);
+        fresh.set_policy(RoutingPolicy::layered(2, 2));
+        fresh.compute_routes_masked(&mask);
+        assert_eq!(route_tables(&t), route_tables(&fresh));
+        // With the policy stable again, the next delta repairs in place.
+        mask.restore_link(&t, NodeId(0), 0);
+        assert!(!t.repair_routes(&mask).full);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 // tests in one block need more headroom than the default 128.
 #![recursion_limit = "256"]
 
-use netsim::{FaultMask, NodeId, NodeKind, RouteSet, Topology};
+use netsim::{FaultMask, NodeId, NodeKind, RoutingPolicy, Topology};
 use proptest::prelude::*;
 
 fn fat_tree_ks() -> impl Strategy<Value = usize> {
@@ -185,33 +185,59 @@ proptest! {
         let _ = label;
     }
 
-    /// The non-minimal path set stays loop-free on every topology family
-    /// (the potential argument), and never shrinks the advertised ports.
+    /// Every routing layer is loop-free and reaches every host within
+    /// the 2× stretch bound, on every topology family: a random walk
+    /// over any layer's advertised ports terminates at the destination
+    /// in at most twice the minimal hop count (weights are in {1, 2},
+    /// so the weighted-distance potential bounds the walk), and layer 0
+    /// is bit-identical to plain minimal routing.
     #[test]
-    fn non_minimal_routes_stay_loop_free(fabric in any_fabric(), seed in any::<u64>()) {
+    fn layered_routes_loop_free_within_stretch(
+        fabric in any_fabric(),
+        layers in 2usize..=4,
+        seed in any::<u64>(),
+    ) {
         let (mut t, label) = fabric;
-        let hosts = t.hosts().to_vec();
-        let minimal_counts: Vec<usize> = hosts
-            .iter()
-            .map(|&h| (0..t.node_count() as u32)
-                .map(|n| if NodeId(n) == h { 0 } else { t.try_next_ports(NodeId(n), h).len() })
-                .sum())
-            .collect();
-        t.set_route_set(RouteSet::NonMinimal);
+        let minimal = t.clone();
+        t.set_policy(RoutingPolicy::layered(layers, seed));
         t.compute_routes();
-        let mut rng = netsim::Pcg32::new(seed);
-        for _ in 0..32 {
-            let a = hosts[rng.below(hosts.len() as u64) as usize];
-            let b = hosts[rng.below(hosts.len() as u64) as usize];
-            if a != b {
-                random_walk(&t, &mut rng, a, b, t.node_count())?;
+        prop_assert_eq!(t.layer_count(), layers, "{}", label);
+        let hosts = t.hosts().to_vec();
+        // Layer 0 stays the minimal route set, bit for bit.
+        for n in 0..t.node_count() as u32 {
+            for &h in &hosts {
+                prop_assert_eq!(
+                    t.try_next_ports_on(0, NodeId(n), h),
+                    minimal.try_next_ports(NodeId(n), h),
+                    "{}: layer 0 diverged from minimal at node {}", label, n
+                );
             }
         }
-        for (i, &h) in hosts.iter().enumerate() {
-            let widened: usize = (0..t.node_count() as u32)
-                .map(|n| if NodeId(n) == h { 0 } else { t.try_next_ports(NodeId(n), h).len() })
-                .sum();
-            prop_assert!(widened >= minimal_counts[i], "{}: path set shrank", label);
+        let mut rng = netsim::Pcg32::new(seed ^ 0x57AE);
+        for layer in 0..layers {
+            for &a in &hosts {
+                for &b in &hosts {
+                    if a == b { continue; }
+                    let bound = 2 * minimal.path_hops(a, b) as usize;
+                    let mut at = a;
+                    let mut steps = 0usize;
+                    while at != b {
+                        let choices = t.try_next_ports_on(layer, at, b);
+                        prop_assert!(
+                            !choices.is_empty(),
+                            "{}: layer {} cannot reach {} from {}", label, layer, b.0, at.0
+                        );
+                        let pick = choices[rng.below(choices.len() as u64) as usize];
+                        at = t.port(at, pick).peer;
+                        steps += 1;
+                        prop_assert!(
+                            steps <= bound,
+                            "{}: layer {} walk {}->{} exceeded 2x stretch ({} hops)",
+                            label, layer, a.0, b.0, bound
+                        );
+                    }
+                }
+            }
         }
     }
 
@@ -262,17 +288,24 @@ proptest! {
         }
     }
 
-    /// Restore repair and flap coalescing are exact: an arbitrary
-    /// seeded sequence of failures *and restorations* — links (fabric
-    /// and host links), transit switches, and whole hosts — applied one
-    /// `repair_routes` delta at a time yields bit-identical route
-    /// tables to a from-scratch `compute_routes_masked` of the
-    /// accumulated mask, on every topology family. (A down+up pair
+    /// Restore repair and flap coalescing are exact on every layer: an
+    /// arbitrary seeded sequence of failures *and restorations* — links
+    /// (fabric and host links), transit switches, and whole hosts —
+    /// applied one `repair_routes` delta at a time yields bit-identical
+    /// route tables, per layer, to a from-scratch
+    /// `compute_routes_masked` of the accumulated mask, on every
+    /// topology family under a 1–3-layer policy. (A down+up pair
     /// landing in one delta is the coalesced-flap case: the repair must
     /// see it as a no-op.)
     #[test]
-    fn restore_repair_matches_full_recompute(fabric in any_fabric(), seed in any::<u64>()) {
-        let (pristine, label) = fabric;
+    fn restore_repair_matches_full_recompute(
+        fabric in any_fabric(),
+        layers in 1usize..=3,
+        seed in any::<u64>(),
+    ) {
+        let (mut pristine, label) = fabric;
+        pristine.set_policy(RoutingPolicy::layered(layers, seed ^ 0xFA7));
+        pristine.compute_routes();
         let mut rng = netsim::Pcg32::new(seed);
         // Candidate elements: every link (host links included — host
         // disconnection and re-attachment is exactly the churn case)
@@ -327,13 +360,16 @@ proptest! {
             repaired.repair_routes(&mask);
             let mut full = pristine.clone();
             full.compute_routes_masked(&mask);
-            for n in 0..pristine.node_count() as u32 {
-                for &h in pristine.hosts() {
-                    prop_assert_eq!(
-                        repaired.try_next_ports(NodeId(n), h),
-                        full.try_next_ports(NodeId(n), h),
-                        "{}: node {} dest {} diverged at step {}", label, n, h.0, step
-                    );
+            for layer in 0..layers {
+                for n in 0..pristine.node_count() as u32 {
+                    for &h in pristine.hosts() {
+                        prop_assert_eq!(
+                            repaired.try_next_ports_on(layer, NodeId(n), h),
+                            full.try_next_ports_on(layer, NodeId(n), h),
+                            "{}: layer {} node {} dest {} diverged at step {}",
+                            label, layer, n, h.0, step
+                        );
+                    }
                 }
             }
         }

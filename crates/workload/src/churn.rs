@@ -21,10 +21,12 @@ use netsim::{
     FabricStats, FaultMix, FaultPlan, FaultProcess, Pcg32, SimConfig, SimTime, Simulator, Topology,
 };
 use polyraptor::{host_fail_token, PolyraptorAgent};
+use tcpsim::{conn_start_token, TcpAgent};
 
 use crate::fault::{RecoveryStats, REROUTE_DELAY_NS};
 use crate::runner::{
-    build_rq_specs, collect_rq_results, install_rq, Fabric, RqRunOptions, TransferResult,
+    build_rq_specs, build_tcp_conns, collect_rq_results, collect_tcp_results, install_rq,
+    op_results, Fabric, RqRunOptions, TcpRunOptions, TransferResult,
 };
 use crate::scenario::{LogicalSession, Pattern, StorageScenario, PAPER_LAMBDA_PER_HOST};
 
@@ -177,12 +179,13 @@ impl ChurnReport {
 /// the collector panics.
 pub fn run_churn_rq(sc: &ChurnScenario, fabric: &Fabric, opts: &RqRunOptions) -> ChurnReport {
     assert!(sc.replicas >= 2, "churn needs a survivor to re-target");
-    let topo = fabric.build_with_route_set(opts.route_set);
+    let topo = fabric.build_with_policy(opts.policy);
     let sessions = sc.storage().generate(&topo);
     let plan = sc.plan(&topo, &sessions);
     let mut sim_cfg = SimConfig::ndp(sc.seed ^ 0xC0_17);
     sim_cfg.switch_queue = opts.switch_queue;
     sim_cfg.route = opts.route;
+    sim_cfg.layer_assign = opts.layer_assign;
     sim_cfg.reroute_delay_ns = REROUTE_DELAY_NS;
     let mut sim: Simulator<_, PolyraptorAgent> = Simulator::new(topo, sim_cfg);
     let hosts = sim.topology().hosts().to_vec();
@@ -229,17 +232,7 @@ pub fn run_churn_rq(sc: &ChurnScenario, fabric: &Fabric, opts: &RqRunOptions) ->
             .map(|r| r.retarget_symbols)
             .sum::<u64>();
     }
-    let fault_instants = plan
-        .events()
-        .iter()
-        .filter(|e| {
-            matches!(
-                e.action,
-                netsim::FaultAction::LinkDown { .. } | netsim::FaultAction::SwitchDown { .. }
-            )
-        })
-        .map(|e| e.at)
-        .collect();
+    let fault_instants = plan.down_instants();
     ChurnReport {
         flows,
         fabric: sim.stats(),
@@ -249,6 +242,57 @@ pub fn run_churn_rq(sc: &ChurnScenario, fabric: &Fabric, opts: &RqRunOptions) ->
         retargeted_sessions: retargeted,
         retarget_symbols,
         timeouts: 0,
+    }
+}
+
+/// Run the identical churn scenario under the TCP baseline: one
+/// ECMP-pinned connection per replica stripe, the same seeded Poisson
+/// fault plan, the same convergence window. TCP has no session
+/// re-target — a dead replica's stripe simply stalls until the scripted
+/// repair revives the host and the retransmission machinery grinds
+/// through — so the report's `stranded_sessions`/`retargeted_sessions`
+/// are structurally 0 and `timeouts` carries the RTO count that
+/// explains the tail the comparison figure shows. Per-stripe flows are
+/// collapsed to op level (a fetch completes when its *last* stripe
+/// does), so `flows` is one result per session exactly like the
+/// Polyraptor report's.
+pub fn run_churn_tcp(sc: &ChurnScenario, fabric: &Fabric, opts: &TcpRunOptions) -> ChurnReport {
+    assert!(sc.replicas >= 2, "churn needs a survivor to re-target");
+    let topo = fabric.build_with_policy(opts.policy);
+    let sessions = sc.storage().generate(&topo);
+    let plan = sc.plan(&topo, &sessions);
+    let mut sim_cfg = SimConfig::classic(sc.seed ^ 0xC0_17);
+    sim_cfg.switch_queue = opts.switch_queue;
+    sim_cfg.route = opts.route;
+    sim_cfg.reroute_delay_ns = REROUTE_DELAY_NS;
+    let mut sim: Simulator<_, TcpAgent> = Simulator::new(topo, sim_cfg);
+    let hosts = sim.topology().hosts().to_vec();
+    for &h in &hosts {
+        sim.set_agent(h, TcpAgent::new(h, opts.tcp));
+    }
+    let conns = build_tcp_conns(&sessions, Pattern::Read);
+    for c in &conns {
+        sim.agent_mut(c.sender).install(c.clone());
+        sim.agent_mut(c.receiver).install(c.clone());
+        sim.schedule_timer(c.sender, c.start, conn_start_token(c.id));
+    }
+    sim.schedule_faults(&plan);
+    sim.run_to_completion();
+    let timeouts = conns
+        .iter()
+        .map(|c| sim.agent(c.sender).sender(c.id).map_or(0, |s| s.timeouts))
+        .sum();
+    let flows = op_results(&collect_tcp_results(&sim, &sessions), sc.object_bytes);
+    let fault_instants = plan.down_instants();
+    ChurnReport {
+        host_failures: plan.host_failures(sim.topology()).len(),
+        flows,
+        fabric: sim.stats(),
+        fault_instants,
+        stranded_sessions: 0,
+        retargeted_sessions: 0,
+        retarget_symbols: 0,
+        timeouts,
     }
 }
 
@@ -269,6 +313,23 @@ mod tests {
         assert_eq!(rep.timeouts, 0);
         let c = rep.completion();
         assert!(c.p50_ns <= c.p99_ns && c.p99_ns <= c.max_ns);
+    }
+
+    #[test]
+    fn churn_tcp_baseline_completes_and_is_deterministic() {
+        let sc = small();
+        let a = run_churn_tcp(&sc, &Fabric::small(), &TcpRunOptions::default());
+        assert_eq!(a.flows.len(), 6, "stripes collapse to one op per session");
+        assert_eq!(a.stranded_sessions + a.retargeted_sessions, 0);
+        assert!(a.fabric.reroutes >= 1, "churn must reroute");
+        let b = run_churn_tcp(&sc, &Fabric::small(), &TcpRunOptions::default());
+        assert_eq!(a.fabric, b.fabric);
+        assert_eq!(a.timeouts, b.timeouts);
+        // Same seeded plan as the Polyraptor run: the comparison is on
+        // identical fault schedules.
+        let rq = run_churn_rq(&sc, &Fabric::small(), &RqRunOptions::default());
+        assert_eq!(a.fault_instants, rq.fault_instants);
+        assert_eq!(a.host_failures, rq.host_failures);
     }
 
     #[test]

@@ -304,7 +304,7 @@ impl RecoveryStats {
 /// sprayed symbols). Every session must complete — rerouting plus coded
 /// repair is the claim under test — or the collector panics.
 pub fn run_fault_rq(sc: &FaultScenario, fabric: &Fabric, opts: &RqRunOptions) -> FaultRunReport {
-    let topo = fabric.build_with_route_set(opts.route_set);
+    let topo = fabric.build_with_policy(opts.policy);
     let sessions = sc.storage().generate(&topo);
     let fail_at = sc.fault_time_of(&topo, &sessions);
     let victim = sc.victim_core_of(&topo, &sessions, fail_at);
@@ -312,6 +312,7 @@ pub fn run_fault_rq(sc: &FaultScenario, fabric: &Fabric, opts: &RqRunOptions) ->
     let mut sim_cfg = SimConfig::ndp(sc.seed ^ 0xFA17);
     sim_cfg.switch_queue = opts.switch_queue;
     sim_cfg.route = opts.route;
+    sim_cfg.layer_assign = opts.layer_assign;
     sim_cfg.reroute_delay_ns = REROUTE_DELAY_NS;
     let mut sim: Simulator<_, PolyraptorAgent> = Simulator::new(topo, sim_cfg);
     let hosts = sim.topology().hosts().to_vec();
@@ -341,7 +342,7 @@ pub fn run_fault_rq(sc: &FaultScenario, fabric: &Fabric, opts: &RqRunOptions) ->
 /// recover by retransmission timeout, which is exactly the tail the
 /// report's `timeouts`/`makespan` expose.
 pub fn run_fault_tcp(sc: &FaultScenario, fabric: &Fabric, opts: &TcpRunOptions) -> FaultRunReport {
-    let topo = fabric.build_with_route_set(opts.route_set);
+    let topo = fabric.build_with_policy(opts.policy);
     let sessions = sc.storage().generate(&topo);
     let fail_at = sc.fault_time_of(&topo, &sessions);
     let victim = sc.victim_core_of(&topo, &sessions, fail_at);

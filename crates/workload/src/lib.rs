@@ -34,7 +34,7 @@ pub mod runner;
 pub mod scenario;
 pub mod stats;
 
-pub use churn::{run_churn_rq, ChurnReport, ChurnScenario};
+pub use churn::{run_churn_rq, run_churn_tcp, ChurnReport, ChurnScenario};
 pub use fault::{run_fault_rq, run_fault_tcp, FaultRunReport, FaultScenario, RecoveryStats};
 pub use hotspot::{run_hotspot_rq, HotspotScenario};
 pub use runner::{

@@ -5,7 +5,8 @@
 use std::collections::BTreeMap;
 
 use netsim::{
-    NodeId, Pcg32, QueueConfig, RouteMode, RouteSet, SimConfig, SimTime, Simulator, Topology,
+    LayerAssign, NodeId, Pcg32, QueueConfig, RouteMode, RoutingPolicy, SimConfig, SimTime,
+    Simulator, Topology,
 };
 use polyraptor::{start_token, PolyraptorAgent, PrConfig, SessionId, SessionSpec};
 use tcpsim::{conn_start_token, ConnId, ConnSpec, TcpAgent, TcpConfig};
@@ -138,12 +139,13 @@ impl Fabric {
         }
     }
 
-    /// Build the routed topology under a path-set policy (recomputes
-    /// routes only when the policy differs from the builder default).
-    pub fn build_with_route_set(&self, route_set: RouteSet) -> Topology {
+    /// Build the routed topology under a layered routing policy
+    /// (recomputes routes only when the policy differs from the builder
+    /// default — single-layer minimal).
+    pub fn build_with_policy(&self, policy: RoutingPolicy) -> Topology {
         let mut topo = self.build();
-        if route_set != RouteSet::Minimal {
-            topo.set_route_set(route_set);
+        if policy != RoutingPolicy::minimal() {
+            topo.set_policy(policy);
             topo.compute_routes();
         }
         topo
@@ -261,9 +263,14 @@ pub struct RqRunOptions {
     pub switch_queue: QueueConfig,
     /// Path selection (default per-packet spraying).
     pub route: RouteMode,
-    /// Advertised path set (default minimal/ECMP; NonMinimal adds
-    /// FatPaths-style detours, useful on Jellyfish fabrics).
-    pub route_set: RouteSet,
+    /// Layered routing policy (default single-layer minimal/ECMP;
+    /// `RoutingPolicy::layered(n, seed)` adds FatPaths-style
+    /// path-diversity layers, useful on Jellyfish fabrics where minimal
+    /// path diversity is structurally low).
+    pub policy: RoutingPolicy,
+    /// Flow→layer assignment strategy (default hash-per-flow; only
+    /// meaningful with a multi-layer policy).
+    pub layer_assign: LayerAssign,
 }
 
 impl Default for RqRunOptions {
@@ -272,7 +279,8 @@ impl Default for RqRunOptions {
             pr: PrConfig::paper_default(),
             switch_queue: QueueConfig::NDP_DEFAULT,
             route: RouteMode::Spray,
-            route_set: RouteSet::Minimal,
+            policy: RoutingPolicy::minimal(),
+            layer_assign: LayerAssign::FlowHash,
         }
     }
 }
@@ -286,11 +294,12 @@ pub fn run_storage_rq(
     fabric: &Fabric,
     opts: &RqRunOptions,
 ) -> Vec<TransferResult> {
-    let topo = fabric.build_with_route_set(opts.route_set);
+    let topo = fabric.build_with_policy(opts.policy);
     let sessions = scenario.generate(&topo);
     let mut sim_cfg = SimConfig::ndp(scenario.seed ^ 0xFAB);
     sim_cfg.switch_queue = opts.switch_queue;
     sim_cfg.route = opts.route;
+    sim_cfg.layer_assign = opts.layer_assign;
     let mut sim: Simulator<_, PolyraptorAgent> = Simulator::new(topo, sim_cfg);
 
     let hosts = sim.topology().hosts().to_vec();
@@ -431,8 +440,8 @@ pub struct TcpRunOptions {
     pub switch_queue: QueueConfig,
     /// Path selection (default per-flow ECMP).
     pub route: RouteMode,
-    /// Advertised path set (default minimal/ECMP).
-    pub route_set: RouteSet,
+    /// Layered routing policy (default single-layer minimal/ECMP).
+    pub policy: RoutingPolicy,
 }
 
 impl Default for TcpRunOptions {
@@ -441,7 +450,7 @@ impl Default for TcpRunOptions {
             tcp: TcpConfig::paper_default(),
             switch_queue: QueueConfig::DROPTAIL_DEFAULT,
             route: RouteMode::EcmpFlow,
-            route_set: RouteSet::Minimal,
+            policy: RoutingPolicy::minimal(),
         }
     }
 }
@@ -455,7 +464,7 @@ pub fn run_storage_tcp(
     fabric: &Fabric,
     opts: &TcpRunOptions,
 ) -> Vec<TransferResult> {
-    let topo = fabric.build_with_route_set(opts.route_set);
+    let topo = fabric.build_with_policy(opts.policy);
     let sessions = scenario.generate(&topo);
     let mut sim_cfg = SimConfig::classic(scenario.seed ^ 0xFAB);
     sim_cfg.switch_queue = opts.switch_queue;
@@ -562,11 +571,12 @@ pub(crate) fn collect_tcp_results(
 /// Run one Incast exchange under Polyraptor: a single multi-source
 /// session striped over `senders` hosts. Returns goodput in Gbit/s.
 pub fn run_incast_rq(scenario: &IncastScenario, fabric: &Fabric, opts: &RqRunOptions) -> f64 {
-    let topo = fabric.build_with_route_set(opts.route_set);
+    let topo = fabric.build_with_policy(opts.policy);
     let (client, senders) = scenario.place(&topo);
     let mut sim_cfg = SimConfig::ndp(scenario.seed ^ 0x1C);
     sim_cfg.switch_queue = opts.switch_queue;
     sim_cfg.route = opts.route;
+    sim_cfg.layer_assign = opts.layer_assign;
     let mut sim: Simulator<_, PolyraptorAgent> = Simulator::new(topo, sim_cfg);
     let hosts = sim.topology().hosts().to_vec();
     let mut seed_rng = Pcg32::new(scenario.seed ^ 0xA6E27);
@@ -595,7 +605,7 @@ pub fn run_incast_rq(scenario: &IncastScenario, fabric: &Fabric, opts: &RqRunOpt
 /// each carrying one stripe. Returns goodput in Gbit/s over the whole
 /// exchange (finish = last stripe).
 pub fn run_incast_tcp(scenario: &IncastScenario, fabric: &Fabric, opts: &TcpRunOptions) -> f64 {
-    let topo = fabric.build_with_route_set(opts.route_set);
+    let topo = fabric.build_with_policy(opts.policy);
     let (client, senders) = scenario.place(&topo);
     let mut sim_cfg = SimConfig::classic(scenario.seed ^ 0x1C);
     sim_cfg.switch_queue = opts.switch_queue;

@@ -27,8 +27,8 @@
 
 use polyraptor_repro::netsim::{FaultMask, NodeKind, Topology};
 use polyraptor_repro::workload::{
-    run_churn_rq, run_fault_rq, run_fault_tcp, ChurnReport, ChurnScenario, Fabric, FaultScenario,
-    RankCurve, RqRunOptions, TcpRunOptions,
+    run_churn_rq, run_churn_tcp, run_fault_rq, run_fault_tcp, ChurnReport, ChurnScenario, Fabric,
+    FaultScenario, RankCurve, RqRunOptions, TcpRunOptions,
 };
 
 /// Wall-clock the control-plane bill of one link failure on `fabric`:
@@ -123,11 +123,26 @@ fn run_churn(smoke: bool) {
     let rep_spread = run_churn_rq(&spread, &fabric, &RqRunOptions::default());
     println!();
     churn_line("shared-risk", &rep_spread);
+    // The TCP baseline under the identical seeded fault plan: one
+    // ECMP-pinned connection per replica stripe, no re-target — a dead
+    // replica's stripe stalls until the scripted repair and the
+    // retransmission machinery, which is exactly the RTO-driven tail
+    // the comparison shows.
+    let tcp = run_churn_tcp(&sc, &fabric, &TcpRunOptions::default());
+    println!();
+    churn_line("tcp", &tcp);
+    let (p, t) = (rep.completion(), tcp.completion());
     println!(
         "\nEvery fetch completes under sustained churn: path redundancy (spraying +\n\
          restore repair) rides out the fabric events, data redundancy (coded replicas +\n\
          re-target) rides out the host failures — flapping links coalesce to no-op\n\
-         deltas instead of full route recomputes."
+         deltas instead of full route recomputes, and recovery is pull-paced (0\n\
+         timeouts). The TCP baseline survives on its retransmission timers instead:\n\
+         {} RTO firings; completion p99 {:.2} ms vs {:.2} ms for Polyraptor under\n\
+         the same fault plan.",
+        tcp.timeouts,
+        t.p99_ns as f64 / 1e6,
+        p.p99_ns as f64 / 1e6,
     );
 }
 
