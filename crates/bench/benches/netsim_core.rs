@@ -113,10 +113,79 @@ fn routing_lookup(c: &mut Criterion) {
     g.finish();
 }
 
+fn forwarding_flat_vs_nested(c: &mut Criterion) {
+    // One forwarding decision = route-table lookup + ECMP-style pick.
+    // The CSR arena resolves it with two offset reads into one flat
+    // buffer; the pre-refactor layout chased three pointers
+    // (`Vec<Vec<Vec<u16>>>`). The nested baseline here is rebuilt from
+    // the public accessors, so the comparison tracks whatever the
+    // arenas currently advertise.
+    let t = Topology::fat_tree(10, 1_000_000_000, 10_000);
+    let hosts = t.hosts().to_vec();
+    let switches: Vec<netsim::NodeId> = (0..t.node_count() as u32)
+        .map(netsim::NodeId)
+        .filter(|&n| t.kind(n) == NodeKind::Switch)
+        .collect();
+    let nested: Vec<Vec<Vec<u16>>> = (0..t.node_count() as u32)
+        .map(|n| {
+            hosts
+                .iter()
+                .map(|&h| t.try_next_ports_on(0, netsim::NodeId(n), h).to_vec())
+                .collect()
+        })
+        .collect();
+    // A shared pseudo-random (switch, destination, flow) visit order,
+    // long enough that neither layout stays resident in L1.
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let pairs: Vec<(usize, usize, usize)> = (0..65536)
+        .map(|_| {
+            (
+                switches[next() % switches.len()].0 as usize,
+                next() % hosts.len(),
+                next(),
+            )
+        })
+        .collect();
+    let mut g = c.benchmark_group("netsim/forwarding");
+    g.throughput(Throughput::Elements(pairs.len() as u64));
+    g.bench_function("decide_flat_k10", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(s, h, f) in &pairs {
+                let ports = t.try_next_ports_at(0, netsim::NodeId(s as u32), h);
+                if !ports.is_empty() {
+                    acc += u64::from(ports[f % ports.len()]);
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.bench_function("decide_nested_k10", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(s, h, f) in &pairs {
+                let ports = &nested[s][h];
+                if !ports.is_empty() {
+                    acc += u64::from(ports[f % ports.len()]);
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     event_throughput,
     fat_tree_construction,
-    routing_lookup
+    routing_lookup,
+    forwarding_flat_vs_nested
 );
 criterion_main!(benches);

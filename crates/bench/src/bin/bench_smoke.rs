@@ -1,0 +1,236 @@
+//! CI perf-regression gate for the CSR route arenas.
+//!
+//! Measures the two hot paths the flat layout exists for — forwarding
+//! decisions (route-table lookup + ECMP pick) and incremental route
+//! repair — on the paper's k=10 fat-tree, compares the flat arenas
+//! against a nested `Vec<Vec<Vec<u16>>>` baseline rebuilt from the
+//! public accessors, and writes the medians to a machine-readable
+//! `BENCH_csr.json`. Exits nonzero when the flat-vs-nested forwarding
+//! ratio drops below the threshold, so a cache-hostile regression in
+//! the arenas fails the job instead of rotting silently.
+//!
+//! ```sh
+//! cargo run --release -p polyraptor_bench --bin bench_smoke -- \
+//!     --smoke --out BENCH_csr.json --min-ratio 1.2
+//! ```
+//!
+//! `--smoke` shrinks repeat counts (not the fabric: the ≥ 1.5× claim
+//! is made at k=10 and is checked at k=10). The default threshold of
+//! 1.2 leaves headroom for shared-runner noise below the measured
+//! ~2.8× ratio.
+
+use std::time::Instant;
+
+use netsim::{FaultMask, NodeId, NodeKind, Topology};
+
+/// Median of a sample set (ns); the samples are per-call averages.
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Deterministic (switch, destination-index, flow) visit order shared
+/// by the flat and nested forwarding sweeps.
+fn decision_pairs(t: &Topology, count: usize) -> Vec<(usize, usize, usize)> {
+    let switches: Vec<NodeId> = (0..t.node_count() as u32)
+        .map(NodeId)
+        .filter(|&n| t.kind(n) == NodeKind::Switch)
+        .collect();
+    let n_hosts = t.hosts().len();
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    (0..count)
+        .map(|_| {
+            (
+                switches[next() % switches.len()].0 as usize,
+                next() % n_hosts,
+                next(),
+            )
+        })
+        .collect()
+}
+
+struct Forwarding {
+    flat_ns: f64,
+    nested_ns: f64,
+    decisions: usize,
+}
+
+fn forwarding(t: &Topology, repeats: usize) -> Forwarding {
+    let decisions = 65_536;
+    let pairs = decision_pairs(t, decisions);
+    let hosts = t.hosts().to_vec();
+    let nested: Vec<Vec<Vec<u16>>> = (0..t.node_count() as u32)
+        .map(|n| {
+            hosts
+                .iter()
+                .map(|&h| t.try_next_ports_on(0, NodeId(n), h).to_vec())
+                .collect()
+        })
+        .collect();
+    let sweep_flat = || {
+        let mut acc = 0u64;
+        for &(s, h, f) in &pairs {
+            let ports = t.try_next_ports_at(0, NodeId(s as u32), h);
+            if !ports.is_empty() {
+                acc += u64::from(ports[f % ports.len()]);
+            }
+        }
+        acc
+    };
+    let sweep_nested = || {
+        let mut acc = 0u64;
+        for &(s, h, f) in &pairs {
+            let ports = &nested[s][h];
+            if !ports.is_empty() {
+                acc += u64::from(ports[f % ports.len()]);
+            }
+        }
+        acc
+    };
+    let time = |f: &dyn Fn() -> u64| {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        start.elapsed().as_nanos() as f64 / decisions as f64
+    };
+    // Warm both layouts once, then interleave the measured sweeps so
+    // slow drift (thermal, noisy neighbours) hits both sides equally.
+    std::hint::black_box(sweep_flat());
+    std::hint::black_box(sweep_nested());
+    let mut flat = Vec::with_capacity(repeats);
+    let mut nested_t = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        flat.push(time(&sweep_flat));
+        nested_t.push(time(&sweep_nested));
+    }
+    Forwarding {
+        flat_ns: median(flat),
+        nested_ns: median(nested_t),
+        decisions,
+    }
+}
+
+struct Repairs {
+    single_link_ns: f64,
+    switch_down_ns: f64,
+    switch_up_ns: f64,
+    full_recompute_ns: f64,
+}
+
+fn repairs(pristine: &Topology, repeats: usize) -> Repairs {
+    let core = NodeId(pristine.node_count() as u32 - 1);
+    let mut link_mask = FaultMask::new();
+    link_mask.fail_link(pristine, core, 0);
+    let mut node_mask = FaultMask::new();
+    node_mask.fail_node(core);
+    let time = |f: &mut dyn FnMut(&mut Topology), reps: usize| {
+        let mut samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let mut t = pristine.clone();
+            let start = Instant::now();
+            f(&mut t);
+            samples.push(start.elapsed().as_nanos() as f64);
+        }
+        median(samples)
+    };
+    let single_link_ns = time(
+        &mut |t| {
+            assert!(!t.repair_routes(&link_mask).full);
+        },
+        repeats,
+    );
+    let switch_down_ns = time(
+        &mut |t| {
+            assert!(!t.repair_routes(&node_mask).full);
+        },
+        repeats,
+    );
+    let full_recompute_ns = time(&mut |t| t.compute_routes_masked(&link_mask), repeats.min(5));
+    // Restoration: fail the switch in (untimed) setup, time only the
+    // back-to-healthy repair delta.
+    let switch_up_ns = {
+        let healthy = FaultMask::new();
+        let mut samples = Vec::with_capacity(repeats);
+        for _ in 0..repeats {
+            let mut t = pristine.clone();
+            t.repair_routes(&node_mask);
+            let start = Instant::now();
+            assert!(!t.repair_routes(&healthy).full);
+            samples.push(start.elapsed().as_nanos() as f64);
+        }
+        median(samples)
+    };
+    Repairs {
+        single_link_ns,
+        switch_down_ns,
+        switch_up_ns,
+        full_recompute_ns,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out = flag("--out").unwrap_or_else(|| "BENCH_csr.json".to_string());
+    let min_ratio: f64 = flag("--min-ratio")
+        .map(|v| v.parse().expect("--min-ratio takes a number"))
+        .unwrap_or(1.2);
+    let repeats = if smoke { 9 } else { 31 };
+
+    let k = 10usize;
+    let t = Topology::fat_tree(k, 1_000_000_000, 10_000);
+    let hosts = t.hosts().len();
+    let switches = t.node_count() - hosts;
+    let fwd = forwarding(&t, repeats);
+    let rep = repairs(&t, repeats);
+    let ratio = fwd.nested_ns / fwd.flat_ns;
+    let pass = ratio >= min_ratio;
+
+    let json = format!(
+        "{{\n  \"schema\": \"polyraptor-bench-csr/v1\",\n  \"mode\": \"{}\",\n  \
+         \"fabric\": {{\"kind\": \"fat_tree\", \"k\": {k}, \"hosts\": {hosts}, \
+         \"switches\": {switches}}},\n  \
+         \"forwarding\": {{\"flat_ns_per_decision\": {:.3}, \
+         \"nested_ns_per_decision\": {:.3}, \"ratio_flat_over_nested\": {:.3}, \
+         \"decisions_per_sweep\": {}}},\n  \
+         \"repair\": {{\"single_link_ns\": {:.0}, \"switch_down_ns\": {:.0}, \
+         \"switch_up_ns\": {:.0}, \"full_recompute_ns\": {:.0}}},\n  \
+         \"min_ratio\": {min_ratio},\n  \"pass\": {pass}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        fwd.flat_ns,
+        fwd.nested_ns,
+        ratio,
+        fwd.decisions,
+        rep.single_link_ns,
+        rep.switch_down_ns,
+        rep.switch_up_ns,
+        rep.full_recompute_ns,
+    );
+    std::fs::write(&out, &json).expect("write BENCH_csr.json");
+    print!("{json}");
+    println!(
+        "forwarding flat {:.2} ns vs nested {:.2} ns per decision ({ratio:.2}x, \
+         threshold {min_ratio}x) -> {}",
+        fwd.flat_ns,
+        fwd.nested_ns,
+        if pass { "pass" } else { "FAIL" },
+    );
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -821,9 +821,9 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
     /// towards `dst` that is locally usable (link and far end up under
     /// the live mask — switch-local knowledge, no control plane
     /// required).
-    fn layer_live(&self, layer: usize, node: NodeId, dst: NodeId) -> bool {
+    fn layer_live(&self, layer: usize, node: NodeId, dst_index: usize) -> bool {
         self.topo
-            .try_next_ports_on(layer, node, dst)
+            .try_next_ports_at(layer, node, dst_index)
             .iter()
             .any(|&p| self.mask.port_is_up(&self.topo, node, p))
     }
@@ -836,6 +836,9 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
                 // policies; the single-layer default skips it entirely
                 // — forwarding's hot path stays exactly the
                 // pre-layering code.
+                // One host-index resolution per packet; every route
+                // lookup below is then a direct arena slice.
+                let dst_index = self.topo.host_index(dst);
                 let n_layers = self.topo.layer_count();
                 let mut layer = 0;
                 if n_layers > 1 {
@@ -856,10 +859,10 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
                     // are dead (the pick below may still lose packets
                     // during the convergence window, as before).
                     layer = assigned;
-                    if override_entry.is_none() && !self.layer_live(assigned, node, dst) {
+                    if override_entry.is_none() && !self.layer_live(assigned, node, dst_index) {
                         if let Some(alt) = (1..n_layers)
                             .map(|k| (assigned + k) % n_layers)
-                            .find(|&l| self.layer_live(l, node, dst))
+                            .find(|&l| self.layer_live(l, node, dst_index))
                         {
                             layer = alt;
                             self.stats.layer_reassignments += 1;
@@ -867,7 +870,7 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
                         }
                     }
                 }
-                let choices = self.topo.try_next_ports_on(layer, node, dst);
+                let choices = self.topo.try_next_ports_at(layer, node, dst_index);
                 if choices.is_empty() {
                     // The destination is unreachable under the current
                     // fault mask; outside faults this is a config bug.

@@ -22,6 +22,29 @@
 //! bounded restore surgery — which is how the simulator reroutes around
 //! mid-run link and switch failures without paying a full recompute.
 //!
+//! # Memory layout: CSR arenas
+//!
+//! Both the graph and the routing tables live in contiguous CSR-style
+//! arenas instead of nested `Vec`s, so a forwarding decision is flat
+//! arithmetic into three big arrays rather than three dependent pointer
+//! hops, and repair surgery is `memmove`s inside fixed-capacity cells:
+//!
+//! - **Adjacency**: one flat `ports: Vec<Port>` plus a prefix-offset
+//!   table `port_off: Vec<u32>` (length `nodes + 1`); node `n`'s ports
+//!   are `ports[port_off[n] .. port_off[n+1]]` and `port_off[n] + p` is
+//!   the *global port id* of `(n, p)`. The graph is built through an
+//!   edge log and frozen into the arena by the first route computation.
+//! - **Routes** (per layer): one flat `buf: Vec<u16>` holding a
+//!   fixed-capacity cell per `(node, destination)` — capacity
+//!   `deg(node)`, at arena offset `port_off[n]·H + h·deg(n)` for `H`
+//!   hosts — plus a `len: Vec<u16>` table (`len[n·H + h]`) giving the
+//!   occupied prefix. The advertised ports are that prefix, always in
+//!   ascending port order. Because a cell can never overflow (a node
+//!   advertises at most `deg(n)` distinct ports), failure excision and
+//!   restore surgery shift entries *in place* and never reallocate.
+//! - **Distances / weights** (per layer): flat `dist[h·N + n]` and a
+//!   per-layer weight arena indexed by global port id.
+//!
 //! Three generators are provided: [`Topology::fat_tree`] (the paper's
 //! evaluation fabric, k = 10 → 250 hosts), [`Topology::leaf_spine`]
 //! (two-tier, optionally oversubscribed uplinks), and
@@ -55,6 +78,16 @@ pub struct Port {
     pub rate_bps: u64,
     /// One-way propagation delay in nanoseconds.
     pub prop_ns: u64,
+}
+
+/// One undirected link in the construction-time edge log; frozen into
+/// the flat [`Port`] arena by [`Topology::freeze_ports`].
+#[derive(Debug, Clone, Copy)]
+struct EdgeRec {
+    a: u32,
+    b: u32,
+    rate_bps: u64,
+    prop_ns: u64,
 }
 
 /// The layered path-diversity policy [`Topology::compute_routes`]
@@ -115,20 +148,89 @@ impl RoutingPolicy {
     }
 }
 
-/// One layer's routing state: advertised ports and weighted distances,
-/// both per (node, destination-host) and maintained in lockstep by
-/// full recomputation and incremental repair alike.
+/// One layer's routing state as flat arenas: advertised-port cells and
+/// weighted distances, per (node, destination-host), maintained in
+/// lockstep by full recomputation and incremental repair alike.
+///
+/// The route cell for `(node u, dst h)` occupies
+/// `buf[port_off[u]·n_hosts + h·deg(u) ..][..deg(u)]`; its occupied
+/// prefix length is `len[u·n_hosts + h]` and the prefix is always in
+/// ascending port order (the order full recomputation records), so
+/// in-place surgery stays bit-identical to a from-scratch build.
 #[derive(Debug, Clone, Default)]
 struct LayerTables {
-    /// `routes[node][dst_host_index]` = advertised ports of `node`
-    /// towards that host within this layer.
-    routes: Vec<Vec<Vec<u16>>>,
-    /// `dist[dst_host_index][node]` = weighted distance from `node` to
-    /// that host under the mask the routes were computed with
-    /// (`u32::MAX` = unreachable). Restore repair uses it to decide in
-    /// O(degree) per destination whether a restored element can shorten
-    /// any path.
-    dist: Vec<Vec<u32>>,
+    /// Node count `N` (row stride of `dist`).
+    n_nodes: usize,
+    /// Host count `H` (cell stride of `buf`, row stride of `len`).
+    n_hosts: usize,
+    /// Route arena: fixed-capacity advertised-port cells (see above).
+    buf: Vec<u16>,
+    /// `len[node·H + h]` = occupied prefix of that route cell.
+    len: Vec<u16>,
+    /// `dist[h·N + node]` = weighted distance from `node` to that host
+    /// under the mask the routes were computed with (`u32::MAX` =
+    /// unreachable). Restore repair uses it to decide in O(degree) per
+    /// destination whether a restored element can shorten any path.
+    dist: Vec<u32>,
+}
+
+impl LayerTables {
+    /// Arena offset and capacity of the route cell for `(u, h_idx)`.
+    #[inline]
+    fn cell(&self, off: &[u32], u: usize, h_idx: usize) -> (usize, usize) {
+        let base = off[u] as usize;
+        let deg = off[u + 1] as usize - base;
+        (base * self.n_hosts + h_idx * deg, deg)
+    }
+
+    /// The advertised ports of `(u, h_idx)`: the cell's occupied prefix.
+    #[inline]
+    fn advertised(&self, off: &[u32], u: usize, h_idx: usize) -> &[u16] {
+        let (start, _) = self.cell(off, u, h_idx);
+        let l = self.len[u * self.n_hosts + h_idx] as usize;
+        &self.buf[start..start + l]
+    }
+
+    /// Weighted distance from `u` to destination `h_idx`.
+    #[inline]
+    fn dist_to(&self, u: usize, h_idx: usize) -> u32 {
+        self.dist[h_idx * self.n_nodes + u]
+    }
+
+    #[inline]
+    fn set_dist(&mut self, u: usize, h_idx: usize, d: u32) {
+        self.dist[h_idx * self.n_nodes + u] = d;
+    }
+
+    /// Insert `p` into the cell keeping ascending order (no-op when
+    /// already advertised). A cell holds distinct port indices of a
+    /// `deg`-port node at capacity `deg`, so the shift always fits.
+    fn insert_port(&mut self, off: &[u32], u: usize, h_idx: usize, p: u16) {
+        let (start, deg) = self.cell(off, u, h_idx);
+        let li = u * self.n_hosts + h_idx;
+        let l = self.len[li] as usize;
+        if let Err(pos) = self.buf[start..start + l].binary_search(&p) {
+            debug_assert!(l < deg, "route cell overflow");
+            self.buf
+                .copy_within(start + pos..start + l, start + pos + 1);
+            self.buf[start + pos] = p;
+            self.len[li] = (l + 1) as u16;
+        }
+    }
+
+    /// Make `p` the cell's only advertised port.
+    #[inline]
+    fn set_single(&mut self, off: &[u32], u: usize, h_idx: usize, p: u16) {
+        let (start, _) = self.cell(off, u, h_idx);
+        self.buf[start] = p;
+        self.len[u * self.n_hosts + h_idx] = 1;
+    }
+
+    /// Empty the cell.
+    #[inline]
+    fn clear_cell(&mut self, u: usize, h_idx: usize) {
+        self.len[u * self.n_hosts + h_idx] = 0;
+    }
 }
 
 /// Outcome of an incremental [`Topology::repair_routes`] call —
@@ -152,20 +254,33 @@ pub struct RouteRepair {
     pub restored: usize,
 }
 
-/// A network graph plus layered routing tables.
+/// A network graph plus layered routing tables, both CSR-flattened
+/// (see the module docs for the arena layout).
 #[derive(Debug, Clone)]
 pub struct Topology {
     kinds: Vec<NodeKind>,
-    ports: Vec<Vec<Port>>,
+    /// Construction-time edge log; the source of truth the flat port
+    /// arena is (re-)frozen from.
+    edges: Vec<EdgeRec>,
+    /// Per-node degree, maintained by [`Topology::connect`].
+    degree: Vec<u32>,
+    /// Flat port arena: node `n`'s ports are
+    /// `ports[port_off[n] .. port_off[n + 1]]`.
+    ports: Vec<Port>,
+    /// CSR prefix offsets into `ports` (`node_count + 1` entries).
+    port_off: Vec<u32>,
+    /// The edge log changed since the last freeze; port accessors are
+    /// invalid until the next [`Topology::freeze_ports`].
+    ports_stale: bool,
     hosts: Vec<NodeId>,
     host_index: Vec<Option<u32>>, // NodeId -> index into `hosts`
     /// One routing table set per layer (`layers[0]` = minimal routes).
     /// Empty until [`Topology::compute_routes`].
     layers: Vec<LayerTables>,
-    /// `weights[layer][node][port]` = that layer's link weight (1 or 2;
-    /// layer 0 and host links are always 1). Derived deterministically
-    /// from the policy seed and the link identity.
-    weights: Vec<Vec<Vec<u8>>>,
+    /// Per-layer link-weight arena indexed by global port id
+    /// (`port_off[n] + p`): 1 or 2; layer 0 and host links are always 1.
+    /// Derived deterministically from the policy seed and link identity.
+    weights: Vec<Vec<u8>>,
     policy: RoutingPolicy,
     /// The policy the current layer tables were computed under. When it
     /// differs from `policy` (e.g. [`Topology::set_policy`] changed the
@@ -189,7 +304,11 @@ impl Topology {
     pub fn new() -> Self {
         Self {
             kinds: Vec::new(),
+            edges: Vec::new(),
+            degree: Vec::new(),
             ports: Vec::new(),
+            port_off: vec![0],
+            ports_stale: false,
             hosts: Vec::new(),
             host_index: Vec::new(),
             layers: Vec::new(),
@@ -227,32 +346,82 @@ impl Topology {
     pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
         let id = NodeId(self.kinds.len() as u32);
         self.kinds.push(kind);
-        self.ports.push(Vec::new());
+        self.degree.push(0);
         self.host_index.push(None);
         if kind == NodeKind::Host {
             self.host_index[id.0 as usize] = Some(self.hosts.len() as u32);
             self.hosts.push(id);
         }
+        self.ports_stale = true;
         id
     }
 
-    /// Connect two nodes with a bidirectional link.
+    /// Connect two nodes with a bidirectional link. Port indices are
+    /// assigned in call order (the a-side port first), exactly as the
+    /// flat arena will record them at the next freeze.
     pub fn connect(&mut self, a: NodeId, b: NodeId, rate_bps: u64, prop_ns: u64) {
         assert_ne!(a, b, "self-links are not allowed");
-        let pa = self.ports[a.0 as usize].len() as u16;
-        let pb = self.ports[b.0 as usize].len() as u16;
-        self.ports[a.0 as usize].push(Port {
-            peer: b,
-            peer_port: pb,
+        self.edges.push(EdgeRec {
+            a: a.0,
+            b: b.0,
             rate_bps,
             prop_ns,
         });
-        self.ports[b.0 as usize].push(Port {
-            peer: a,
-            peer_port: pa,
-            rate_bps,
-            prop_ns,
-        });
+        self.degree[a.0 as usize] += 1;
+        self.degree[b.0 as usize] += 1;
+        self.ports_stale = true;
+    }
+
+    /// Freeze the edge log into the flat CSR port arena. Idempotent;
+    /// [`Topology::compute_routes_masked`] calls this, so generator
+    /// users never need to. Port accessors are only valid between a
+    /// freeze and the next graph edit.
+    fn freeze_ports(&mut self) {
+        if !self.ports_stale {
+            return;
+        }
+        let n = self.kinds.len();
+        self.port_off.clear();
+        self.port_off.reserve(n + 1);
+        let mut acc = 0u32;
+        self.port_off.push(0);
+        for &d in &self.degree {
+            acc += d;
+            self.port_off.push(acc);
+        }
+        // Every directed slot is written exactly once below; the filler
+        // never survives the loop.
+        self.ports.clear();
+        self.ports.resize(
+            acc as usize,
+            Port {
+                peer: NodeId(0),
+                peer_port: 0,
+                rate_bps: 0,
+                prop_ns: 0,
+            },
+        );
+        let mut cursor: Vec<u32> = self.port_off[..n].to_vec();
+        for e in &self.edges {
+            let (a, b) = (e.a as usize, e.b as usize);
+            let pa = (cursor[a] - self.port_off[a]) as u16;
+            let pb = (cursor[b] - self.port_off[b]) as u16;
+            self.ports[cursor[a] as usize] = Port {
+                peer: NodeId(e.b),
+                peer_port: pb,
+                rate_bps: e.rate_bps,
+                prop_ns: e.prop_ns,
+            };
+            self.ports[cursor[b] as usize] = Port {
+                peer: NodeId(e.a),
+                peer_port: pa,
+                rate_bps: e.rate_bps,
+                prop_ns: e.prop_ns,
+            };
+            cursor[a] += 1;
+            cursor[b] += 1;
+        }
+        self.ports_stale = false;
     }
 
     /// Node kind accessor.
@@ -271,18 +440,36 @@ impl Topology {
     }
 
     /// Dense index of a host (panics for switches).
+    #[inline]
     pub fn host_index(&self, n: NodeId) -> usize {
         self.host_index[n.0 as usize].expect("node is not a host") as usize
     }
 
     /// Ports of a node.
+    #[inline]
     pub fn node_ports(&self, n: NodeId) -> &[Port] {
-        &self.ports[n.0 as usize]
+        debug_assert!(
+            !self.ports_stale,
+            "graph edited since the last freeze; call compute_routes() first"
+        );
+        let i = n.0 as usize;
+        &self.ports[self.port_off[i] as usize..self.port_off[i + 1] as usize]
     }
 
     /// A specific port.
+    #[inline]
     pub fn port(&self, n: NodeId, p: u16) -> &Port {
-        &self.ports[n.0 as usize][p as usize]
+        debug_assert!(
+            !self.ports_stale,
+            "graph edited since the last freeze; call compute_routes() first"
+        );
+        debug_assert!(
+            (p as u32) < self.port_off[n.0 as usize + 1] - self.port_off[n.0 as usize],
+            "port {} out of range for node {}",
+            p,
+            n.0
+        );
+        &self.ports[self.port_off[n.0 as usize] as usize + p as usize]
     }
 
     /// Compute every layer's routing tables on the healthy fabric (must
@@ -296,29 +483,49 @@ impl Topology {
     /// calls this when executing fault events mid-run. Destinations that
     /// the mask disconnects simply end up with empty port lists (see
     /// [`Topology::try_next_ports`]).
+    ///
+    /// The layer arenas are resized in place, so every recompute after
+    /// the first reuses the existing multi-megabyte allocations instead
+    /// of cloning or reallocating nested tables.
     pub fn compute_routes_masked(&mut self, mask: &FaultMask) {
+        self.freeze_ports();
         let n = self.node_count();
+        let n_hosts = self.hosts.len();
+        let p_total = self.ports.len();
         let n_layers = self.policy.layers;
         self.weights = (0..n_layers).map(|l| self.layer_weight_table(l)).collect();
-        self.layers = (0..n_layers)
-            .map(|_| LayerTables {
-                routes: vec![vec![Vec::new(); self.hosts.len()]; n],
-                dist: vec![vec![u32::MAX; n]; self.hosts.len()],
-            })
-            .collect();
+        self.layers.truncate(n_layers);
+        self.layers.resize_with(n_layers, LayerTables::default);
+        for tab in &mut self.layers {
+            tab.n_nodes = n;
+            tab.n_hosts = n_hosts;
+            tab.buf.resize(p_total * n_hosts, 0);
+            tab.len.resize(n * n_hosts, 0);
+            tab.dist.resize(n_hosts * n, u32::MAX);
+        }
         let mut scratch = ColumnScratch::default();
         for layer in 0..n_layers {
-            let tab = &mut self.layers[layer];
-            for h_idx in 0..self.hosts.len() {
+            let weights = &self.weights[layer];
+            let LayerTables {
+                n_nodes,
+                n_hosts: nh,
+                buf,
+                len,
+                dist,
+            } = &mut self.layers[layer];
+            for h_idx in 0..*nh {
                 compute_column(
                     &self.ports,
-                    &self.weights[layer],
+                    &self.port_off,
+                    weights,
                     layer == 0,
                     mask,
                     self.hosts[h_idx],
                     h_idx,
-                    &mut tab.routes,
-                    &mut tab.dist[h_idx],
+                    *nh,
+                    buf,
+                    len,
+                    &mut dist[h_idx * *n_nodes..(h_idx + 1) * *n_nodes],
                     &mut scratch,
                 );
             }
@@ -327,14 +534,14 @@ impl Topology {
         self.routes_mask = mask.clone();
     }
 
-    /// One layer's link-weight table: 1 everywhere on layer 0 and on
-    /// host access links; on layers ≥ 1 each undirected inter-switch
-    /// link draws weight 1 ("preferred") or 2 with equal probability
-    /// from a seeded hash of (policy seed, layer, link identity) — same
-    /// policy, same graph ⇒ identical layers, independent of fault
-    /// history.
-    fn layer_weight_table(&self, layer: usize) -> Vec<Vec<u8>> {
-        let mut w: Vec<Vec<u8>> = self.ports.iter().map(|ps| vec![1u8; ps.len()]).collect();
+    /// One layer's link-weight arena (indexed by global port id): 1
+    /// everywhere on layer 0 and on host access links; on layers ≥ 1
+    /// each undirected inter-switch link draws weight 1 ("preferred") or
+    /// 2 with equal probability from a seeded hash of (policy seed,
+    /// layer, link identity) — same policy, same graph ⇒ identical
+    /// layers, independent of fault history.
+    fn layer_weight_table(&self, layer: usize) -> Vec<u8> {
+        let mut w = vec![1u8; self.ports.len()];
         if layer == 0 {
             return w;
         }
@@ -342,7 +549,10 @@ impl Topology {
             if self.kinds[n] == NodeKind::Host {
                 continue;
             }
-            for (pi, p) in self.ports[n].iter().enumerate() {
+            let base = self.port_off[n] as usize;
+            let deg = self.port_off[n + 1] as usize - base;
+            for pi in 0..deg {
+                let p = self.ports[base + pi];
                 if self.kinds[p.peer.0 as usize] == NodeKind::Host {
                     continue;
                 }
@@ -357,11 +567,22 @@ impl Topology {
                         ^ link_id.wrapping_mul(0xD1B5_4A32_D192_ED03),
                 );
                 let weight = if rng.below(2) == 0 { 1 } else { 2 };
-                w[n][pi] = weight;
-                w[p.peer.0 as usize][p.peer_port as usize] = weight;
+                w[base + pi] = weight;
+                w[self.port_off[p.peer.0 as usize] as usize + p.peer_port as usize] = weight;
             }
         }
         w
+    }
+
+    /// A layer's weight for the directed link `(node, port)` (1 or 2).
+    /// Exposed so tests and benches can rebuild reference route tables
+    /// independently of the arena implementation.
+    ///
+    /// # Panics
+    /// Panics if routes were not computed (the weight arenas are built
+    /// by [`Topology::compute_routes_masked`]).
+    pub fn layer_link_weight(&self, layer: usize, node: NodeId, port: u16) -> u8 {
+        self.weights[layer][self.port_off[node.0 as usize] as usize + port as usize]
     }
 
     /// Incrementally repair every layer's routing tables after the
@@ -370,15 +591,17 @@ impl Topology {
     ///
     /// **Failures.** The repair diffs `mask` against the mask the tables
     /// were last computed with and excises the newly dead directed
-    /// `(node, port)` entries from every layer column they are
-    /// advertised in. Removing an advertised port can only change
-    /// shortest-path *distances* when it was the node's last advertised
-    /// port in that layer (any surviving advertised port still reaches a
-    /// neighbour strictly closer under the layer's weights, so every
-    /// distance is preserved by induction); only those (layer,
-    /// destination) columns are rebuilt by a per-destination search.
-    /// Hosts are leaves that nothing routes through, so emptying a
-    /// host's own column entry never invalidates the tree.
+    /// `(node, port)` entries from every layer cell they are advertised
+    /// in — an in-place shift within the fixed-capacity cell, swept
+    /// contiguously across the node's arena region. Removing an
+    /// advertised port can only change shortest-path *distances* when it
+    /// was the node's last advertised port in that layer (any surviving
+    /// advertised port still reaches a neighbour strictly closer under
+    /// the layer's weights, so every distance is preserved by
+    /// induction); only those (layer, destination) columns are rebuilt
+    /// by a per-destination search. Hosts are leaves that nothing routes
+    /// through, so emptying a host's own cell never invalidates the
+    /// tree.
     ///
     /// **Restorations.** A restored element can only *shrink* distances.
     /// Using each layer's retained distance table the repair decides per
@@ -408,7 +631,7 @@ impl Topology {
             .iter()
             .map(|&(n, p)| (n.0, p))
             .filter(|&(n, p)| {
-                let back = &self.ports[n as usize][p as usize];
+                let back = self.port(NodeId(n), p);
                 (n, p) <= (back.peer.0, back.peer_port)
             })
             .collect();
@@ -440,7 +663,7 @@ impl Topology {
         // a newly failed node.
         let mut dead: Vec<(u32, u16)> = new_links.iter().map(|&(n, p)| (n.0, p)).collect();
         for &w in &new_nodes {
-            for (pi, p) in self.ports[w.0 as usize].iter().enumerate() {
+            for (pi, p) in self.node_ports(w).iter().enumerate() {
                 dead.push((w.0, pi as u16));
                 dead.push((p.peer.0, p.peer_port));
             }
@@ -448,15 +671,16 @@ impl Topology {
         dead.sort_unstable();
         dead.dedup();
         // Surgery runs layer-major, dead-entry-major within a layer:
-        // each dead (u, p) sweeps node u's route row sequentially
-        // (cache-friendly — the row is one contiguous Vec per
-        // destination), flagging per-destination outcomes in bitmaps
-        // that are aggregated afterwards.
+        // each dead (u, p) sweeps node u's arena region — all H of its
+        // route cells, contiguous in the flat buffer — shifting entries
+        // in place and flagging per-destination outcomes in bitmaps that
+        // are aggregated afterwards.
+        let n_hosts = self.hosts.len();
         let mut dirty_cols: Vec<Vec<bool>> = Vec::with_capacity(n_layers);
         let mut touched_total = 0usize;
         for layer in 0..n_layers {
-            let mut col_touched = vec![false; self.hosts.len()];
-            let mut col_dirty = vec![false; self.hosts.len()];
+            let mut col_touched = vec![false; n_hosts];
+            let mut col_dirty = vec![false; n_hosts];
             // A newly failed destination host needs its column cleared —
             // the rebuild handles that uniformly.
             for &w in &new_nodes {
@@ -469,17 +693,28 @@ impl Topology {
                 // A live switch that loses its last advertised port may
                 // now be farther from (or cut off from) the destination,
                 // which can cascade; those columns are rebuilt. Dead
-                // nodes' distances are irrelevant (their rows are
+                // nodes' distances are irrelevant (their cells are
                 // cleared below), and hosts are leaves nothing routes
                 // through.
                 let alive = !mask.node_is_down(NodeId(u));
-                let empties_matter = self.kinds[u as usize] == NodeKind::Switch && alive;
-                let is_host = self.kinds[u as usize] == NodeKind::Host;
-                for (h_idx, list) in tab.routes[u as usize].iter_mut().enumerate() {
-                    if let Some(pos) = list.iter().position(|&x| x == p) {
-                        list.remove(pos);
+                let uu = u as usize;
+                let empties_matter = self.kinds[uu] == NodeKind::Switch && alive;
+                let is_host = self.kinds[uu] == NodeKind::Host;
+                let base = self.port_off[uu] as usize;
+                let deg = self.port_off[uu + 1] as usize - base;
+                let region = base * n_hosts;
+                for h_idx in 0..n_hosts {
+                    let li = uu * n_hosts + h_idx;
+                    let l = tab.len[li] as usize;
+                    if l == 0 {
+                        continue;
+                    }
+                    let cell = region + h_idx * deg;
+                    if let Some(pos) = tab.buf[cell..cell + l].iter().position(|&x| x == p) {
+                        tab.buf.copy_within(cell + pos + 1..cell + l, cell + pos);
+                        tab.len[li] = (l - 1) as u16;
                         col_touched[h_idx] = true;
-                        if list.is_empty() {
+                        if l == 1 {
                             if empties_matter {
                                 col_dirty[h_idx] = true;
                             } else if is_host && alive {
@@ -490,7 +725,7 @@ impl Topology {
                                 // unreachability directly or the
                                 // distance table would go stale for
                                 // restore checks.
-                                tab.dist[h_idx][u as usize] = u32::MAX;
+                                tab.set_dist(uu, h_idx, u32::MAX);
                             }
                         }
                     }
@@ -498,11 +733,11 @@ impl Topology {
             }
             // A dead node advertises nothing and is unreachable
             // everywhere (full recomputation never visits it); clear its
-            // rows and distances wholesale.
+            // cells and distances wholesale.
             for &w in &new_nodes {
-                for h_idx in 0..self.hosts.len() {
-                    tab.routes[w.0 as usize][h_idx].clear();
-                    tab.dist[h_idx][w.0 as usize] = u32::MAX;
+                for h_idx in 0..n_hosts {
+                    tab.clear_cell(w.0 as usize, h_idx);
+                    tab.set_dist(w.0 as usize, h_idx, u32::MAX);
                 }
             }
             // Restore surgery, against the post-excision tables.
@@ -514,15 +749,16 @@ impl Topology {
             restore_surgery_layer(
                 &self.kinds,
                 &self.ports,
+                &self.port_off,
                 &self.hosts,
                 &self.weights[layer],
                 mask,
                 &restored_undirected,
                 &restored_nodes,
-                &mut self.layers[layer],
+                tab,
                 &mut col_dirty,
             );
-            touched_total += (0..self.hosts.len())
+            touched_total += (0..n_hosts)
                 .filter(|&h| col_touched[h] && !col_dirty[h])
                 .count();
             dirty_cols.push(col_dirty);
@@ -533,17 +769,27 @@ impl Topology {
             .sum();
         let mut scratch = ColumnScratch::default();
         for (layer, cols) in dirty_cols.iter().enumerate() {
-            let tab = &mut self.layers[layer];
+            let weights = &self.weights[layer];
+            let LayerTables {
+                n_nodes,
+                n_hosts: nh,
+                buf,
+                len,
+                dist,
+            } = &mut self.layers[layer];
             for h_idx in (0..cols.len()).filter(|&h| cols[h]) {
                 compute_column(
                     &self.ports,
-                    &self.weights[layer],
+                    &self.port_off,
+                    weights,
                     layer == 0,
                     mask,
                     self.hosts[h_idx],
                     h_idx,
-                    &mut tab.routes,
-                    &mut tab.dist[h_idx],
+                    *nh,
+                    buf,
+                    len,
+                    &mut dist[h_idx * *n_nodes..(h_idx + 1) * *n_nodes],
                     &mut scratch,
                 );
             }
@@ -586,9 +832,18 @@ impl Topology {
     /// layer, empty when the layer has no path (the fault mask cut the
     /// layer off — the simulator's layer re-assignment moves flows away
     /// from such layers).
+    #[inline]
     pub fn try_next_ports_on(&self, layer: usize, node: NodeId, dst: NodeId) -> &[u16] {
-        let h = self.host_index(dst);
-        &self.layers[layer].routes[node.0 as usize][h]
+        self.try_next_ports_at(layer, node, self.host_index(dst))
+    }
+
+    /// [`Topology::try_next_ports_on`] with the destination given as a
+    /// dense host index — the forwarding hot path resolves the index
+    /// once per packet and reuses it across layer-liveness probes and
+    /// the final port pick.
+    #[inline]
+    pub fn try_next_ports_at(&self, layer: usize, node: NodeId, dst_index: usize) -> &[u16] {
+        self.layers[layer].advertised(&self.port_off, node.0 as usize, dst_index)
     }
 
     /// A layer's weighted distance from `node` to `dst` (`None` =
@@ -596,7 +851,7 @@ impl Topology {
     /// layer 0 the weighted distance is the plain hop count.
     pub fn layer_distance(&self, layer: usize, node: NodeId, dst: NodeId) -> Option<u32> {
         let h = self.host_index(dst);
-        let d = self.layers[layer].dist[h][node.0 as usize];
+        let d = self.layers[layer].dist_to(node.0 as usize, h);
         (d != u32::MAX).then_some(d)
     }
 
@@ -615,6 +870,65 @@ impl Topology {
                 return hops;
             }
             assert!(hops < 64, "path longer than 64 hops; routing loop?");
+        }
+    }
+
+    /// Structural invariants of the CSR arenas, for tests and debugging:
+    /// offset monotonicity, port-arena symmetry, cell-capacity bounds,
+    /// and advertised-port sanity (strictly ascending, in range, no
+    /// dangling indices). Panics on the first violation.
+    pub fn check_csr_invariants(&self) {
+        let n = self.node_count();
+        assert!(!self.ports_stale, "graph edited since the last freeze");
+        assert_eq!(self.port_off.len(), n + 1, "offset table length");
+        assert_eq!(self.port_off[0], 0, "offsets start at 0");
+        for i in 0..n {
+            assert!(
+                self.port_off[i] <= self.port_off[i + 1],
+                "offsets must be monotone at node {i}"
+            );
+        }
+        assert_eq!(
+            *self.port_off.last().unwrap() as usize,
+            self.ports.len(),
+            "offsets must cover the port arena"
+        );
+        for u in 0..n as u32 {
+            for (pi, p) in self.node_ports(NodeId(u)).iter().enumerate() {
+                let back = self.port(p.peer, p.peer_port);
+                assert_eq!(back.peer, NodeId(u), "port symmetry (peer)");
+                assert_eq!(back.peer_port as usize, pi, "port symmetry (index)");
+            }
+        }
+        let n_hosts = self.hosts.len();
+        for (layer, tab) in self.layers.iter().enumerate() {
+            assert_eq!(tab.n_nodes, n, "layer {layer} node stride");
+            assert_eq!(tab.n_hosts, n_hosts, "layer {layer} host stride");
+            assert_eq!(tab.buf.len(), self.ports.len() * n_hosts, "arena size");
+            assert_eq!(tab.len.len(), n * n_hosts, "len table size");
+            assert_eq!(tab.dist.len(), n_hosts * n, "dist table size");
+            for u in 0..n {
+                let deg = (self.port_off[u + 1] - self.port_off[u]) as usize;
+                for h_idx in 0..n_hosts {
+                    let cell = tab.advertised(&self.port_off, u, h_idx);
+                    assert!(
+                        cell.len() <= deg,
+                        "layer {layer} cell ({u}, {h_idx}) overflows deg {deg}"
+                    );
+                    for w in cell.windows(2) {
+                        assert!(
+                            w[0] < w[1],
+                            "layer {layer} cell ({u}, {h_idx}) not ascending"
+                        );
+                    }
+                    for &p in cell {
+                        assert!(
+                            (p as usize) < deg,
+                            "layer {layer} cell ({u}, {h_idx}) dangles port {p}"
+                        );
+                    }
+                }
+            }
         }
     }
 
@@ -671,7 +985,7 @@ impl Topology {
     /// The edge switch a host hangs off (host's single uplink peer).
     pub fn edge_switch(&self, host: NodeId) -> NodeId {
         assert_eq!(self.kind(host), NodeKind::Host);
-        self.ports[host.0 as usize][0].peer
+        self.node_ports(host)[0].peer
     }
 
     /// Whether two hosts share an edge switch ("same rack"); used for
@@ -695,9 +1009,9 @@ impl Topology {
         if ea == eb {
             return true;
         }
-        self.ports[ea.0 as usize].iter().any(|p| {
+        self.node_ports(ea).iter().any(|p| {
             self.kind(p.peer) == NodeKind::Switch
-                && self.ports[eb.0 as usize].iter().any(|q| q.peer == p.peer)
+                && self.node_ports(eb).iter().any(|q| q.peer == p.peer)
         })
     }
 
@@ -819,20 +1133,12 @@ impl Topology {
             .map(NodeId)
             .filter(|&n| {
                 self.kind(n) == NodeKind::Switch
-                    && self.ports[n.0 as usize]
+                    && self
+                        .node_ports(n)
                         .iter()
                         .all(|p| self.kind(p.peer) == NodeKind::Switch)
             })
             .collect()
-    }
-}
-
-/// Insert a port into an advertised-port list, keeping the ascending
-/// order [`compute_column`] records (so surgery stays bit-identical to
-/// a full recomputation); no-op if already present.
-fn insert_port(list: &mut Vec<u16>, p: u16) {
-    if let Err(pos) = list.binary_search(&p) {
-        list.insert(pos, p);
     }
 }
 
@@ -848,32 +1154,36 @@ struct ColumnScratch {
 /// Rebuild one layer's routing column for one destination host: a
 /// weighted shortest-path search from the destination outward (weights
 /// in {1, 2} per the layer's preferred-link draw), recording the
-/// distances in `dist`, then record every node's advertised ports —
-/// exactly the ports on weighted shortest paths, in ascending port
-/// order. With `uniform` (layer 0, whose weights are all 1 — i.e. the
-/// whole of every single-layer policy) the distance phase runs the
-/// original O(1)-per-node BFS instead of heap Dijkstra, keeping the
-/// pre-layering repair fast path at its old constant factor. The
-/// search traverses links in reverse, but the mask and the weights are
-/// symmetric per link, so checking the (u, port) direction suffices. A
-/// free function (not a method) so the repair path can borrow
-/// individual `Topology` fields disjointly.
+/// distances in `dist` (this column's N-length slice), then record
+/// every node's advertised ports into its arena cell — exactly the
+/// ports on weighted shortest paths, in ascending port order. With
+/// `uniform` (layer 0, whose weights are all 1 — i.e. the whole of
+/// every single-layer policy) the distance phase runs the original
+/// O(1)-per-node BFS instead of heap Dijkstra, keeping the pre-layering
+/// repair fast path at its old constant factor. The search traverses
+/// links in reverse, but the mask and the weights are symmetric per
+/// link, so checking the (u, port) direction suffices. A free function
+/// (not a method) so the repair path can borrow individual `Topology`
+/// fields disjointly.
 #[allow(clippy::too_many_arguments)]
 fn compute_column(
-    ports: &[Vec<Port>],
-    weights: &[Vec<u8>],
+    ports: &[Port],
+    port_off: &[u32],
+    weights: &[u8],
     uniform: bool,
     mask: &FaultMask,
     host: NodeId,
     h_idx: usize,
-    routes: &mut [Vec<Vec<u16>>],
+    n_hosts: usize,
+    buf: &mut [u16],
+    len: &mut [u16],
     dist: &mut [u32],
     scratch: &mut ColumnScratch,
 ) {
     use std::cmp::Reverse;
-    let n = ports.len();
-    for row in routes.iter_mut() {
-        row[h_idx].clear();
+    let n = port_off.len() - 1;
+    for u in 0..n {
+        len[u * n_hosts + h_idx] = 0;
     }
     dist.fill(u32::MAX);
     if mask.node_is_down(host) {
@@ -886,7 +1196,9 @@ fn compute_column(
         frontier.push_back(host.0);
         while let Some(u) = frontier.pop_front() {
             let du = dist[u as usize];
-            for (pi, port) in ports[u as usize].iter().enumerate() {
+            let base = port_off[u as usize] as usize;
+            let end = port_off[u as usize + 1] as usize;
+            for (pi, port) in ports[base..end].iter().enumerate() {
                 if mask.link_is_down(NodeId(u), pi as u16) || mask.node_is_down(port.peer) {
                     continue;
                 }
@@ -905,11 +1217,13 @@ fn compute_column(
             if d > dist[u as usize] {
                 continue; // stale heap entry
             }
-            for (pi, port) in ports[u as usize].iter().enumerate() {
+            let base = port_off[u as usize] as usize;
+            let end = port_off[u as usize + 1] as usize;
+            for (pi, port) in ports[base..end].iter().enumerate() {
                 if mask.link_is_down(NodeId(u), pi as u16) || mask.node_is_down(port.peer) {
                     continue;
                 }
-                let nd = d + weights[u as usize][pi] as u32;
+                let nd = d + weights[base + pi] as u32;
                 let v = port.peer.0;
                 if nd < dist[v as usize] {
                     dist[v as usize] = nd;
@@ -918,43 +1232,49 @@ fn compute_column(
             }
         }
     }
-    for u in 0..n as u32 {
-        if dist[u as usize] == u32::MAX || u == host.0 || mask.node_is_down(NodeId(u)) {
+    for u in 0..n {
+        if dist[u] == u32::MAX || u as u32 == host.0 || mask.node_is_down(NodeId(u as u32)) {
             continue;
         }
-        let du = dist[u as usize];
-        let mut next: Vec<u16> = Vec::new();
-        for (pi, p) in ports[u as usize].iter().enumerate() {
-            if mask.link_is_down(NodeId(u), pi as u16) || mask.node_is_down(p.peer) {
+        let du = dist[u];
+        let base = port_off[u] as usize;
+        let deg = port_off[u + 1] as usize - base;
+        let cell = base * n_hosts + h_idx * deg;
+        let mut l = 0usize;
+        for pi in 0..deg {
+            let p = &ports[base + pi];
+            if mask.link_is_down(NodeId(u as u32), pi as u16) || mask.node_is_down(p.peer) {
                 continue;
             }
             let dp = dist[p.peer.0 as usize];
-            if dp != u32::MAX && dp + weights[u as usize][pi] as u32 == du {
-                next.push(pi as u16);
+            if dp != u32::MAX && dp + weights[base + pi] as u32 == du {
+                buf[cell + l] = pi as u16;
+                l += 1;
             }
         }
-        routes[u as usize][h_idx] = next;
+        len[u * n_hosts + h_idx] = l as u16;
     }
 }
 
-/// Patch one layer's route tables for restored elements, column by
+/// Patch one layer's route arena for restored elements, column by
 /// column. For every destination whose distances cannot shrink,
 /// restored ports are re-advertised exactly where they are equal-cost
-/// next hops under the layer's weights; destinations where the restored
-/// element lies on a strictly shorter weighted path (or re-attaches a
-/// cut-off region) are flagged in `col_dirty` for a per-destination
-/// rebuild. Elements are processed sequentially, so a restored node's
-/// freshly computed distance feeds the checks of later elements in the
-/// same delta.
+/// next hops under the layer's weights — in-place cell shifts, no
+/// allocation; destinations where the restored element lies on a
+/// strictly shorter weighted path (or re-attaches a cut-off region) are
+/// flagged in `col_dirty` for a per-destination rebuild. Elements are
+/// processed sequentially, so a restored node's freshly computed
+/// distance feeds the checks of later elements in the same delta.
 // The column loops index several parallel per-destination tables
-// (`col_dirty`, `tab.dist`, `hosts`, `tab.routes`); iterator chains
-// would obscure that they advance in lockstep.
+// (`col_dirty`, the dist/len arenas, `hosts`); iterator chains would
+// obscure that they advance in lockstep.
 #[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
 fn restore_surgery_layer(
     kinds: &[NodeKind],
-    ports: &[Vec<Port>],
+    ports: &[Port],
+    off: &[u32],
     hosts: &[NodeId],
-    weights: &[Vec<u8>],
+    weights: &[u8],
     mask: &FaultMask,
     restored_links: &[(u32, u16)],
     restored_nodes: &[NodeId],
@@ -964,11 +1284,14 @@ fn restore_surgery_layer(
     // A single-port host is a leaf nothing can route through, so its
     // reachability changes never cascade: restore surgery patches such
     // nodes in place instead of rebuilding whole destination columns.
-    let leaf = |n: NodeId| kinds[n.0 as usize] == NodeKind::Host && ports[n.0 as usize].len() == 1;
-    let LayerTables { routes, dist } = tab;
+    let leaf = |n: NodeId| {
+        let i = n.0 as usize;
+        kinds[i] == NodeKind::Host && off[i + 1] - off[i] == 1
+    };
     for &w in restored_nodes {
         let wu = w.0 as usize;
-        let n_ports = ports[wu].len();
+        let base = off[wu] as usize;
+        let n_ports = off[wu + 1] as usize - base;
         for h_idx in 0..hosts.len() {
             if col_dirty[h_idx] {
                 continue;
@@ -983,72 +1306,76 @@ fn restore_surgery_layer(
             // neighbour (usable = link up, peer up, peer reachable).
             let mut dw = u32::MAX;
             for pi in 0..n_ports {
-                let peer = ports[wu][pi].peer;
+                let peer = ports[base + pi].peer;
                 if mask.link_is_down(w, pi as u16) || mask.node_is_down(peer) {
                     continue;
                 }
-                let dp = dist[h_idx][peer.0 as usize];
+                let dp = tab.dist_to(peer.0 as usize, h_idx);
                 if dp != u32::MAX {
-                    dw = dw.min(dp + weights[wu][pi] as u32);
+                    dw = dw.min(dp + weights[base + pi] as u32);
                 }
             }
             if dw == u32::MAX {
-                continue; // still cut off; row stays empty
+                continue; // still cut off; cell stays empty
             }
             // Any usable neighbour strictly farther than dw + w(link)
             // (including unreachable ones) gets closer through w — the
             // shrink can cascade, so rebuild this destination.
             // Exception: a leaf host (nothing routes through it) can
-            // only have its own row change, which is pure surgery.
+            // only have its own cell change, which is pure surgery.
             let shrinks = (0..n_ports).any(|pi| {
-                let peer = ports[wu][pi].peer;
+                let peer = ports[base + pi].peer;
                 !mask.link_is_down(w, pi as u16)
                     && !mask.node_is_down(peer)
-                    && dist[h_idx][peer.0 as usize] > dw.saturating_add(weights[wu][pi] as u32)
+                    && tab.dist_to(peer.0 as usize, h_idx)
+                        > dw.saturating_add(weights[base + pi] as u32)
                     && !leaf(peer)
             });
             if shrinks {
                 col_dirty[h_idx] = true;
                 continue;
             }
-            // Pure surgery: record w's own advertised ports, make w an
+            // Pure surgery: record w's own advertised ports straight
+            // into its (empty — cleared when it died) cell, make w an
             // additional equal-cost hop at neighbours one link further
             // out, and re-attach leaf hosts w was the way out for.
-            dist[h_idx][wu] = dw;
-            let mut row = Vec::new();
+            tab.set_dist(wu, h_idx, dw);
+            let (cell, _) = tab.cell(off, wu, h_idx);
+            let mut l = 0usize;
             for pi in 0..n_ports {
-                let port = ports[wu][pi];
+                let port = ports[base + pi];
                 if mask.link_is_down(w, pi as u16) || mask.node_is_down(port.peer) {
                     continue;
                 }
-                let wl = weights[wu][pi] as u32;
-                let dp = dist[h_idx][port.peer.0 as usize];
+                let wl = weights[base + pi] as u32;
+                let dp = tab.dist_to(port.peer.0 as usize, h_idx);
                 if dp != u32::MAX && dp + wl == dw {
-                    row.push(pi as u16);
+                    tab.buf[cell + l] = pi as u16;
+                    l += 1;
                 } else if dp == dw + wl {
-                    insert_port(&mut routes[port.peer.0 as usize][h_idx], port.peer_port);
+                    tab.insert_port(off, port.peer.0 as usize, h_idx, port.peer_port);
                 } else if dp > dw + wl && leaf(port.peer) {
-                    dist[h_idx][port.peer.0 as usize] = dw + wl;
-                    routes[port.peer.0 as usize][h_idx] = vec![port.peer_port];
+                    tab.set_dist(port.peer.0 as usize, h_idx, dw + wl);
+                    tab.set_single(off, port.peer.0 as usize, h_idx, port.peer_port);
                 }
             }
-            routes[wu][h_idx] = row;
+            tab.len[wu * tab.n_hosts + h_idx] = l as u16;
         }
     }
     for &(u, p) in restored_links {
-        let port = ports[u as usize][p as usize];
+        let port = ports[off[u as usize] as usize + p as usize];
         let (v, q) = (port.peer, port.peer_port);
         // The link only carries traffic if both endpoints are alive.
         if mask.node_is_down(NodeId(u)) || mask.node_is_down(v) {
             continue;
         }
-        let wl = weights[u as usize][p as usize] as u32;
+        let wl = weights[off[u as usize] as usize + p as usize] as u32;
         for h_idx in 0..hosts.len() {
             if col_dirty[h_idx] {
                 continue;
             }
-            let du = dist[h_idx][u as usize];
-            let dv = dist[h_idx][v.0 as usize];
+            let du = tab.dist_to(u as usize, h_idx);
+            let dv = tab.dist_to(v.0 as usize, h_idx);
             if du == u32::MAX && dv == u32::MAX {
                 continue; // both sides cut off; the link helps nobody
             }
@@ -1061,8 +1388,8 @@ fn restore_surgery_layer(
             if far > near.saturating_add(wl) {
                 let (far_node, far_port) = if du > dv { (NodeId(u), p) } else { (v, q) };
                 if leaf(far_node) {
-                    dist[h_idx][far_node.0 as usize] = near + wl;
-                    routes[far_node.0 as usize][h_idx] = vec![far_port];
+                    tab.set_dist(far_node.0 as usize, h_idx, near + wl);
+                    tab.set_single(off, far_node.0 as usize, h_idx, far_port);
                 } else {
                     col_dirty[h_idx] = true;
                 }
@@ -1075,20 +1402,27 @@ fn restore_surgery_layer(
             // path uses the link and nothing changes.)
             if du != u32::MAX && dv != u32::MAX {
                 if du == dv + wl {
-                    insert_port(&mut routes[u as usize][h_idx], p);
+                    tab.insert_port(off, u as usize, h_idx, p);
                 } else if dv == du + wl {
-                    insert_port(&mut routes[v.0 as usize][h_idx], q);
+                    tab.insert_port(off, v.0 as usize, h_idx, q);
                 }
             }
         }
     }
 }
 
-/// A simple connected random regular graph via seeded stub matching:
-/// shuffle every switch's stubs, pair them up, and retry the whole
-/// shuffle (with a deterministically perturbed seed) on self-loops,
-/// duplicate edges, or a disconnected result.
+/// A simple connected random regular graph, seeded and deterministic.
+///
+/// Low degrees use stub matching: shuffle every switch's stubs, pair
+/// them up, and retry the whole shuffle (with a deterministically
+/// perturbed seed) on self-loops, duplicate edges, or a disconnected
+/// result. The no-collision odds decay like `exp(-d²/4)`, so from
+/// degree 6 up (the 5k-host Jellyfish runs at degree 12) the whole
+/// graph is built by [`swapped_regular_edges`] instead.
 fn random_regular_edges(n: usize, d: usize, seed: u64) -> Vec<(usize, usize)> {
+    if d >= 6 {
+        return swapped_regular_edges(n, d, seed);
+    }
     'attempt: for attempt in 0..10_000u64 {
         let mut rng = Pcg32::new(seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut stubs: Vec<usize> = (0..n).flat_map(|i| (0..d).map(move |_| i)).collect();
@@ -1126,6 +1460,94 @@ fn random_regular_edges(n: usize, d: usize, seed: u64) -> Vec<(usize, usize)> {
         }
     }
     panic!("could not build a connected {d}-regular graph on {n} switches");
+}
+
+/// Connected random regular graph for degrees where stub matching is
+/// hopeless: start from a deterministic connected circulant (ring
+/// chords 1..d/2, plus the antipodal matching when d is odd) and mix it
+/// with seeded double-edge swaps, which preserve d-regularity and
+/// simplicity by construction. Swapping continues in rounds until the
+/// result is connected.
+fn swapped_regular_edges(n: usize, d: usize, seed: u64) -> Vec<(usize, usize)> {
+    assert!(
+        d < n - 1,
+        "degree-{d} regular graph needs > {} switches",
+        d + 1
+    );
+    assert!(
+        (n * d).is_multiple_of(2),
+        "n*d must be even for a {d}-regular graph"
+    );
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n * d / 2);
+    for j in 1..=d / 2 {
+        for i in 0..n {
+            let k = (i + j) % n;
+            edges.push((i.min(k), i.max(k)));
+        }
+    }
+    if d % 2 == 1 {
+        // n is even here (n*d even with d odd).
+        for i in 0..n / 2 {
+            edges.push((i, i + n / 2));
+        }
+    }
+    let mut present: std::collections::BTreeSet<(usize, usize)> = edges.iter().copied().collect();
+    debug_assert_eq!(present.len(), edges.len(), "circulant base must be simple");
+    let mut rng = Pcg32::new(seed ^ 0x0005_EED0_F1A7_u64);
+    let target = 20 * edges.len();
+    for round in 0..100 {
+        let mut done = 0;
+        let mut tries = 0;
+        while done < target && tries < 20 * target {
+            tries += 1;
+            let i = rng.below(edges.len() as u64) as usize;
+            let j = rng.below(edges.len() as u64) as usize;
+            let (a, b) = edges[i];
+            let (c, e) = edges[j];
+            // Two orientations of the rewiring; pick one at random.
+            let (c, e) = if rng.below(2) == 1 { (e, c) } else { (c, e) };
+            if a == c || a == e || b == c || b == e {
+                continue;
+            }
+            let na = (a.min(c), a.max(c));
+            let nb = (b.min(e), b.max(e));
+            if present.contains(&na) || present.contains(&nb) {
+                continue;
+            }
+            present.remove(&edges[i]);
+            present.remove(&edges[j]);
+            present.insert(na);
+            present.insert(nb);
+            edges[i] = na;
+            edges[j] = nb;
+            done += 1;
+        }
+        // Connectivity check; a disconnected result gets another round
+        // of mixing (swaps across components reconnect them).
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in &edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let mut visited = vec![false; n];
+        let mut stack = vec![0usize];
+        visited[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u] {
+                if !visited[v] {
+                    visited[v] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        if count == n {
+            return edges;
+        }
+        let _ = round;
+    }
+    panic!("could not mix a connected {d}-regular graph on {n} switches");
 }
 
 #[cfg(test)]
@@ -1694,5 +2116,18 @@ mod tests {
         assert!(t.try_next_ports(hosts[2], hosts[0]).is_empty());
         // ...but the other leaf's hosts still reach each other.
         assert!(!t.try_next_ports(hosts[2], hosts[3]).is_empty());
+    }
+
+    #[test]
+    fn csr_invariants_hold_after_build_and_repair() {
+        let mut t = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        t.check_csr_invariants();
+        let mut mask = FaultMask::new();
+        mask.fail_node(NodeId(t.node_count() as u32 - 1));
+        t.repair_routes(&mask);
+        t.check_csr_invariants();
+        mask.restore_node(NodeId(t.node_count() as u32 - 1));
+        t.repair_routes(&mask);
+        t.check_csr_invariants();
     }
 }

@@ -62,8 +62,150 @@ fn random_walk(
     Ok(steps)
 }
 
+/// Reference nested-`Vec` rebuild of one layer's route tables and
+/// distances: a textbook per-destination Dijkstra over the public
+/// port/weight accessors, fully independent of the CSR arenas it
+/// checks. Returns `(next_ports[node][host_idx], dist[node][host_idx])`
+/// in the pre-refactor nested layout.
+#[allow(clippy::type_complexity)]
+fn reference_layer(
+    t: &Topology,
+    mask: &FaultMask,
+    layer: usize,
+) -> (Vec<Vec<Vec<u16>>>, Vec<Vec<Option<u32>>>) {
+    use std::cmp::Reverse;
+    let n = t.node_count();
+    let hosts = t.hosts().to_vec();
+    let mut ports_ref = vec![vec![Vec::new(); hosts.len()]; n];
+    let mut dist_ref = vec![vec![None; hosts.len()]; n];
+    for (h_idx, &host) in hosts.iter().enumerate() {
+        let mut dist = vec![u32::MAX; n];
+        if !mask.node_is_down(host) {
+            dist[host.0 as usize] = 0;
+            let mut heap = std::collections::BinaryHeap::new();
+            heap.push(Reverse((0u32, host.0)));
+            while let Some(Reverse((d, u))) = heap.pop() {
+                if d > dist[u as usize] {
+                    continue;
+                }
+                for (pi, p) in t.node_ports(NodeId(u)).iter().enumerate() {
+                    if mask.link_is_down(NodeId(u), pi as u16) || mask.node_is_down(p.peer) {
+                        continue;
+                    }
+                    let nd = d + u32::from(t.layer_link_weight(layer, NodeId(u), pi as u16));
+                    if nd < dist[p.peer.0 as usize] {
+                        dist[p.peer.0 as usize] = nd;
+                        heap.push(Reverse((nd, p.peer.0)));
+                    }
+                }
+            }
+        }
+        for u in 0..n {
+            let node = NodeId(u as u32);
+            dist_ref[u][h_idx] = (dist[u] != u32::MAX).then_some(dist[u]);
+            if dist[u] == u32::MAX || node == host || mask.node_is_down(node) {
+                continue;
+            }
+            for (pi, p) in t.node_ports(node).iter().enumerate() {
+                if mask.link_is_down(node, pi as u16) || mask.node_is_down(p.peer) {
+                    continue;
+                }
+                let dp = dist[p.peer.0 as usize];
+                let w = u32::from(t.layer_link_weight(layer, node, pi as u16));
+                if dp != u32::MAX && dp + w == dist[u] {
+                    ports_ref[u][h_idx].push(pi as u16);
+                }
+            }
+        }
+    }
+    (ports_ref, dist_ref)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The CSR arenas are equivalent to a reference nested-`Vec` build
+    /// on every topology family under 1–3-layer policies and mixed
+    /// fail/restore sequences: same next-port sets (in the same
+    /// ascending order), same distances, offsets monotone, and no
+    /// dangling indices (the latter two via `check_csr_invariants`,
+    /// which panics on violation).
+    #[test]
+    fn csr_tables_match_reference_nested_build(
+        fabric in any_fabric(),
+        layers in 1usize..=3,
+        seed in any::<u64>(),
+    ) {
+        let (mut t, label) = fabric;
+        if layers > 1 {
+            t.set_policy(RoutingPolicy::layered(layers, seed ^ 0x0C5A));
+            t.compute_routes();
+        }
+        let mut rng = netsim::Pcg32::new(seed);
+        let mut links = Vec::new();
+        for n in 0..t.node_count() as u32 {
+            for (pi, p) in t.node_ports(NodeId(n)).iter().enumerate() {
+                if p.peer.0 > n {
+                    links.push((NodeId(n), pi as u16));
+                }
+            }
+        }
+        let mut nodes: Vec<NodeId> = t.core_switches();
+        nodes.extend(t.hosts().iter().copied());
+        let hosts = t.hosts().to_vec();
+        let mut mask = FaultMask::new();
+        let mut failed_links: Vec<(NodeId, u16)> = Vec::new();
+        let mut failed_nodes: Vec<NodeId> = Vec::new();
+        for step in 0..3 {
+            let restore = !(failed_links.is_empty() && failed_nodes.is_empty())
+                && rng.below(2) == 0;
+            if restore {
+                let pick_link = !failed_links.is_empty()
+                    && (failed_nodes.is_empty() || rng.below(2) == 0);
+                if pick_link {
+                    let i = rng.below(failed_links.len() as u64) as usize;
+                    let (n, p) = failed_links.swap_remove(i);
+                    mask.restore_link(&t, n, p);
+                } else {
+                    let i = rng.below(failed_nodes.len() as u64) as usize;
+                    mask.restore_node(failed_nodes.swap_remove(i));
+                }
+            } else if rng.below(2) == 0 {
+                let (n, p) = links[rng.below(links.len() as u64) as usize];
+                if !mask.link_is_down(n, p) {
+                    mask.fail_link(&t, n, p);
+                    failed_links.push((n, p));
+                }
+            } else {
+                let w = nodes[rng.below(nodes.len() as u64) as usize];
+                if !mask.node_is_down(w) {
+                    mask.fail_node(w);
+                    failed_nodes.push(w);
+                }
+            }
+            t.repair_routes(&mask);
+            t.check_csr_invariants();
+            for layer in 0..t.layer_count() {
+                let (ports_ref, dist_ref) = reference_layer(&t, &mask, layer);
+                for n in 0..t.node_count() as u32 {
+                    for (h_idx, &h) in hosts.iter().enumerate() {
+                        prop_assert_eq!(
+                            t.try_next_ports_on(layer, NodeId(n), h),
+                            &ports_ref[n as usize][h_idx][..],
+                            "{}: layer {} node {} dest {} ports diverged at step {}",
+                            label, layer, n, h.0, step
+                        );
+                        prop_assert_eq!(
+                            t.layer_distance(layer, NodeId(n), h),
+                            dist_ref[n as usize][h_idx],
+                            "{}: layer {} node {} dest {} distance diverged at step {}",
+                            label, layer, n, h.0, step
+                        );
+                    }
+                }
+            }
+        }
+    }
 
     /// Every host pair is connected by shortest paths whose hop count is
     /// one of the three fat-tree distances (2, 4, 6).

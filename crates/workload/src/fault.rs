@@ -162,10 +162,15 @@ impl FaultScenario {
                 }
             }
             let flow = c.data_flow();
+            // Under a layered policy each pinned flow rides the layer
+            // the fabric's hash assigns it, so the replay must walk
+            // that layer's tables — layer 0 alone would mispredict the
+            // busiest core whenever non-minimal layers carry traffic.
+            let layer = netsim::layer_choice(flow, topo.layer_count());
             let mut at = c.sender;
             let mut steps = 0;
             while at != c.receiver {
-                let choices = topo.next_ports(at, c.receiver);
+                let choices = topo.try_next_ports_on(layer, at, c.receiver);
                 at = topo
                     .port(at, choices[netsim::ecmp_choice(flow, at, choices.len())])
                     .peer;

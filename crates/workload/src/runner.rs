@@ -93,6 +93,25 @@ impl Fabric {
         }
     }
 
+    /// A 1024-host k=16 fat-tree — the large-fabric scale run the flat
+    /// CSR route arenas make practical.
+    pub fn large() -> Self {
+        Self::fat_tree(16)
+    }
+
+    /// A 5000-host Jellyfish (250 switches x 20 hosts, network degree
+    /// 12) — the random-graph counterpart of the large-fabric run.
+    pub fn large_jellyfish() -> Self {
+        Self::Jellyfish {
+            switches: 250,
+            net_degree: 12,
+            hosts_per_switch: 20,
+            rate_bps: 1_000_000_000,
+            prop_ns: 10_000,
+            seed: 1,
+        }
+    }
+
     /// A 16-host Jellyfish fabric for tests and quick runs.
     pub fn small_jellyfish() -> Self {
         Self::Jellyfish {

@@ -144,6 +144,36 @@ fn run_churn(smoke: bool) {
         t.p99_ns as f64 / 1e6,
         p.p99_ns as f64 / 1e6,
     );
+
+    // The CSR route arenas make churn at real datacenter scale
+    // practical: the same Poisson fault process on a 1024-host k=16
+    // fat-tree and a 5000-host Jellyfish, with the one-link
+    // control-plane bill alongside. Runs in both modes (smaller
+    // workload under --smoke) so CI executes the scale claim.
+    let (big_sessions, big_bytes, big_events) = if smoke {
+        (4, 256 << 10, 6)
+    } else {
+        (8, 1 << 20, 10)
+    };
+    println!();
+    for fabric in [Fabric::large(), Fabric::large_jellyfish()] {
+        let mut big = ChurnScenario::ten_event(big_sessions, big_bytes, 2);
+        big.fault_events = big_events;
+        let rep = run_churn_rq(&big, &fabric, &RqRunOptions::default());
+        let c = rep.completion();
+        let (full_ms, repair_ms, _) = time_reroute(&fabric);
+        println!(
+            "large-fabric churn: {}: completion p99 {:.2} ms, {} reroutes \
+             ({} incremental, {} restore-incremental), {} timeouts; \
+             one-link repair {repair_ms:.2} ms vs {full_ms:.2} ms full recompute",
+            fabric.describe(),
+            c.p99_ns as f64 / 1e6,
+            rep.fabric.reroutes,
+            rep.fabric.reroutes_incremental,
+            rep.fabric.restores_incremental,
+            rep.timeouts,
+        );
+    }
 }
 
 fn main() {
