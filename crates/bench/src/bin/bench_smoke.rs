@@ -1,4 +1,5 @@
-//! CI perf-regression gate for the CSR route arenas.
+//! CI perf-regression gate for the CSR route arenas and the telemetry
+//! layer's zero-cost contract.
 //!
 //! Measures the two hot paths the flat layout exists for — forwarding
 //! decisions (route-table lookup + ECMP pick) and incremental route
@@ -8,6 +9,13 @@
 //! `BENCH_csr.json`. Exits nonzero when the flat-vs-nested forwarding
 //! ratio drops below the threshold, so a cache-hostile regression in
 //! the arenas fails the job instead of rotting silently.
+//!
+//! The telemetry section drives the same fat-tree through a full
+//! event-loop burst twice — once with the compiled-out [`NoTelemetry`]
+//! sink (the pre-telemetry machine code) and once with the
+//! runtime-switchable `Option<Recorder>` sink left `None` — and fails
+//! if the disabled-telemetry loop falls below 95 % of baseline speed:
+//! the "off by default, zero hot-path cost" contract, held in CI.
 //!
 //! ```sh
 //! cargo run --release -p polyraptor_bench --bin bench_smoke -- \
@@ -21,7 +29,10 @@
 
 use std::time::Instant;
 
-use netsim::{FaultMask, NodeId, NodeKind, Topology};
+use netsim::{
+    Agent, Ctx, Dest, FaultMask, FlowId, NoTelemetry, NodeId, NodeKind, Packet, Recorder,
+    SimConfig, SimPayload, Simulator, TelemetrySink, Topology,
+};
 
 /// Median of a sample set (ns); the samples are per-call averages.
 fn median(mut v: Vec<f64>) -> f64 {
@@ -178,6 +189,119 @@ fn repairs(pristine: &Topology, repeats: usize) -> Repairs {
     }
 }
 
+/// Minimal trimmable payload for the event-loop benchmark.
+#[derive(Debug, Clone)]
+enum BenchPayload {
+    Data,
+    Hdr,
+}
+
+impl SimPayload for BenchPayload {
+    fn is_control(&self) -> bool {
+        matches!(self, BenchPayload::Hdr)
+    }
+    fn trim(&self) -> Option<Self> {
+        Some(BenchPayload::Hdr)
+    }
+}
+
+/// Burst agent: sends its preloaded batch on the start timer, counts
+/// receptions. Enough to exercise the event loop's hot path (enqueue,
+/// forward, deliver) without any protocol machinery.
+struct Burst {
+    to_send: Vec<Packet<BenchPayload>>,
+    received: u64,
+}
+
+impl Agent<BenchPayload> for Burst {
+    fn on_packet(&mut self, _pkt: Packet<BenchPayload>, _ctx: &mut Ctx<BenchPayload>) {
+        self.received += 1;
+    }
+    fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<BenchPayload>) {
+        for pkt in self.to_send.drain(..) {
+            ctx.send(pkt);
+        }
+    }
+}
+
+/// Preload every host with a burst to its neighbour and run to
+/// completion; returns (wall ns, packets delivered).
+fn drive_burst<T: TelemetrySink>(
+    mut sim: Simulator<BenchPayload, Burst, T>,
+    per_host: u32,
+) -> (f64, u64) {
+    let hosts = sim.topology().hosts().to_vec();
+    let n = hosts.len();
+    for (i, &h) in hosts.iter().enumerate() {
+        let dst = hosts[(i + 1) % n];
+        let to_send = (0..per_host)
+            .map(|p| Packet {
+                src: h,
+                dst: Dest::Host(dst),
+                flow: FlowId(u64::from(p % 8)),
+                size: 1500,
+                payload: BenchPayload::Data,
+            })
+            .collect();
+        sim.set_agent(
+            h,
+            Burst {
+                to_send,
+                received: 0,
+            },
+        );
+        sim.schedule_timer(h, netsim::SimTime::ZERO, 0);
+    }
+    let start = Instant::now();
+    sim.run_to_completion();
+    let ns = start.elapsed().as_nanos() as f64;
+    let delivered = sim.agents().map(|(_, a)| a.received).sum();
+    (ns, delivered)
+}
+
+struct TelemetryBench {
+    baseline_ns: f64,
+    off_ns: f64,
+    per_host: u32,
+}
+
+/// The zero-cost contract: the `Option<Recorder>` sink left `None`
+/// (what every runner installs when telemetry is off) vs the
+/// monomorphized-away `NoTelemetry` baseline, interleaved like the
+/// forwarding sweeps. Panics if the two variants deliver different
+/// packet counts — the sink must not change behaviour, only speed.
+fn telemetry_overhead(t: &Topology, repeats: usize) -> TelemetryBench {
+    let per_host = 64u32;
+    let run_baseline = || {
+        let sim: Simulator<BenchPayload, Burst, NoTelemetry> =
+            Simulator::new(t.clone(), SimConfig::ndp(1));
+        drive_burst(sim, per_host)
+    };
+    let run_off = || {
+        let sim: Simulator<BenchPayload, Burst, Option<Recorder>> =
+            Simulator::with_telemetry(t.clone(), SimConfig::ndp(1), None);
+        drive_burst(sim, per_host)
+    };
+    // Warm once and pin the behavioural identity.
+    let (_, base_delivered) = run_baseline();
+    let (_, off_delivered) = run_off();
+    assert_eq!(
+        base_delivered, off_delivered,
+        "disabled telemetry must not change delivery"
+    );
+    let mut baseline = Vec::with_capacity(repeats);
+    let mut off = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        baseline.push(run_baseline().0);
+        off.push(run_off().0);
+    }
+    TelemetryBench {
+        baseline_ns: median(baseline),
+        off_ns: median(off),
+        per_host,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -198,8 +322,16 @@ fn main() {
     let switches = t.node_count() - hosts;
     let fwd = forwarding(&t, repeats);
     let rep = repairs(&t, repeats);
+    let tel = telemetry_overhead(&t, repeats);
     let ratio = fwd.nested_ns / fwd.flat_ns;
-    let pass = ratio >= min_ratio;
+    let csr_pass = ratio >= min_ratio;
+    // Telemetry-off event loop vs the compiled-out baseline: >= 1.0
+    // means free; the 0.95 floor absorbs shared-runner noise while
+    // still catching any real per-event cost sneaking into the sink.
+    let min_telemetry_ratio = 0.95f64;
+    let telemetry_ratio = tel.baseline_ns / tel.off_ns;
+    let telemetry_pass = telemetry_ratio >= min_telemetry_ratio;
+    let pass = csr_pass && telemetry_pass;
 
     let json = format!(
         "{{\n  \"schema\": \"polyraptor-bench-csr/v1\",\n  \"mode\": \"{}\",\n  \
@@ -210,6 +342,9 @@ fn main() {
          \"decisions_per_sweep\": {}}},\n  \
          \"repair\": {{\"single_link_ns\": {:.0}, \"switch_down_ns\": {:.0}, \
          \"switch_up_ns\": {:.0}, \"full_recompute_ns\": {:.0}}},\n  \
+         \"telemetry\": {{\"baseline_run_ns\": {:.0}, \"off_run_ns\": {:.0}, \
+         \"ratio_off_over_baseline\": {:.3}, \"packets_per_host\": {}, \
+         \"min_telemetry_ratio\": {min_telemetry_ratio}}},\n  \
          \"min_ratio\": {min_ratio},\n  \"pass\": {pass}\n}}\n",
         if smoke { "smoke" } else { "full" },
         fwd.flat_ns,
@@ -220,6 +355,10 @@ fn main() {
         rep.switch_down_ns,
         rep.switch_up_ns,
         rep.full_recompute_ns,
+        tel.baseline_ns,
+        tel.off_ns,
+        telemetry_ratio,
+        tel.per_host,
     );
     std::fs::write(&out, &json).expect("write BENCH_csr.json");
     print!("{json}");
@@ -228,7 +367,14 @@ fn main() {
          threshold {min_ratio}x) -> {}",
         fwd.flat_ns,
         fwd.nested_ns,
-        if pass { "pass" } else { "FAIL" },
+        if csr_pass { "pass" } else { "FAIL" },
+    );
+    println!(
+        "telemetry-off event loop {:.2} ms vs baseline {:.2} ms \
+         ({telemetry_ratio:.3}x, floor {min_telemetry_ratio}x) -> {}",
+        tel.off_ns / 1e6,
+        tel.baseline_ns / 1e6,
+        if telemetry_pass { "pass" } else { "FAIL" },
     );
     if !pass {
         std::process::exit(1);

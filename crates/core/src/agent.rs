@@ -20,7 +20,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use netsim::{Agent, Ctx, Dest, FlowId, NodeId, Packet};
+use netsim::{Agent, Ctx, Dest, FlowId, FlowSpanEvent, NodeId, Packet, SimTime, SpanMark};
 
 use crate::config::PrConfig;
 use crate::metrics::SessionRecord;
@@ -152,6 +152,11 @@ pub struct PolyraptorAgent {
     /// rest had no survivor and ride on the keep-alive sweep until the
     /// dead host revives).
     pub retargeted_sessions: u64,
+    /// Flow-span telemetry: session open/close and recovery marks, in
+    /// the order recorded (time-ordered — marks are appended at event
+    /// time). Empty unless [`PrConfig::record_spans`] is set; collected
+    /// post-run by `workload::telemetry`.
+    pub spans: Vec<FlowSpanEvent>,
 }
 
 impl PolyraptorAgent {
@@ -171,6 +176,21 @@ impl PolyraptorAgent {
             records: Vec::new(),
             stranded_sessions: 0,
             retargeted_sessions: 0,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Append a span mark if span recording is on. `peer` is the sender
+    /// involved, or `None` for session-level marks.
+    fn mark_span(&mut self, at: SimTime, sid: SessionId, peer: Option<NodeId>, mark: SpanMark) {
+        if self.cfg.record_spans {
+            self.spans.push(FlowSpanEvent {
+                at,
+                session: u64::from(sid.0),
+                node: self.node.0,
+                peer: peer.map_or(FlowSpanEvent::NO_PEER, |p| p.0),
+                mark,
+            });
         }
     }
 
@@ -301,12 +321,14 @@ impl PolyraptorAgent {
     /// sender is dead stay on the keep-alive sweep — only a revival can
     /// save them, and the sweep keeps probing for exactly that.
     fn on_host_failure(&mut self, dead: NodeId, ctx: &mut Ctx<PrPayload>) {
+        let mut stranded: Vec<SessionId> = Vec::new();
         let mut retargets: Vec<(SessionId, NodeId)> = Vec::new();
         for (sid, rs) in self.recv_sessions.iter_mut() {
             if rs.done || !rs.mark_sender_stranded(dead) {
                 continue;
             }
             self.stranded_sessions += 1;
+            stranded.push(*sid);
             let survivors = rs.surviving_senders();
             if survivors.is_empty() {
                 continue;
@@ -317,7 +339,11 @@ impl PolyraptorAgent {
                 retargets.push((*sid, s));
             }
         }
+        for sid in stranded {
+            self.mark_span(ctx.now, sid, Some(dead), SpanMark::Stranded);
+        }
         for (sid, target) in retargets {
+            self.mark_span(ctx.now, sid, Some(target), SpanMark::Retarget);
             self.enqueue_pull(sid, target, PullClass::Retarget, ctx);
         }
         self.arm_sweep(ctx);
@@ -338,6 +364,7 @@ impl PolyraptorAgent {
         let now = ctx.now;
         let rto = self.cfg.retransmit_timeout_ns;
         let batched = self.cfg.repull_batch_cap > 0;
+        let mut rounds: Vec<SessionId> = Vec::new();
         let mut repulls: Vec<(SessionId, NodeId)> = Vec::new();
         for (sid, rs) in self.recv_sessions.iter_mut() {
             if rs.done || now.since(rs.last_activity) < rto || now < rs.spec.start {
@@ -350,6 +377,7 @@ impl PolyraptorAgent {
             // vanished entirely.
             rs.last_activity = now;
             rs.begin_recovery_round();
+            rounds.push(*sid);
             if batched {
                 for target in rs.recovery_targets() {
                     repulls.push((*sid, target));
@@ -358,7 +386,11 @@ impl PolyraptorAgent {
                 repulls.push((*sid, rs.next_sweep_target()));
             }
         }
+        for sid in rounds {
+            self.mark_span(now, sid, None, SpanMark::PullRound);
+        }
         for (sid, target) in repulls {
+            self.mark_span(now, sid, Some(target), SpanMark::Repull);
             self.enqueue_pull(sid, target, PullClass::Recover, ctx);
         }
         self.arm_sweep(ctx);
@@ -386,6 +418,7 @@ impl PolyraptorAgent {
             });
         }
         self.records.push(record);
+        self.mark_span(ctx.now, sid, None, SpanMark::Close);
     }
 
     fn start_as_receiver(&mut self, sid: SessionId, ctx: &mut Ctx<PrPayload>) {
@@ -408,6 +441,7 @@ impl PolyraptorAgent {
                 });
             }
         }
+        self.mark_span(ctx.now, sid, None, SpanMark::Open);
         self.arm_sweep(ctx);
     }
 }

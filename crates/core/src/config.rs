@@ -83,6 +83,13 @@ pub struct PrConfig {
     /// — e.g. to the several replicas of a multi-source session — are
     /// spread out to keep the recovery burst access-link-shaped.
     pub repull_spacing_ns: u64,
+    /// Record per-session flow spans (open/close plus pull-round,
+    /// re-pull, re-target, and stranding marks) into
+    /// [`crate::agent::PolyraptorAgent::spans`] for telemetry export.
+    /// Off by default: spans are plain appends on session-rare paths —
+    /// never the per-symbol path — and consume no randomness, so
+    /// enabling them cannot perturb a run, only remember it.
+    pub record_spans: bool,
 }
 
 impl PrConfig {
@@ -108,6 +115,7 @@ impl PrConfig {
             pull_queue_cap: 32,
             repull_batch_cap: 512,
             repull_spacing_ns: 4 * serialization_ns(pkt, rate),
+            record_spans: false,
         }
     }
 

@@ -1,8 +1,24 @@
-//! Per-session transfer records, produced by receivers on completion.
+//! Per-session transfer records, produced by receivers on completion,
+//! and the shared percentile helper every latency summary in the
+//! workspace uses.
 
 use netsim::{NodeId, SimTime};
 
 use crate::wire::SessionId;
+
+/// Nearest-rank percentile of a pre-sorted slice: the element at index
+/// `round(p/100 · (len-1))`. Order-agnostic — on an ascending sort `p`
+/// is the usual percentile, on a descending sort it selects from the
+/// top. The single implementation behind `RecoveryStats` and the
+/// workload rank curves (previously duplicated in both).
+///
+/// # Panics
+/// Panics on an empty slice or `p` outside `0.0..=100.0`.
+pub fn percentile_sorted<T: Copy>(sorted: &[T], p: f64) -> T {
+    assert!(!sorted.is_empty(), "percentile of an empty set");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    sorted[((p / 100.0) * (sorted.len() - 1) as f64).round() as usize]
+}
 
 /// What one receiver measured for one completed session.
 #[derive(Debug, Clone)]
@@ -87,5 +103,29 @@ mod tests {
     #[should_panic(expected = "zero-duration")]
     fn zero_duration_panics() {
         record(100, 0).goodput_gbps();
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<u64> = (0..=100).collect();
+        assert_eq!(percentile_sorted(&v, 0.0), 0);
+        assert_eq!(percentile_sorted(&v, 50.0), 50);
+        assert_eq!(percentile_sorted(&v, 99.0), 99);
+        assert_eq!(percentile_sorted(&v, 100.0), 100);
+        // Rounding, not truncation: p50 of 4 elements picks index 2.
+        assert_eq!(percentile_sorted(&[10, 20, 30, 40], 50.0), 30);
+        assert_eq!(percentile_sorted(&[1.5f64], 99.0), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile_sorted::<u64>(&[], 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_out_of_range_panics() {
+        percentile_sorted(&[1u64], 101.0);
     }
 }

@@ -74,6 +74,7 @@ pub mod packet;
 pub mod queue;
 pub mod rng;
 pub mod sim;
+pub mod telemetry;
 pub mod time;
 pub mod topology;
 
@@ -86,6 +87,11 @@ pub use rng::Pcg32;
 pub use sim::{
     ecmp_choice, layer_choice, Agent, Ctx, FabricStats, LayerAssign, RouteMode, SimConfig,
     Simulator,
+};
+pub use telemetry::{
+    Annotation, AnomalyKind, Bucket, FabricEvent, FlightDump, FlowSpanEvent, NoTelemetry,
+    PortProbe, PortSample, Recorder, RingBuffer, SpanMark, TelemetryConfig, TelemetrySink,
+    TraceBuilder,
 };
 pub use time::{serialization_ns, SimTime};
 pub use topology::{NodeId, NodeKind, Port, RouteRepair, RoutingPolicy, Topology};

@@ -29,6 +29,7 @@ use crate::fault::{FaultAction, FaultMask, FaultPlan};
 use crate::packet::{Dest, GroupId, Packet, SimPayload};
 use crate::queue::{Enqueued, PortQueue, QueueConfig, QueueStats};
 use crate::rng::Pcg32;
+use crate::telemetry::{AnomalyKind, FabricEvent, NoTelemetry, PortProbe, TelemetrySink};
 use crate::time::{serialization_ns, SimTime};
 use crate::topology::{NodeId, NodeKind, RoutingPolicy, Topology};
 
@@ -272,6 +273,14 @@ pub struct FabricStats {
     /// policies count everything in slot 0; slots past the policy's
     /// layer count stay 0).
     pub layer_forwarded: [u64; RoutingPolicy::MAX_LAYERS],
+    /// Per-layer share of [`FabricStats::trimmed`]: trims suffered by
+    /// unicast packets at the switch hop that forwarded them, indexed by
+    /// the routing layer that carried them. Host-NIC and multicast trims
+    /// count in the global total only, so the array can sum below it.
+    pub layer_trimmed: [u64; RoutingPolicy::MAX_LAYERS],
+    /// Per-layer share of [`FabricStats::dropped`], attributed like
+    /// [`FabricStats::layer_trimmed`].
+    pub layer_dropped: [u64; RoutingPolicy::MAX_LAYERS],
     /// Flows moved away from a layer whose path to the destination was
     /// dead at a hop — either no advertised port there, or every
     /// advertised port locally known down — onto a live layer. At most
@@ -296,7 +305,14 @@ struct Group {
 }
 
 /// The deterministic packet-level simulator.
-pub struct Simulator<P: SimPayload, A: Agent<P>> {
+///
+/// The third type parameter is the telemetry sink (see
+/// [`crate::telemetry`]): the default [`NoTelemetry`] monomorphizes
+/// every hook to nothing, `Option<Recorder>` is the runtime-switchable
+/// sink, and a bare `Recorder` is always-on. Enabling telemetry never
+/// perturbs results: no probe events enter the heap and no RNG is
+/// consumed, so event order and every random draw are unchanged.
+pub struct Simulator<P: SimPayload, A: Agent<P>, T: TelemetrySink = NoTelemetry> {
     topo: Topology,
     config: SimConfig,
     queues: Vec<Vec<PortQueue<P>>>,
@@ -331,11 +347,24 @@ pub struct Simulator<P: SimPayload, A: Agent<P>> {
     /// — bounding it to one convergence window's flows). Never
     /// iterated, so the HashMap does not threaten determinism.
     layer_overrides: HashMap<(u64, u32), u8>,
+    /// Telemetry sink (default: the zero-cost [`NoTelemetry`]).
+    telemetry: T,
 }
 
 impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
-    /// Build a simulator over a routed topology.
+    /// Build a simulator over a routed topology, with telemetry
+    /// compiled out (the zero-cost [`NoTelemetry`] sink).
     pub fn new(topo: Topology, config: SimConfig) -> Self {
+        Self::with_telemetry(topo, config, NoTelemetry)
+    }
+}
+
+impl<P: SimPayload, A: Agent<P>, T: TelemetrySink> Simulator<P, A, T> {
+    /// Build a simulator over a routed topology with an explicit
+    /// telemetry sink — pass `None::<Recorder>` for a runtime-switchable
+    /// sink that is currently off, or `Some(Recorder::new(..))` to
+    /// record.
+    pub fn with_telemetry(topo: Topology, config: SimConfig, telemetry: T) -> Self {
         let queues = (0..topo.node_count())
             .map(|n| {
                 let node = NodeId(n as u32);
@@ -371,6 +400,7 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
             pending_down: std::collections::BTreeSet::new(),
             rate_overrides: HashMap::new(),
             layer_overrides: HashMap::new(),
+            telemetry,
         }
     }
 
@@ -421,6 +451,75 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
     /// Fabric counters so far.
     pub fn stats(&self) -> FabricStats {
         self.stats
+    }
+
+    /// The telemetry sink (read-only).
+    pub fn telemetry(&self) -> &T {
+        &self.telemetry
+    }
+
+    /// Mutable access to the telemetry sink — install a recorder
+    /// (`*sim.telemetry_mut() = Some(Recorder::new(..))`) or take the
+    /// recorded data out after a run.
+    pub fn telemetry_mut(&mut self) -> &mut T {
+        &mut self.telemetry
+    }
+
+    /// Close the final (partial) telemetry bucket against the current
+    /// counters. Call once after the last `run_until` slice, before
+    /// taking the recorder out; a no-op when telemetry is off.
+    pub fn finish_telemetry(&mut self) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let probes = self.collect_port_probes();
+        let (now, stats) = (self.now, self.stats);
+        self.telemetry.finish(now, &stats, &probes);
+    }
+
+    /// Flag an anomaly on the telemetry sink (freezes a flight-recorder
+    /// dump). Workloads call this post-run for transport-level
+    /// anomalies — timeouts, stranded sessions — that the fabric cannot
+    /// see itself.
+    pub fn note_anomaly(&mut self, kind: AnomalyKind) {
+        let now = self.now;
+        self.telemetry.record(now, FabricEvent::Anomaly(kind));
+    }
+
+    /// Snapshot every switch port's depth and cumulative counters, in
+    /// deterministic (node, port) order. Only called at bucket
+    /// boundaries and at [`Simulator::finish_telemetry`].
+    fn collect_port_probes(&self) -> Vec<PortProbe> {
+        let mut probes = Vec::new();
+        for n in 0..self.topo.node_count() {
+            if self.topo.kind(NodeId(n as u32)) != NodeKind::Switch {
+                continue;
+            }
+            for (p, q) in self.queues[n].iter().enumerate() {
+                probes.push(PortProbe {
+                    node: n as u32,
+                    port: p as u16,
+                    depth: q.len() as u32,
+                    queue: q.stats(),
+                });
+            }
+        }
+        probes
+    }
+
+    /// Catch the sink up to `upto`: close every bucket whose boundary
+    /// the event loop is about to cross. Counters only change at
+    /// events, so closing lazily here is exactly equivalent to an eager
+    /// probe at each boundary — without polluting the event heap (which
+    /// would perturb sequence numbers and break per-seed byte
+    /// identity).
+    #[cold]
+    fn close_telemetry_buckets(&mut self, upto: SimTime) {
+        while upto >= self.telemetry.next_boundary() {
+            let probes = self.collect_port_probes();
+            let stats = self.stats;
+            self.telemetry.close_bucket(&stats, &probes);
+        }
     }
 
     /// Queue statistics of one port.
@@ -588,6 +687,13 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
                 break;
             }
             let Reverse(ev) = self.events.pop().expect("peeked");
+            // Telemetry bucket boundaries are honoured lazily: an event
+            // at or past the open bucket's end closes it first, so a
+            // bucket never includes later activity. One always-false
+            // comparison when telemetry is off (`next_boundary` is MAX).
+            if ev.at >= self.telemetry.next_boundary() {
+                self.close_telemetry_buckets(ev.at);
+            }
             self.now = ev.at;
             self.dispatch(ev.kind);
             processed += 1;
@@ -645,6 +751,8 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
     fn apply_fault(&mut self, action: FaultAction) {
         match action {
             FaultAction::LinkDown { node, port } => {
+                self.telemetry
+                    .record(self.now, FabricEvent::LinkDown { node: node.0, port });
                 let back = *self.topo.port(node, port);
                 self.mask.fail_link(&self.topo, node, port);
                 self.pending_down.insert(self.link_key(node, port));
@@ -653,6 +761,8 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
                 self.request_reroute();
             }
             FaultAction::LinkUp { node, port } => {
+                self.telemetry
+                    .record(self.now, FabricEvent::LinkUp { node: node.0, port });
                 let back = *self.topo.port(node, port);
                 self.mask.restore_link(&self.topo, node, port);
                 if self.pending_down.remove(&self.link_key(node, port)) {
@@ -668,6 +778,8 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
                 // Hosts are legal victims: a host going down models a
                 // host/NIC failure — its access link goes dark and its
                 // queued traffic is lost, exactly like a switch victim.
+                self.telemetry
+                    .record(self.now, FabricEvent::NodeDown { node: switch.0 });
                 self.mask.fail_node(switch);
                 self.pending_down.insert(FaultKey::Node(switch.0));
                 for p in 0..self.topo.node_ports(switch).len() as u16 {
@@ -676,6 +788,8 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
                 self.request_reroute();
             }
             FaultAction::SwitchUp { switch } => {
+                self.telemetry
+                    .record(self.now, FabricEvent::NodeUp { node: switch.0 });
                 self.mask.restore_node(switch);
                 if self.pending_down.remove(&FaultKey::Node(switch.0)) {
                     self.stats.flaps_coalesced += 1;
@@ -697,6 +811,14 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
             } => {
                 // Silent degradation: both directions change speed, no
                 // reroute, no flush (rate 0 blackholes undetected).
+                self.telemetry.record(
+                    self.now,
+                    FabricEvent::RateChange {
+                        node: node.0,
+                        port,
+                        rate_bps,
+                    },
+                );
                 let back = *self.topo.port(node, port);
                 self.set_link_rate(node, port, rate_bps);
                 self.set_link_rate(back.peer, back.peer_port, rate_bps);
@@ -744,6 +866,22 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
         // one convergence window's flows.
         self.layer_overrides.clear();
         let outcome = self.topo.repair_routes(&self.mask);
+        self.telemetry.record(
+            self.now,
+            FabricEvent::Reroute {
+                full: outcome.full,
+                dests_rebuilt: outcome.dests_rebuilt as u32,
+                restored: outcome.restored as u32,
+            },
+        );
+        if outcome.full {
+            // The incremental-repair contract says a mid-run reroute
+            // never falls back to a full recomputation once routes
+            // exist — flag it (and freeze a flight-recorder dump) so a
+            // regression is debuggable from the trace alone.
+            self.telemetry
+                .record(self.now, FabricEvent::Anomaly(AnomalyKind::FullRecompute));
+        }
         self.stats.reroutes += 1;
         if !outcome.full {
             self.stats.reroutes_incremental += 1;
@@ -867,6 +1005,15 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
                             layer = alt;
                             self.stats.layer_reassignments += 1;
                             self.layer_overrides.insert((pkt.flow.0, dst.0), alt as u8);
+                            self.telemetry.record(
+                                self.now,
+                                FabricEvent::LayerReassign {
+                                    flow: pkt.flow.0,
+                                    dst: dst.0,
+                                    from: assigned as u8,
+                                    to: alt as u8,
+                                },
+                            );
                         }
                     }
                 }
@@ -888,7 +1035,11 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
                     RouteMode::EcmpFlow => choices[ecmp_choice(pkt.flow, node, choices.len())],
                     RouteMode::Spray => choices[self.rng.below(choices.len() as u64) as usize],
                 };
-                self.enqueue_and_kick(node, port, pkt);
+                match self.enqueue_and_kick(node, port, pkt) {
+                    Enqueued::Trimmed => self.stats.layer_trimmed[layer] += 1,
+                    Enqueued::Dropped => self.stats.layer_dropped[layer] += 1,
+                    Enqueued::Queued => {}
+                }
             }
             Dest::Group(gid) => {
                 let group = self.groups.get(&gid).expect("unregistered multicast group");
@@ -913,12 +1064,15 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
         }
     }
 
-    fn enqueue_and_kick(&mut self, node: NodeId, port: u16, pkt: Packet<P>) {
+    /// Enqueue on a port and restart its transmit loop if idle. Returns
+    /// the queue's verdict so callers that know the packet's routing
+    /// layer can attribute trims/drops per layer.
+    fn enqueue_and_kick(&mut self, node: NodeId, port: u16, pkt: Packet<P>) -> Enqueued {
         let outcome = self.queues[node.0 as usize][port as usize].enqueue(pkt);
         match outcome {
             Enqueued::Dropped => {
                 self.stats.dropped += 1;
-                return;
+                return outcome;
             }
             Enqueued::Trimmed => self.stats.trimmed += 1,
             Enqueued::Queued => {}
@@ -926,6 +1080,7 @@ impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
         if !self.busy[node.0 as usize][port as usize] {
             self.transmit_next(node, port);
         }
+        outcome
     }
 
     fn transmit_next(&mut self, node: NodeId, port: u16) {
@@ -1830,5 +1985,191 @@ mod tests {
             "uniform mix over 24 events should draw a host"
         );
         assert!(host_failures.iter().all(|f| f.repaired_at.is_some()));
+    }
+
+    use crate::telemetry::{AnomalyKind, FabricEvent, Recorder, TelemetryConfig};
+
+    /// The fat-tree fault scenario of `switch_failure_reroutes_and_
+    /// drops_in_flight`, with a recorder installed: annotations carry
+    /// the fault and reroute story, buckets tile the run exactly, and
+    /// their deltas sum to the end-of-run aggregates.
+    #[test]
+    fn recorder_annotates_faults_and_buckets_sum_to_totals() {
+        let t = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        let hosts = t.hosts().to_vec();
+        let (src, dst) = (hosts[0], hosts[15]);
+        let edge = t.edge_switch(src);
+        let agg = t
+            .node_ports(edge)
+            .iter()
+            .map(|p| p.peer)
+            .find(|&n| t.kind(n) == NodeKind::Switch)
+            .expect("edge switch has aggregation uplinks");
+        let rec = Recorder::new(TelemetryConfig {
+            window_ns: 50_000, // 50 µs windows over a ~500 µs run
+            ring_capacity: 8,
+        });
+        let mut sim: Simulator<P, Echo, Option<Recorder>> =
+            Simulator::with_telemetry(t, SimConfig::ndp(9), Some(rec));
+        for &h in &hosts {
+            sim.set_agent(
+                h,
+                Echo {
+                    to_send: vec![],
+                    received: vec![],
+                },
+            );
+        }
+        for i in 0..40 {
+            sim.agent_mut(src).to_send.push(data_pkt(src, dst, i));
+        }
+        sim.schedule_timer(src, SimTime::ZERO, 0);
+        let plan = FaultPlan::new()
+            .switch_down(SimTime::from_micros(100), agg)
+            .switch_up(SimTime::from_micros(400), agg);
+        sim.schedule_faults(&plan);
+        sim.run_to_completion();
+        sim.finish_telemetry();
+        let stats = sim.stats();
+        let rec = sim.telemetry_mut().take().expect("recorder installed");
+
+        let ann = rec.annotations();
+        assert!(ann
+            .iter()
+            .any(|a| a.event == FabricEvent::NodeDown { node: agg.0 }
+                && a.at == SimTime::from_micros(100)));
+        assert!(ann
+            .iter()
+            .any(|a| a.event == FabricEvent::NodeUp { node: agg.0 }));
+        assert_eq!(
+            ann.iter()
+                .filter(|a| matches!(a.event, FabricEvent::Reroute { .. }))
+                .count(),
+            2,
+            "down + up each recompute routes"
+        );
+        // No anomalies in a healthy incremental-repair run, hence no
+        // flight-recorder dumps.
+        assert!(rec.dumps().is_empty());
+
+        let b = rec.buckets();
+        assert!(!b.is_empty());
+        for w in b.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "buckets tile the run");
+        }
+        assert_eq!(b[0].start, SimTime::ZERO);
+        let delivered: u64 = b.iter().map(|x| x.delivered).sum();
+        let lost: u64 = b.iter().map(|x| x.lost_to_fault).sum();
+        assert_eq!(delivered, stats.delivered, "bucket deltas sum to totals");
+        assert_eq!(lost, stats.lost_to_fault);
+        // Switch ports carried the stream: buckets hold sparse per-port
+        // samples with transmit activity.
+        assert!(b
+            .iter()
+            .any(|x| x.ports.iter().any(|p| p.tx_bytes > 0 && p.enqueued > 0)));
+    }
+
+    /// Enabling the recorder must not perturb the run: same seed, same
+    /// received payload sequence, same FabricStats — telemetry reads
+    /// the simulation, never shapes it.
+    #[test]
+    fn recorder_on_is_byte_identical_to_off() {
+        fn drive<T: crate::telemetry::TelemetrySink>(
+            mut sim: Simulator<P, Echo, T>,
+        ) -> (Vec<(SimTime, P)>, FabricStats) {
+            let hosts = sim.topology().hosts().to_vec();
+            let (src, dst) = (hosts[0], hosts[15]);
+            let agg = {
+                let t = sim.topology();
+                let edge = t.edge_switch(src);
+                t.node_ports(edge)
+                    .iter()
+                    .map(|p| p.peer)
+                    .find(|&n| t.kind(n) == NodeKind::Switch)
+                    .expect("edge switch has aggregation uplinks")
+            };
+            for i in 0..40 {
+                sim.agent_mut(src).to_send.push(data_pkt(src, dst, i));
+            }
+            sim.schedule_timer(src, SimTime::ZERO, 0);
+            let plan = FaultPlan::new()
+                .switch_down(SimTime::from_micros(100), agg)
+                .switch_up(SimTime::from_micros(400), agg);
+            sim.schedule_faults(&plan);
+            sim.run_to_completion();
+            let received = sim.agent(dst).received.clone();
+            (received, sim.stats())
+        }
+        let t = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        let mut off: Simulator<P, Echo, Option<Recorder>> =
+            Simulator::with_telemetry(t.clone(), SimConfig::ndp(9), None);
+        let mut on: Simulator<P, Echo, Option<Recorder>> = Simulator::with_telemetry(
+            t.clone(),
+            SimConfig::ndp(9),
+            Some(Recorder::new(TelemetryConfig::default())),
+        );
+        let mut baseline: Simulator<P, Echo> = Simulator::new(t.clone(), SimConfig::ndp(9));
+        for sim_hosts in [&mut off, &mut on] {
+            for &h in t.hosts() {
+                sim_hosts.set_agent(
+                    h,
+                    Echo {
+                        to_send: vec![],
+                        received: vec![],
+                    },
+                );
+            }
+        }
+        for &h in t.hosts() {
+            baseline.set_agent(
+                h,
+                Echo {
+                    to_send: vec![],
+                    received: vec![],
+                },
+            );
+        }
+        let a = drive(off);
+        let b = drive(on);
+        let c = drive(baseline);
+        assert_eq!(a, b, "recorder on vs off: identical trace and stats");
+        assert_eq!(a, c, "Option sink vs compiled-out sink: identical");
+    }
+
+    #[test]
+    fn note_anomaly_freezes_dump_with_recent_history() {
+        let rec = Recorder::new(TelemetryConfig {
+            window_ns: 1_000_000,
+            ring_capacity: 4,
+        });
+        let t = {
+            let mut t = Topology::new();
+            let a = t.add_node(NodeKind::Host);
+            let s = t.add_node(NodeKind::Switch);
+            let b = t.add_node(NodeKind::Host);
+            t.connect(a, s, 1_000_000_000, 10_000);
+            t.connect(b, s, 1_000_000_000, 10_000);
+            t.compute_routes();
+            t
+        };
+        let mut sim: Simulator<P, Echo, Option<Recorder>> =
+            Simulator::with_telemetry(t, SimConfig::ndp(1), Some(rec));
+        let plan = FaultPlan::new()
+            .link_down(SimTime::from_micros(10), NodeId(0), 0)
+            .link_up(SimTime::from_micros(20), NodeId(0), 0);
+        sim.schedule_faults(&plan);
+        sim.run_to_completion();
+        sim.note_anomaly(AnomalyKind::Timeout);
+        let rec = sim.telemetry_mut().take().unwrap();
+        assert_eq!(rec.dumps().len(), 1);
+        let dump = &rec.dumps()[0];
+        // The ring held the fault/reroute history leading up to the
+        // anomaly (cap 4: the newest 4 of link-down, reroute, link-up,
+        // reroute, anomaly).
+        assert_eq!(dump.events.len(), 4);
+        assert!(matches!(
+            dump.events.last().unwrap().event,
+            FabricEvent::Anomaly(AnomalyKind::Timeout)
+        ));
     }
 }

@@ -1,0 +1,949 @@
+//! Fabric telemetry: time-series probes, event annotations, and a
+//! flight recorder — off by default with zero hot-path cost.
+//!
+//! The simulator is generic over a [`TelemetrySink`]. The default sink,
+//! [`NoTelemetry`], is a unit type whose methods are empty bodies: the
+//! compiler monomorphizes every hook to nothing, so a recorder-less
+//! simulator is *the same machine code* as before telemetry existed
+//! (the `bench_smoke` gate holds this to within noise). The
+//! runtime-switchable sink is `Option<Recorder>`: `None` costs one
+//! always-false time comparison per event, `Some` records.
+//!
+//! Recording is **pull-free and heap-free**: no probe events are pushed
+//! into the simulator's event heap and no RNG is consumed, so enabling
+//! telemetry cannot perturb event ordering, sequence numbers, or random
+//! draws — byte-identical-per-seed results are preserved structurally,
+//! not by luck (property-tested in `tests/telemetry.rs`). Buckets are
+//! closed lazily: when the event loop is about to dispatch an event at
+//! or past the open bucket's boundary, the simulator snapshots its
+//! counters first. Counters only change at events, so the lazy snapshot
+//! is *exact* — identical to what an eager probe at the boundary would
+//! have seen.
+//!
+//! Three data products:
+//! - **Buckets** ([`Bucket`]): fixed-window deltas of the fabric
+//!   counters (deliver/trim/drop/fault-loss rates, per-layer
+//!   utilisation) plus sparse per-port samples (queue depth, per-port
+//!   trim/drop/tx deltas) for every switch port that was non-idle.
+//! - **Annotations** ([`Annotation`]): timestamped fabric events —
+//!   faults, restorations, reroutes, layer re-assignments, anomalies.
+//! - **Flight recorder**: a bounded ring of the most recent
+//!   annotations; an anomaly ([`AnomalyKind`]) freezes a copy of the
+//!   ring into [`Recorder::dumps`] for post-mortem debugging.
+//!
+//! Flow/session spans ([`FlowSpanEvent`]) are recorded by transport
+//! agents (gated by their own config), collected post-run, and merged
+//! with the recorder's data by the exporters in `workload::telemetry`.
+
+use std::collections::HashMap;
+
+use crate::queue::QueueStats;
+use crate::sim::FabricStats;
+use crate::time::SimTime;
+use crate::topology::RoutingPolicy;
+
+/// Recorder configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Bucket width in nanoseconds (default 1 ms).
+    pub window_ns: u64,
+    /// Flight-recorder capacity in annotations (default 256).
+    pub ring_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            window_ns: 1_000_000,
+            ring_capacity: 256,
+        }
+    }
+}
+
+/// Why a flight-recorder dump was taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// A transport timeout fired (work the fabric failed to carry).
+    Timeout,
+    /// A reroute fell back to a full route recomputation — the
+    /// incremental-repair contract says this never happens once routes
+    /// exist, so seeing one mid-run is worth a post-mortem.
+    FullRecompute,
+    /// A session lost a replica to a host failure (stranded until
+    /// re-targeted).
+    StrandedSession,
+}
+
+/// A timestamped fabric event worth annotating on a timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricEvent {
+    /// One direction's link went down (fault injection).
+    LinkDown {
+        /// Transmitting node of the failed direction.
+        node: u32,
+        /// Port on `node`.
+        port: u16,
+    },
+    /// A previously failed link was restored.
+    LinkUp {
+        /// Transmitting node of the restored direction.
+        node: u32,
+        /// Port on `node`.
+        port: u16,
+    },
+    /// A switch or host went down.
+    NodeDown {
+        /// The victim.
+        node: u32,
+    },
+    /// A switch or host came back.
+    NodeUp {
+        /// The revived node.
+        node: u32,
+    },
+    /// Silent rate degradation/restoration of a link.
+    RateChange {
+        /// One end of the link.
+        node: u32,
+        /// Port on `node`.
+        port: u16,
+        /// New rate in bits per second (0 = blackhole).
+        rate_bps: u64,
+    },
+    /// The control plane brought routes up to date with the fault mask.
+    Reroute {
+        /// Whether this was a full recomputation (vs incremental
+        /// surgery).
+        full: bool,
+        /// Destination columns rebuilt.
+        dests_rebuilt: u32,
+        /// Restorations healed incrementally in this repair.
+        restored: u32,
+    },
+    /// A flow was moved off a routing layer whose path to the
+    /// destination died at a hop.
+    LayerReassign {
+        /// The flow's id.
+        flow: u64,
+        /// Destination host.
+        dst: u32,
+        /// Layer the flow was hashed to.
+        from: u8,
+        /// Layer it was moved to.
+        to: u8,
+    },
+    /// An anomaly was flagged (also freezes a flight-recorder dump).
+    Anomaly(AnomalyKind),
+}
+
+impl FabricEvent {
+    /// Coarse category, used as the trace-event `cat` field:
+    /// `"fault"`, `"reroute"`, `"layer"`, or `"anomaly"`.
+    pub fn category(&self) -> &'static str {
+        match self {
+            FabricEvent::LinkDown { .. }
+            | FabricEvent::LinkUp { .. }
+            | FabricEvent::NodeDown { .. }
+            | FabricEvent::NodeUp { .. }
+            | FabricEvent::RateChange { .. } => "fault",
+            FabricEvent::Reroute { .. } => "reroute",
+            FabricEvent::LayerReassign { .. } => "layer",
+            FabricEvent::Anomaly(_) => "anomaly",
+        }
+    }
+
+    /// Human-readable label, used as the trace-event name.
+    pub fn label(&self) -> String {
+        match self {
+            FabricEvent::LinkDown { node, port } => format!("link down {node}:{port}"),
+            FabricEvent::LinkUp { node, port } => format!("link up {node}:{port}"),
+            FabricEvent::NodeDown { node } => format!("node down {node}"),
+            FabricEvent::NodeUp { node } => format!("node up {node}"),
+            FabricEvent::RateChange {
+                node,
+                port,
+                rate_bps,
+            } => format!("rate {node}:{port} -> {rate_bps} bps"),
+            FabricEvent::Reroute {
+                full,
+                dests_rebuilt,
+                restored,
+            } => format!(
+                "reroute {} ({dests_rebuilt} dests, {restored} restored)",
+                if *full { "full" } else { "incremental" },
+            ),
+            FabricEvent::LayerReassign {
+                flow,
+                dst,
+                from,
+                to,
+            } => {
+                format!("flow {flow}->h{dst} layer {from}->{to}")
+            }
+            FabricEvent::Anomaly(kind) => format!("anomaly: {kind:?}"),
+        }
+    }
+}
+
+/// A [`FabricEvent`] with its timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Annotation {
+    /// When the event happened.
+    pub at: SimTime,
+    /// What happened.
+    pub event: FabricEvent,
+}
+
+/// Point-in-time state of one switch port, handed to the sink at bucket
+/// boundaries (and at [`TelemetrySink::finish`]).
+#[derive(Debug, Clone, Copy)]
+pub struct PortProbe {
+    /// Owning switch.
+    pub node: u32,
+    /// Port index on the switch.
+    pub port: u16,
+    /// Instantaneous queue depth in packets (data + headers).
+    pub depth: u32,
+    /// Cumulative queue counters at the probe instant.
+    pub queue: QueueStats,
+}
+
+/// One port's activity inside one bucket (counters are deltas over the
+/// bucket window; `depth` is the depth at the bucket's closing edge).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortSample {
+    /// Owning switch.
+    pub node: u32,
+    /// Port index on the switch.
+    pub port: u16,
+    /// Queue depth in packets at the bucket's closing edge.
+    pub depth: u32,
+    /// Packets enqueued intact during the bucket.
+    pub enqueued: u64,
+    /// Packets trimmed to headers during the bucket.
+    pub trimmed: u64,
+    /// Packets dropped during the bucket.
+    pub dropped: u64,
+    /// Bytes transmitted during the bucket.
+    pub tx_bytes: u64,
+}
+
+/// One fixed-interval bucket of fabric activity. All counters are
+/// deltas over `[start, end)`; events at exactly the closing boundary
+/// land in the *next* bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bucket {
+    /// Inclusive start of the window.
+    pub start: SimTime,
+    /// Exclusive end of the window (a final partial bucket ends at the
+    /// run's end instead of a window boundary).
+    pub end: SimTime,
+    /// Packets delivered to host agents during the bucket.
+    pub delivered: u64,
+    /// Packets trimmed to headers during the bucket.
+    pub trimmed: u64,
+    /// Packets dropped (congestion) during the bucket.
+    pub dropped: u64,
+    /// Packets lost to fabric faults during the bucket.
+    pub lost_to_fault: u64,
+    /// Per-layer unicast forwards during the bucket.
+    pub layer_forwarded: [u64; RoutingPolicy::MAX_LAYERS],
+    /// Per-layer trims during the bucket.
+    pub layer_trimmed: [u64; RoutingPolicy::MAX_LAYERS],
+    /// Per-layer drops during the bucket.
+    pub layer_dropped: [u64; RoutingPolicy::MAX_LAYERS],
+    /// Per-port activity, sparse: only ports with a non-zero depth or a
+    /// non-zero counter delta appear (idle fabric ⇒ empty).
+    pub ports: Vec<PortSample>,
+}
+
+impl Bucket {
+    /// Window length in nanoseconds (never zero).
+    pub fn width_ns(&self) -> u64 {
+        self.end.since(self.start).max(1)
+    }
+
+    /// Total trims in the bucket per second of sim time.
+    pub fn trim_rate(&self) -> f64 {
+        self.trimmed as f64 * 1e9 / self.width_ns() as f64
+    }
+
+    /// Total queue depth (packets) across sampled ports at the closing
+    /// edge.
+    pub fn total_depth(&self) -> u64 {
+        self.ports.iter().map(|p| u64::from(p.depth)).sum()
+    }
+}
+
+/// A bounded ring of the most recent annotations — the flight
+/// recorder's storage.
+#[derive(Debug, Clone)]
+pub struct RingBuffer {
+    buf: Vec<Annotation>,
+    cap: usize,
+    /// Next write position once the ring is full.
+    head: usize,
+}
+
+impl RingBuffer {
+    /// An empty ring retaining at most `cap` annotations.
+    ///
+    /// # Panics
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "flight recorder needs capacity >= 1");
+        Self {
+            buf: Vec::with_capacity(cap.min(1024)),
+            cap,
+            head: 0,
+        }
+    }
+
+    /// Append, evicting the oldest entry once full.
+    pub fn push(&mut self, a: Annotation) {
+        if self.buf.len() < self.cap {
+            self.buf.push(a);
+        } else {
+            self.buf[self.head] = a;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// Entries currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum entries retained.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// The retained annotations, oldest first.
+    pub fn snapshot(&self) -> Vec<Annotation> {
+        let mut v = Vec::with_capacity(self.buf.len());
+        v.extend_from_slice(&self.buf[self.head..]);
+        v.extend_from_slice(&self.buf[..self.head]);
+        v
+    }
+}
+
+/// A frozen flight-recorder snapshot, taken when an anomaly fired.
+#[derive(Debug, Clone)]
+pub struct FlightDump {
+    /// When the anomaly fired.
+    pub at: SimTime,
+    /// What fired it.
+    pub anomaly: AnomalyKind,
+    /// The ring contents at that instant, oldest first (includes the
+    /// anomaly annotation itself as the newest entry).
+    pub events: Vec<Annotation>,
+}
+
+/// The active telemetry sink: buckets, annotations, and the flight
+/// recorder. Construct with [`Recorder::new`] and install as
+/// `Option<Recorder>` on the simulator (or pass `Recorder` directly as
+/// the sink type for an always-on simulator).
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    cfg: TelemetryConfig,
+    /// Exclusive end of the currently open bucket, in ns.
+    boundary_ns: u64,
+    /// Fabric counters at the open bucket's start.
+    prev: FabricStats,
+    /// Cumulative (enqueued, trimmed, dropped, tx_bytes) per port at the
+    /// open bucket's start. Only consulted at bucket boundaries, so the
+    /// HashMap's iteration order never matters (probes arrive in the
+    /// simulator's deterministic port order).
+    prev_ports: HashMap<(u32, u16), (u64, u64, u64, u64)>,
+    buckets: Vec<Bucket>,
+    annotations: Vec<Annotation>,
+    ring: RingBuffer,
+    dumps: Vec<FlightDump>,
+    finished: bool,
+}
+
+impl Recorder {
+    /// A recorder with the given window and ring capacity.
+    ///
+    /// # Panics
+    /// Panics if the window is zero (the boundary would never advance).
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        assert!(cfg.window_ns > 0, "telemetry window must be positive");
+        Self {
+            cfg,
+            boundary_ns: cfg.window_ns,
+            prev: FabricStats::default(),
+            prev_ports: HashMap::new(),
+            buckets: Vec::new(),
+            annotations: Vec::new(),
+            ring: RingBuffer::new(cfg.ring_capacity),
+            dumps: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// The configuration this recorder was built with.
+    pub fn config(&self) -> TelemetryConfig {
+        self.cfg
+    }
+
+    /// Closed buckets so far, in time order.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// All annotations recorded, in time order.
+    pub fn annotations(&self) -> &[Annotation] {
+        &self.annotations
+    }
+
+    /// Flight-recorder dumps taken so far.
+    pub fn dumps(&self) -> &[FlightDump] {
+        &self.dumps
+    }
+
+    /// The live flight-recorder ring.
+    pub fn ring(&self) -> &RingBuffer {
+        &self.ring
+    }
+
+    /// Close the bucket ending at the current boundary and open the
+    /// next one.
+    fn roll_bucket(&mut self, end: SimTime, stats: &FabricStats, ports: &[PortProbe]) {
+        let start = SimTime::from_nanos(self.boundary_ns - self.cfg.window_ns);
+        self.push_bucket(start, end, stats, ports);
+        self.boundary_ns += self.cfg.window_ns;
+    }
+
+    fn push_bucket(&mut self, start: SimTime, end: SimTime, s: &FabricStats, ports: &[PortProbe]) {
+        let p = &self.prev;
+        let mut layer_forwarded = [0u64; RoutingPolicy::MAX_LAYERS];
+        let mut layer_trimmed = [0u64; RoutingPolicy::MAX_LAYERS];
+        let mut layer_dropped = [0u64; RoutingPolicy::MAX_LAYERS];
+        for l in 0..RoutingPolicy::MAX_LAYERS {
+            layer_forwarded[l] = s.layer_forwarded[l] - p.layer_forwarded[l];
+            layer_trimmed[l] = s.layer_trimmed[l] - p.layer_trimmed[l];
+            layer_dropped[l] = s.layer_dropped[l] - p.layer_dropped[l];
+        }
+        let mut samples = Vec::new();
+        for probe in ports {
+            let key = (probe.node, probe.port);
+            let q = probe.queue;
+            let now = (q.enqueued, q.trimmed, q.dropped, q.tx_bytes);
+            let was = self.prev_ports.insert(key, now).unwrap_or_default();
+            let sample = PortSample {
+                node: probe.node,
+                port: probe.port,
+                depth: probe.depth,
+                enqueued: now.0 - was.0,
+                trimmed: now.1 - was.1,
+                dropped: now.2 - was.2,
+                tx_bytes: now.3 - was.3,
+            };
+            if sample.depth > 0
+                || sample.enqueued > 0
+                || sample.trimmed > 0
+                || sample.dropped > 0
+                || sample.tx_bytes > 0
+            {
+                samples.push(sample);
+            }
+        }
+        self.buckets.push(Bucket {
+            start,
+            end,
+            delivered: s.delivered - p.delivered,
+            trimmed: s.trimmed - p.trimmed,
+            dropped: s.dropped - p.dropped,
+            lost_to_fault: s.lost_to_fault - p.lost_to_fault,
+            layer_forwarded,
+            layer_trimmed,
+            layer_dropped,
+            ports: samples,
+        });
+        self.prev = *s;
+    }
+}
+
+/// The simulator's telemetry hook surface. Implementations must be
+/// cheap when disabled: `next_boundary` is the only method called on
+/// the per-event path (once, for a single time comparison).
+pub trait TelemetrySink {
+    /// Exclusive end of the currently open bucket. The simulator closes
+    /// buckets *before* dispatching any event at or past this instant.
+    /// Return [`SimTime::MAX`] to disable sampling entirely.
+    fn next_boundary(&self) -> SimTime {
+        SimTime::MAX
+    }
+
+    /// Close the bucket ending at `next_boundary()` against the current
+    /// cumulative counters and per-switch-port probes. Implementations
+    /// must advance `next_boundary` by one window, or the event loop's
+    /// catch-up would never terminate.
+    fn close_bucket(&mut self, _stats: &FabricStats, _ports: &[PortProbe]) {}
+
+    /// Record a timestamped fabric event.
+    fn record(&mut self, _at: SimTime, _event: FabricEvent) {}
+
+    /// End of run: close the final (partial) bucket at `now`.
+    fn finish(&mut self, _now: SimTime, _stats: &FabricStats, _ports: &[PortProbe]) {}
+
+    /// Whether anything is recording — lets callers skip probe
+    /// collection wholesale.
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// The default sink: a unit type whose empty hook bodies monomorphize
+/// away, leaving the simulator's hot path untouched (gated by
+/// `bench_smoke`'s telemetry ratio).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoTelemetry;
+
+impl TelemetrySink for NoTelemetry {}
+
+impl TelemetrySink for Recorder {
+    fn next_boundary(&self) -> SimTime {
+        SimTime::from_nanos(self.boundary_ns)
+    }
+
+    fn close_bucket(&mut self, stats: &FabricStats, ports: &[PortProbe]) {
+        let end = SimTime::from_nanos(self.boundary_ns);
+        self.roll_bucket(end, stats, ports);
+    }
+
+    fn record(&mut self, at: SimTime, event: FabricEvent) {
+        let a = Annotation { at, event };
+        self.annotations.push(a);
+        self.ring.push(a);
+        if let FabricEvent::Anomaly(kind) = event {
+            self.dumps.push(FlightDump {
+                at,
+                anomaly: kind,
+                events: self.ring.snapshot(),
+            });
+        }
+    }
+
+    fn finish(&mut self, now: SimTime, stats: &FabricStats, ports: &[PortProbe]) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        // `now >= start` always holds (the event loop closes buckets
+        // before dispatching past them), but `now == start` is possible
+        // when the run's last event sat exactly on a boundary — its
+        // effects still belong to the final bucket, so emit it even
+        // zero-width.
+        let start = SimTime::from_nanos(self.boundary_ns - self.cfg.window_ns);
+        self.push_bucket(start, now, stats, ports);
+    }
+
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The runtime-switchable sink the workload runners use: `None` costs
+/// one always-false boundary comparison per event; `Some` records.
+impl TelemetrySink for Option<Recorder> {
+    fn next_boundary(&self) -> SimTime {
+        match self {
+            Some(r) => TelemetrySink::next_boundary(r),
+            None => SimTime::MAX,
+        }
+    }
+
+    fn close_bucket(&mut self, stats: &FabricStats, ports: &[PortProbe]) {
+        if let Some(r) = self {
+            TelemetrySink::close_bucket(r, stats, ports);
+        }
+    }
+
+    fn record(&mut self, at: SimTime, event: FabricEvent) {
+        if let Some(r) = self {
+            TelemetrySink::record(r, at, event);
+        }
+    }
+
+    fn finish(&mut self, now: SimTime, stats: &FabricStats, ports: &[PortProbe]) {
+        if let Some(r) = self {
+            TelemetrySink::finish(r, now, stats, ports);
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.is_some()
+    }
+}
+
+/// What happened to a session, from its receiver's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanMark {
+    /// The receiver opened the session (first pull scheduling).
+    Open,
+    /// The session decoded/completed.
+    Close,
+    /// The keep-alive sweep opened a recovery round for a quiet
+    /// session.
+    PullRound,
+    /// A recovery re-pull was issued to a stranded sender (`peer`).
+    Repull,
+    /// A dead replica's remaining share was re-targeted at a surviving
+    /// sender (`peer`).
+    Retarget,
+    /// A sender (`peer`) was written off after a host failure; the
+    /// session is stranded until re-targeted.
+    Stranded,
+}
+
+/// One mark in a flow/session span, recorded by a transport agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowSpanEvent {
+    /// When the mark was recorded.
+    pub at: SimTime,
+    /// Session id.
+    pub session: u64,
+    /// The recording host (the session's receiver).
+    pub node: u32,
+    /// Peer host involved, if any (`u32::MAX` for session-level marks).
+    pub peer: u32,
+    /// What happened.
+    pub mark: SpanMark,
+}
+
+impl FlowSpanEvent {
+    /// Sentinel for marks with no specific peer.
+    pub const NO_PEER: u32 = u32::MAX;
+}
+
+/// Builds a Chrome-trace ("Trace Event Format") JSON document by hand —
+/// the workspace has no serde, and the format is simple enough that
+/// string assembly with escaping is the honest implementation. The
+/// output loads in Perfetto (`ui.perfetto.dev`) and `chrome://tracing`.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    events: Vec<String>,
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Nanoseconds → the trace format's microsecond timestamps.
+fn ts_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+impl TraceBuilder {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events added so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Name the process `pid` (shown as a track group in Perfetto).
+    pub fn process_name(&mut self, pid: u32, name: &str) {
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(name)
+        ));
+    }
+
+    /// Name the thread `(pid, tid)` (one track in Perfetto).
+    pub fn thread_name(&mut self, pid: u32, tid: u32, name: &str) {
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(name)
+        ));
+    }
+
+    /// A complete ("X") span from `start_ns` lasting `dur_ns`.
+    pub fn complete(
+        &mut self,
+        name: &str,
+        cat: &str,
+        pid: u32,
+        tid: u32,
+        start_ns: u64,
+        dur_ns: u64,
+    ) {
+        self.events.push(format!(
+            "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{pid},\"tid\":{tid},\
+             \"ts\":{},\"dur\":{}}}",
+            json_escape(name),
+            json_escape(cat),
+            ts_us(start_ns),
+            ts_us(dur_ns.max(1)),
+        ));
+    }
+
+    /// An instant ("i") marker at `at_ns`, thread-scoped.
+    pub fn instant(&mut self, name: &str, cat: &str, pid: u32, tid: u32, at_ns: u64) {
+        self.events.push(format!(
+            "{{\"ph\":\"i\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{pid},\"tid\":{tid},\
+             \"ts\":{},\"s\":\"t\"}}",
+            json_escape(name),
+            json_escape(cat),
+            ts_us(at_ns),
+        ));
+    }
+
+    /// A counter ("C") sample at `at_ns`; `series` is (name, value)
+    /// pairs plotted as stacked series of the counter track `name`.
+    pub fn counter(&mut self, name: &str, pid: u32, at_ns: u64, series: &[(&str, f64)]) {
+        let args = series
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{}", json_escape(k), fmt_f64(*v)))
+            .collect::<Vec<_>>()
+            .join(",");
+        self.events.push(format!(
+            "{{\"ph\":\"C\",\"name\":\"{}\",\"pid\":{pid},\"ts\":{},\"args\":{{{args}}}}}",
+            json_escape(name),
+            ts_us(at_ns),
+        ));
+    }
+
+    /// Assemble the final JSON document.
+    pub fn build(self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        out.push_str(&self.events.join(",\n"));
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+/// Format an f64 as JSON (finite; NaN/inf would corrupt the document).
+fn fmt_f64(v: f64) -> String {
+    debug_assert!(v.is_finite(), "non-finite value in trace");
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(node: u32, port: u16, depth: u32, trimmed: u64) -> PortProbe {
+        PortProbe {
+            node,
+            port,
+            depth,
+            queue: QueueStats {
+                enqueued: 10,
+                trimmed,
+                dropped: 0,
+                tx_bytes: 1500,
+                max_depth: depth as usize,
+            },
+        }
+    }
+
+    #[test]
+    fn ring_wraps_and_snapshots_oldest_first() {
+        let mut ring = RingBuffer::new(4);
+        let at = |n: u64| SimTime::from_nanos(n);
+        for n in 0..6u64 {
+            ring.push(Annotation {
+                at: at(n),
+                event: FabricEvent::NodeDown { node: n as u32 },
+            });
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.capacity(), 4);
+        let snap = ring.snapshot();
+        let order: Vec<u64> = snap.iter().map(|a| a.at.as_nanos()).collect();
+        // 0 and 1 were evicted; 2..=5 retained oldest-first.
+        assert_eq!(order, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn ring_below_capacity_keeps_insertion_order() {
+        let mut ring = RingBuffer::new(8);
+        for n in 0..3u64 {
+            ring.push(Annotation {
+                at: SimTime::from_nanos(n),
+                event: FabricEvent::NodeUp { node: 0 },
+            });
+        }
+        let order: Vec<u64> = ring.snapshot().iter().map(|a| a.at.as_nanos()).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn bucket_boundaries_align_to_windows() {
+        let mut r = Recorder::new(TelemetryConfig {
+            window_ns: 100,
+            ring_capacity: 4,
+        });
+        // The simulator closes buckets before dispatching an event at or
+        // past the boundary; emulate an event at t=250 (crosses two
+        // boundaries) and a run ending at t=310.
+        let mut stats = FabricStats::default();
+        assert_eq!(TelemetrySink::next_boundary(&r), SimTime::from_nanos(100));
+        stats.delivered = 7;
+        TelemetrySink::close_bucket(&mut r, &stats, &[]);
+        assert_eq!(TelemetrySink::next_boundary(&r), SimTime::from_nanos(200));
+        TelemetrySink::close_bucket(&mut r, &stats, &[]);
+        assert_eq!(TelemetrySink::next_boundary(&r), SimTime::from_nanos(300));
+        stats.delivered = 9;
+        TelemetrySink::finish(&mut r, SimTime::from_nanos(310), &stats, &[]);
+        let b = r.buckets();
+        assert_eq!(b.len(), 3);
+        assert_eq!((b[0].start.as_nanos(), b[0].end.as_nanos()), (0, 100));
+        assert_eq!((b[1].start.as_nanos(), b[1].end.as_nanos()), (100, 200));
+        // Final partial bucket runs from the last closed boundary to the
+        // run's end, not to the next window edge.
+        assert_eq!((b[2].start.as_nanos(), b[2].end.as_nanos()), (200, 310));
+        assert_eq!(b[0].delivered, 7);
+        assert_eq!(b[1].delivered, 0);
+        assert_eq!(b[2].delivered, 2);
+        // finish() is idempotent: a second call adds nothing.
+        TelemetrySink::finish(&mut r, SimTime::from_nanos(400), &stats, &[]);
+        assert_eq!(r.buckets().len(), 3);
+    }
+
+    #[test]
+    fn port_samples_are_deltas_and_sparse() {
+        let mut r = Recorder::new(TelemetryConfig {
+            window_ns: 100,
+            ring_capacity: 4,
+        });
+        let stats = FabricStats::default();
+        TelemetrySink::close_bucket(&mut r, &stats, &[probe(5, 1, 3, 2), probe(5, 2, 0, 0)]);
+        // Port (5,2) had depth 0 but non-zero cumulative counters on its
+        // first probe — it appears once, then goes quiet.
+        assert_eq!(r.buckets()[0].ports.len(), 2);
+        TelemetrySink::close_bucket(&mut r, &stats, &[probe(5, 1, 0, 2), probe(5, 2, 0, 0)]);
+        // Second bucket: port 1's trim count did not move and its depth
+        // is 0; port 2 likewise — only deltas appear, so nothing does.
+        assert!(r.buckets()[1].ports.is_empty());
+        let first = &r.buckets()[0].ports[0];
+        assert_eq!((first.node, first.port, first.depth), (5, 1, 3));
+        assert_eq!(first.trimmed, 2);
+    }
+
+    #[test]
+    fn anomaly_freezes_a_dump() {
+        let mut r = Recorder::new(TelemetryConfig {
+            window_ns: 1_000,
+            ring_capacity: 3,
+        });
+        let at = SimTime::from_nanos;
+        TelemetrySink::record(&mut r, at(1), FabricEvent::LinkDown { node: 9, port: 2 });
+        TelemetrySink::record(
+            &mut r,
+            at(2),
+            FabricEvent::Reroute {
+                full: false,
+                dests_rebuilt: 4,
+                restored: 0,
+            },
+        );
+        assert!(r.dumps().is_empty());
+        TelemetrySink::record(&mut r, at(3), FabricEvent::Anomaly(AnomalyKind::Timeout));
+        assert_eq!(r.dumps().len(), 1);
+        let dump = &r.dumps()[0];
+        assert_eq!(dump.at, at(3));
+        assert_eq!(dump.anomaly, AnomalyKind::Timeout);
+        // The dump holds the ring contents including the anomaly itself.
+        assert_eq!(dump.events.len(), 3);
+        assert!(matches!(
+            dump.events[2].event,
+            FabricEvent::Anomaly(AnomalyKind::Timeout)
+        ));
+    }
+
+    #[test]
+    fn disabled_option_sink_never_samples() {
+        let sink: Option<Recorder> = None;
+        assert_eq!(TelemetrySink::next_boundary(&sink), SimTime::MAX);
+        assert!(!TelemetrySink::enabled(&sink));
+    }
+
+    #[test]
+    fn trace_builder_emits_valid_shape() {
+        let mut tb = TraceBuilder::new();
+        tb.process_name(0, "fabric");
+        tb.instant("link down \"9\":2", "fault", 0, 0, 1_500);
+        tb.complete("session 3", "span", 12, 3, 1_000, 2_500);
+        tb.counter(
+            "trim rate",
+            0,
+            2_000,
+            &[("trims_per_s", 1234.5), ("drops", 0.0)],
+        );
+        let json = tb.build();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"M\""));
+        // The quote inside the instant name is escaped.
+        assert!(json.contains("link down \\\"9\\\":2"));
+        // 1500 ns → 1.500 µs.
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":2.500"));
+        assert!(json.contains("\"trims_per_s\":1234.500"));
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}\n"));
+    }
+
+    #[test]
+    fn event_labels_and_categories() {
+        assert_eq!(FabricEvent::NodeDown { node: 3 }.category(), "fault");
+        assert_eq!(
+            FabricEvent::Reroute {
+                full: true,
+                dests_rebuilt: 10,
+                restored: 1
+            }
+            .category(),
+            "reroute"
+        );
+        assert_eq!(
+            FabricEvent::LayerReassign {
+                flow: 1,
+                dst: 2,
+                from: 0,
+                to: 1
+            }
+            .category(),
+            "layer"
+        );
+        assert_eq!(
+            FabricEvent::Anomaly(AnomalyKind::StrandedSession).category(),
+            "anomaly"
+        );
+        assert!(FabricEvent::NodeDown { node: 3 }
+            .label()
+            .contains("node down 3"));
+    }
+}

@@ -29,6 +29,7 @@ use crate::runner::{
     op_results, Fabric, RqRunOptions, TcpRunOptions, TransferResult,
 };
 use crate::scenario::{LogicalSession, Pattern, StorageScenario, PAPER_LAMBDA_PER_HOST};
+use crate::telemetry::{gather_rq_spans, take_run_telemetry, RunTelemetry};
 
 /// Parameters of a churn soak: the storage fetch workload plus the
 /// Poisson fault process sustained over it.
@@ -143,6 +144,8 @@ pub struct ChurnReport {
     /// recovery is pull-paced, never timer-paced; kept explicit so the
     /// soak can assert it).
     pub timeouts: u64,
+    /// Recorded telemetry, when the run options enabled it.
+    pub telemetry: Option<RunTelemetry>,
 }
 
 impl ChurnReport {
@@ -187,12 +190,15 @@ pub fn run_churn_rq(sc: &ChurnScenario, fabric: &Fabric, opts: &RqRunOptions) ->
     sim_cfg.route = opts.route;
     sim_cfg.layer_assign = opts.layer_assign;
     sim_cfg.reroute_delay_ns = REROUTE_DELAY_NS;
-    let mut sim: Simulator<_, PolyraptorAgent> = Simulator::new(topo, sim_cfg);
+    let mut pr = opts.pr;
+    pr.record_spans |= opts.telemetry.enabled;
+    let mut sim: Simulator<_, PolyraptorAgent, _> =
+        Simulator::with_telemetry(topo, sim_cfg, opts.telemetry.recorder());
     let hosts = sim.topology().hosts().to_vec();
     let mut seed_rng = Pcg32::new(sc.seed ^ 0xA6E27);
     for &h in &hosts {
         let s = seed_rng.next_u64();
-        sim.set_agent(h, PolyraptorAgent::new(h, opts.pr, s));
+        sim.set_agent(h, PolyraptorAgent::new(h, pr, s));
     }
     let specs = build_rq_specs(&mut sim, &sessions, Pattern::Read);
     for spec in &specs {
@@ -232,6 +238,13 @@ pub fn run_churn_rq(sc: &ChurnScenario, fabric: &Fabric, opts: &RqRunOptions) ->
             .map(|r| r.retarget_symbols)
             .sum::<u64>();
     }
+    if stranded > 0 {
+        // A stranding is survivable (that's the re-target claim) but
+        // still anomalous fabric-level history worth a flight dump.
+        sim.note_anomaly(netsim::AnomalyKind::StrandedSession);
+    }
+    let spans = gather_rq_spans(&sim);
+    let telemetry = take_run_telemetry(&mut sim, spans);
     let fault_instants = plan.down_instants();
     ChurnReport {
         flows,
@@ -242,6 +255,7 @@ pub fn run_churn_rq(sc: &ChurnScenario, fabric: &Fabric, opts: &RqRunOptions) ->
         retargeted_sessions: retargeted,
         retarget_symbols,
         timeouts: 0,
+        telemetry,
     }
 }
 
@@ -265,7 +279,8 @@ pub fn run_churn_tcp(sc: &ChurnScenario, fabric: &Fabric, opts: &TcpRunOptions) 
     sim_cfg.switch_queue = opts.switch_queue;
     sim_cfg.route = opts.route;
     sim_cfg.reroute_delay_ns = REROUTE_DELAY_NS;
-    let mut sim: Simulator<_, TcpAgent> = Simulator::new(topo, sim_cfg);
+    let mut sim: Simulator<_, TcpAgent, _> =
+        Simulator::with_telemetry(topo, sim_cfg, opts.telemetry.recorder());
     let hosts = sim.topology().hosts().to_vec();
     for &h in &hosts {
         sim.set_agent(h, TcpAgent::new(h, opts.tcp));
@@ -278,11 +293,15 @@ pub fn run_churn_tcp(sc: &ChurnScenario, fabric: &Fabric, opts: &TcpRunOptions) 
     }
     sim.schedule_faults(&plan);
     sim.run_to_completion();
-    let timeouts = conns
+    let timeouts: u64 = conns
         .iter()
         .map(|c| sim.agent(c.sender).sender(c.id).map_or(0, |s| s.timeouts))
         .sum();
+    if timeouts > 0 {
+        sim.note_anomaly(netsim::AnomalyKind::Timeout);
+    }
     let flows = op_results(&collect_tcp_results(&sim, &sessions), sc.object_bytes);
+    let telemetry = take_run_telemetry(&mut sim, Vec::new());
     let fault_instants = plan.down_instants();
     ChurnReport {
         host_failures: plan.host_failures(sim.topology()).len(),
@@ -293,6 +312,7 @@ pub fn run_churn_tcp(sc: &ChurnScenario, fabric: &Fabric, opts: &TcpRunOptions) 
         retargeted_sessions: 0,
         retarget_symbols: 0,
         timeouts,
+        telemetry,
     }
 }
 
@@ -345,6 +365,48 @@ mod tests {
                 .collect()
         };
         assert_eq!(fp(&a), fp(&b));
+    }
+
+    #[test]
+    fn churn_telemetry_records_without_perturbing() {
+        use crate::telemetry::TelemetryOptions;
+        use netsim::SpanMark;
+        let sc = small();
+        let base = run_churn_rq(&sc, &Fabric::small(), &RqRunOptions::default());
+        assert!(base.telemetry.is_none(), "off by default");
+        let opts = RqRunOptions {
+            telemetry: TelemetryOptions::enabled_default(),
+            ..Default::default()
+        };
+        let rec = run_churn_rq(&sc, &Fabric::small(), &opts);
+        // Recording must not perturb the run: identical fabric counters
+        // and identical per-flow results.
+        assert_eq!(base.fabric, rec.fabric);
+        let fp = |r: &ChurnReport| -> Vec<(u32, u64, u64)> {
+            r.flows
+                .iter()
+                .map(|f| (f.session, f.start.as_nanos(), f.finish.as_nanos()))
+                .collect()
+        };
+        assert_eq!(fp(&base), fp(&rec));
+        let t = rec.telemetry.expect("enabled run records");
+        assert!(!t.recorder.buckets().is_empty(), "buckets sampled");
+        let cats: Vec<&str> = t
+            .recorder
+            .annotations()
+            .iter()
+            .map(|a| a.event.category())
+            .collect();
+        assert!(cats.contains(&"fault"), "churn annotates faults");
+        assert!(cats.contains(&"reroute"), "churn annotates reroutes");
+        // Every fetch session opened and closed a span at its client.
+        let opens = t.spans.iter().filter(|s| s.mark == SpanMark::Open).count();
+        let closes = t.spans.iter().filter(|s| s.mark == SpanMark::Close).count();
+        assert_eq!(opens, sc.sessions);
+        assert_eq!(closes, sc.sessions);
+        // Exporters produce non-trivial artefacts.
+        assert!(t.fabric_series_csv().lines().count() > 1);
+        assert!(t.trace_json().contains("\"cat\":\"reroute\""));
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::runner::{
     RqRunOptions, TcpRunOptions, TransferResult,
 };
 use crate::scenario::{LogicalSession, Pattern, StorageScenario, PAPER_LAMBDA_PER_HOST};
+use crate::telemetry::{gather_rq_spans, take_run_telemetry, RunTelemetry};
 
 /// Control-plane convergence after a detected failure: 25 ms covers
 /// failure detection plus route recomputation on a data-centre fabric.
@@ -223,6 +224,8 @@ pub struct FaultRunReport {
     pub victim: NodeId,
     /// The absolute failure instant (`None` for healthy runs).
     pub fail_at: Option<SimTime>,
+    /// Recorded telemetry, when the run options enabled it.
+    pub telemetry: Option<RunTelemetry>,
 }
 
 impl FaultRunReport {
@@ -295,7 +298,7 @@ impl RecoveryStats {
             return None;
         }
         lat.sort_unstable();
-        let pick = |p: f64| lat[((p / 100.0) * (lat.len() - 1) as f64).round() as usize];
+        let pick = |p: f64| polyraptor::metrics::percentile_sorted(&lat, p);
         Some(Self {
             flows: lat.len(),
             p50_ns: pick(50.0),
@@ -319,12 +322,15 @@ pub fn run_fault_rq(sc: &FaultScenario, fabric: &Fabric, opts: &RqRunOptions) ->
     sim_cfg.route = opts.route;
     sim_cfg.layer_assign = opts.layer_assign;
     sim_cfg.reroute_delay_ns = REROUTE_DELAY_NS;
-    let mut sim: Simulator<_, PolyraptorAgent> = Simulator::new(topo, sim_cfg);
+    let mut pr = opts.pr;
+    pr.record_spans |= opts.telemetry.enabled;
+    let mut sim: Simulator<_, PolyraptorAgent, _> =
+        Simulator::with_telemetry(topo, sim_cfg, opts.telemetry.recorder());
     let hosts = sim.topology().hosts().to_vec();
     let mut seed_rng = Pcg32::new(sc.seed ^ 0xA6E27);
     for &h in &hosts {
         let s = seed_rng.next_u64();
-        sim.set_agent(h, PolyraptorAgent::new(h, opts.pr, s));
+        sim.set_agent(h, PolyraptorAgent::new(h, pr, s));
     }
     let specs = build_rq_specs(&mut sim, &sessions, Pattern::Write);
     for spec in &specs {
@@ -333,12 +339,15 @@ pub fn run_fault_rq(sc: &FaultScenario, fabric: &Fabric, opts: &RqRunOptions) ->
     sim.schedule_faults(&plan);
     sim.run_to_completion();
     let flows = collect_rq_results(&sim, &sessions, Pattern::Write);
+    let spans = gather_rq_spans(&sim);
+    let telemetry = take_run_telemetry(&mut sim, spans);
     FaultRunReport {
         flows,
         fabric: sim.stats(),
         timeouts: 0,
         victim,
         fail_at,
+        telemetry,
     }
 }
 
@@ -356,7 +365,8 @@ pub fn run_fault_tcp(sc: &FaultScenario, fabric: &Fabric, opts: &TcpRunOptions) 
     sim_cfg.switch_queue = opts.switch_queue;
     sim_cfg.route = opts.route;
     sim_cfg.reroute_delay_ns = REROUTE_DELAY_NS;
-    let mut sim: Simulator<_, TcpAgent> = Simulator::new(topo, sim_cfg);
+    let mut sim: Simulator<_, TcpAgent, _> =
+        Simulator::with_telemetry(topo, sim_cfg, opts.telemetry.recorder());
     let hosts = sim.topology().hosts().to_vec();
     for &h in &hosts {
         sim.set_agent(h, TcpAgent::new(h, opts.tcp));
@@ -369,17 +379,24 @@ pub fn run_fault_tcp(sc: &FaultScenario, fabric: &Fabric, opts: &TcpRunOptions) 
     }
     sim.schedule_faults(&plan);
     sim.run_to_completion();
-    let timeouts = conns
+    let timeouts: u64 = conns
         .iter()
         .map(|c| sim.agent(c.sender).sender(c.id).map_or(0, |s| s.timeouts))
         .sum();
+    if timeouts > 0 {
+        // Timeouts mean work the fabric failed to carry — flag the
+        // anomaly so the flight recorder freezes the lead-up events.
+        sim.note_anomaly(netsim::AnomalyKind::Timeout);
+    }
     let flows = collect_tcp_results(&sim, &sessions);
+    let telemetry = take_run_telemetry(&mut sim, Vec::new());
     FaultRunReport {
         flows,
         fabric: sim.stats(),
         timeouts,
         victim,
         fail_at,
+        telemetry,
     }
 }
 

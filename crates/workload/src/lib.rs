@@ -21,7 +21,10 @@
 //!   fetch) simulations and aggregating per-session goodput;
 //! * [`stats`] — rank curves (Figures 1a/1b) and mean ± 95 % CI over
 //!   seeded repetitions (Figure 1c's error bars);
-//! * [`csv`] — plain CSV emission for the figure binaries.
+//! * [`csv`] — plain CSV emission for the figure binaries;
+//! * [`telemetry`] — opt-in run recording (fabric time-series buckets,
+//!   event annotations, flow spans, flight-recorder dumps) with CSV and
+//!   Perfetto-loadable Chrome-trace exporters.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -33,6 +36,7 @@ pub mod hotspot;
 pub mod runner;
 pub mod scenario;
 pub mod stats;
+pub mod telemetry;
 
 pub use churn::{run_churn_rq, run_churn_tcp, ChurnReport, ChurnScenario};
 pub use fault::{run_fault_rq, run_fault_tcp, FaultRunReport, FaultScenario, RecoveryStats};
@@ -44,3 +48,4 @@ pub use runner::{
 };
 pub use scenario::{IncastScenario, LogicalSession, Pattern, StorageScenario};
 pub use stats::{mean, mean_ci95, std_dev, RankCurve};
+pub use telemetry::{RunTelemetry, TelemetryOptions};

@@ -12,6 +12,7 @@ use polyraptor::{start_token, PolyraptorAgent, PrConfig, SessionId, SessionSpec}
 use tcpsim::{conn_start_token, ConnId, ConnSpec, TcpAgent, TcpConfig};
 
 use crate::scenario::{IncastScenario, LogicalSession, Pattern, StorageScenario};
+use crate::telemetry::TelemetryOptions;
 
 /// The simulated fabric: shape plus link parameters. The paper
 /// evaluates on a fat-tree; leaf–spine and Jellyfish variants exist so
@@ -290,6 +291,10 @@ pub struct RqRunOptions {
     /// Flow→layer assignment strategy (default hash-per-flow; only
     /// meaningful with a multi-layer policy).
     pub layer_assign: LayerAssign,
+    /// Telemetry recording (default off). Honoured by the fault and
+    /// churn runners, which attach a [`crate::RunTelemetry`] to their
+    /// reports; enabling it also turns on the agents' flow spans.
+    pub telemetry: TelemetryOptions,
 }
 
 impl Default for RqRunOptions {
@@ -300,6 +305,7 @@ impl Default for RqRunOptions {
             route: RouteMode::Spray,
             policy: RoutingPolicy::minimal(),
             layer_assign: LayerAssign::FlowHash,
+            telemetry: TelemetryOptions::default(),
         }
     }
 }
@@ -342,8 +348,8 @@ pub const MULTICAST_TREES: usize = 8;
 
 /// Translate logical sessions into Polyraptor session specs (registering
 /// multicast groups as needed).
-pub fn build_rq_specs<A: netsim::Agent<polyraptor::PrPayload>>(
-    sim: &mut Simulator<polyraptor::PrPayload, A>,
+pub fn build_rq_specs<A: netsim::Agent<polyraptor::PrPayload>, T: netsim::TelemetrySink>(
+    sim: &mut Simulator<polyraptor::PrPayload, A, T>,
     sessions: &[LogicalSession],
     pattern: Pattern,
 ) -> Vec<SessionSpec> {
@@ -392,15 +398,18 @@ pub fn build_rq_specs<A: netsim::Agent<polyraptor::PrPayload>>(
 
 /// Install a Polyraptor session at every participant and schedule its
 /// start timer everywhere (receivers need it to arm their keep-alive).
-pub fn install_rq(sim: &mut Simulator<polyraptor::PrPayload, PolyraptorAgent>, spec: &SessionSpec) {
+pub fn install_rq<T: netsim::TelemetrySink>(
+    sim: &mut Simulator<polyraptor::PrPayload, PolyraptorAgent, T>,
+    spec: &SessionSpec,
+) {
     for &h in spec.senders.iter().chain(&spec.receivers) {
         sim.agent_mut(h).install(spec.clone());
         sim.schedule_timer(h, spec.start, start_token(spec.id));
     }
 }
 
-pub(crate) fn collect_rq_results(
-    sim: &Simulator<polyraptor::PrPayload, PolyraptorAgent>,
+pub(crate) fn collect_rq_results<T: netsim::TelemetrySink>(
+    sim: &Simulator<polyraptor::PrPayload, PolyraptorAgent, T>,
     sessions: &[LogicalSession],
     pattern: Pattern,
 ) -> Vec<TransferResult> {
@@ -461,6 +470,10 @@ pub struct TcpRunOptions {
     pub route: RouteMode,
     /// Layered routing policy (default single-layer minimal/ECMP).
     pub policy: RoutingPolicy,
+    /// Telemetry recording (default off). Honoured by the fault and
+    /// churn runners, which attach a [`crate::RunTelemetry`] to their
+    /// reports.
+    pub telemetry: TelemetryOptions,
 }
 
 impl Default for TcpRunOptions {
@@ -470,6 +483,7 @@ impl Default for TcpRunOptions {
             switch_queue: QueueConfig::DROPTAIL_DEFAULT,
             route: RouteMode::EcmpFlow,
             policy: RoutingPolicy::minimal(),
+            telemetry: TelemetryOptions::default(),
         }
     }
 }
@@ -552,8 +566,8 @@ pub fn stripe(bytes: u64, n: usize) -> Vec<u64> {
     (0..n).map(|i| base + u64::from(i < extra)).collect()
 }
 
-pub(crate) fn collect_tcp_results(
-    sim: &Simulator<tcpsim::TcpPayload, TcpAgent>,
+pub(crate) fn collect_tcp_results<T: netsim::TelemetrySink>(
+    sim: &Simulator<tcpsim::TcpPayload, TcpAgent, T>,
     sessions: &[LogicalSession],
 ) -> Vec<TransferResult> {
     // One result per connection — each copy/stripe is its own flow,

@@ -2,6 +2,8 @@
 //! small-sample 95% confidence intervals (the paper's error bars are the
 //! 95% CI over 5 seeded repetitions).
 
+use polyraptor::metrics::percentile_sorted;
+
 /// A goodput rank curve: values sorted descending, exactly the y-series
 /// of Figures 1a/1b ("Rank of transport session" on x).
 #[derive(Debug, Clone)]
@@ -38,12 +40,14 @@ impl RankCurve {
 
     /// Median value.
     pub fn median(&self) -> f64 {
-        percentile_sorted_desc(&self.values, 50.0)
+        percentile_sorted(&self.values, 50.0)
     }
 
-    /// p-th percentile (0 = best, 100 = worst session).
+    /// p-th percentile (0 = best, 100 = worst session — the values are
+    /// sorted descending, and the shared nearest-rank helper is
+    /// order-agnostic).
     pub fn percentile(&self, p: f64) -> f64 {
-        percentile_sorted_desc(&self.values, p)
+        percentile_sorted(&self.values, p)
     }
 
     /// Arithmetic mean.
@@ -65,13 +69,6 @@ impl RankCurve {
             })
             .collect()
     }
-}
-
-fn percentile_sorted_desc(sorted_desc: &[f64], p: f64) -> f64 {
-    assert!(!sorted_desc.is_empty(), "percentile of empty series");
-    assert!((0.0..=100.0).contains(&p));
-    let idx = ((p / 100.0) * (sorted_desc.len() - 1) as f64).round() as usize;
-    sorted_desc[idx]
 }
 
 /// Arithmetic mean of a slice.

@@ -19,17 +19,61 @@
 //! and the new coalescing/restore counters, under both replica
 //! placements.
 //!
+//! `--telemetry` records the run (time-series buckets, fault/reroute
+//! annotations, flow spans, flight-recorder dumps) and writes
+//! `{fault,churn}_{fabric.csv,ports.csv,trace.json}` into
+//! `target/telemetry/`; the trace loads in Perfetto. Recording changes
+//! nothing else — the run stays byte-identical per seed.
+//!
 //! ```sh
 //! cargo run --release --example fabric_faults            # 250-host fabric
 //! cargo run --release --example fabric_faults -- --smoke # 16-host quick run
-//! cargo run --release --example fabric_faults -- --churn [--smoke]
+//! cargo run --release --example fabric_faults -- --churn [--smoke] [--telemetry]
 //! ```
 
-use polyraptor_repro::netsim::{FaultMask, NodeKind, Topology};
+use std::path::Path;
+
+use polyraptor_repro::netsim::{FabricStats, FaultMask, NodeKind, Topology};
 use polyraptor_repro::workload::{
     run_churn_rq, run_churn_tcp, run_fault_rq, run_fault_tcp, ChurnReport, ChurnScenario, Fabric,
-    FaultScenario, RankCurve, RqRunOptions, TcpRunOptions,
+    FaultScenario, RankCurve, RqRunOptions, RunTelemetry, TcpRunOptions, TelemetryOptions,
 };
+
+/// Where `--telemetry` artefacts land.
+const TELEMETRY_DIR: &str = "target/telemetry";
+
+/// Per-layer trim shares: each layer's trims as count and share of all
+/// layer-attributed trims, next to what the layer forwarded. Layers
+/// that neither forwarded nor trimmed anything are skipped.
+fn layer_trim_line(fabric: &FabricStats) -> String {
+    let total: u64 = fabric.layer_trimmed.iter().sum();
+    let parts: Vec<String> = fabric
+        .layer_forwarded
+        .iter()
+        .zip(&fabric.layer_trimmed)
+        .enumerate()
+        .filter(|(_, (&fwd, &trims))| fwd > 0 || trims > 0)
+        .map(|(l, (&fwd, &trims))| {
+            let share = if total == 0 {
+                0.0
+            } else {
+                trims as f64 * 100.0 / total as f64
+            };
+            format!("L{l} {trims} trims/{fwd} fwd ({share:.1}% of trims)")
+        })
+        .collect();
+    parts.join(", ")
+}
+
+fn write_telemetry(t: &RunTelemetry, prefix: &str) {
+    let paths = t
+        .write_files(Path::new(TELEMETRY_DIR), prefix)
+        .expect("write telemetry artefacts");
+    println!("  telemetry: {}", t.describe());
+    for p in paths {
+        println!("  telemetry: wrote {}", p.display());
+    }
+}
 
 /// Wall-clock the control-plane bill of one link failure on `fabric`:
 /// a full masked recomputation vs. the incremental repair.
@@ -96,9 +140,13 @@ fn churn_line(label: &str, rep: &ChurnReport) {
         rep.fabric.flaps_coalesced,
         rep.fabric.lost_to_fault,
     );
+    let layers = layer_trim_line(&rep.fabric);
+    if !layers.is_empty() {
+        println!("  {label:<14} per-layer trims: {layers}");
+    }
 }
 
-fn run_churn(smoke: bool) {
+fn run_churn(smoke: bool, telemetry: bool) {
     let (fabric, sessions, object_bytes, events) = if smoke {
         (Fabric::small(), 6, 2 << 20, 12)
     } else {
@@ -116,8 +164,15 @@ fn run_churn(smoke: bool) {
         sc.fault_events,
         sc.repair_delay_ns / 1_000_000,
     );
-    let rep = run_churn_rq(&sc, &fabric, &RqRunOptions::default());
+    let mut opts = RqRunOptions::default();
+    if telemetry {
+        opts.telemetry = TelemetryOptions::enabled_default();
+    }
+    let rep = run_churn_rq(&sc, &fabric, &opts);
     churn_line("default", &rep);
+    if let Some(t) = &rep.telemetry {
+        write_telemetry(t, "churn");
+    }
     let mut spread = sc;
     spread.shared_risk_placement = true;
     let rep_spread = run_churn_rq(&spread, &fabric, &RqRunOptions::default());
@@ -178,8 +233,9 @@ fn run_churn(smoke: bool) {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let telemetry = std::env::args().any(|a| a == "--telemetry");
     if std::env::args().any(|a| a == "--churn") {
-        run_churn(smoke);
+        run_churn(smoke, telemetry);
         return;
     }
     let (fabric, sessions, object_bytes) = if smoke {
@@ -195,7 +251,11 @@ fn main() {
         fabric.describe()
     );
 
-    let rq = run_fault_rq(&sc, &fabric, &RqRunOptions::default());
+    let mut rq_opts = RqRunOptions::default();
+    if telemetry {
+        rq_opts.telemetry = TelemetryOptions::enabled_default();
+    }
+    let rq = run_fault_rq(&sc, &fabric, &rq_opts);
     let rq_healthy = run_fault_rq(&sc.healthy(), &fabric, &RqRunOptions::default());
     let tcp = run_fault_tcp(&sc, &fabric, &TcpRunOptions::default());
     let tcp_healthy = run_fault_tcp(&sc.healthy(), &fabric, &TcpRunOptions::default());
@@ -237,6 +297,10 @@ fn main() {
                 rec.flows,
             );
         }
+    }
+
+    if let Some(t) = &rq.telemetry {
+        write_telemetry(t, "fault");
     }
 
     // Batch sweep recovery, isolated: the identical Polyraptor run with

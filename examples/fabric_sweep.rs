@@ -16,11 +16,15 @@
 //! Every run is seeded end to end — identical invocations are
 //! byte-identical. CSV goes to stdout (one block per sweep); pass
 //! `--out <dir>` to also write `sweep_*.csv` files via `workload::csv`.
+//! `--telemetry` additionally records each layer-sweep run and writes
+//! `layers{N}_{fabric.csv,ports.csv,trace.json}` (Perfetto-loadable,
+//! with layer re-assignment annotations) next to the sweep CSVs —
+//! recording never perturbs the seeded results.
 //!
 //! ```sh
 //! cargo run --release --example fabric_sweep            # full scale
 //! cargo run --release --example fabric_sweep -- --smoke # quick run
-//! cargo run --release --example fabric_sweep -- --out target/figures
+//! cargo run --release --example fabric_sweep -- --out target/figures [--telemetry]
 //! ```
 
 use std::path::PathBuf;
@@ -28,7 +32,7 @@ use std::path::PathBuf;
 use polyraptor_repro::netsim::{FaultMix, RoutingPolicy};
 use polyraptor_repro::workload::{
     csv, run_churn_rq, run_fault_rq, run_fault_tcp, ChurnScenario, Fabric, FaultScenario,
-    RqRunOptions, TcpRunOptions,
+    RqRunOptions, TcpRunOptions, TelemetryOptions,
 };
 
 /// The Jellyfish layer sweep's fault scenario: links-only churn (link
@@ -53,6 +57,7 @@ fn emit(out: &Option<PathBuf>, name: &str, header: &[&str], rows: Vec<Vec<f64>>)
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let telemetry = args.iter().any(|a| a == "--telemetry");
     let out: Option<PathBuf> = args
         .iter()
         .position(|a| a == "--out")
@@ -189,6 +194,11 @@ fn main() {
     for layers in [1usize, 2, 3, 4] {
         let opts = RqRunOptions {
             policy: RoutingPolicy::layered(layers, 7),
+            telemetry: if telemetry {
+                TelemetryOptions::enabled_default()
+            } else {
+                TelemetryOptions::default()
+            },
             ..Default::default()
         };
         let rep = run_churn_rq(
@@ -196,6 +206,18 @@ fn main() {
             &fabric,
             &opts,
         );
+        if let Some(t) = &rep.telemetry {
+            let dir = out
+                .clone()
+                .unwrap_or_else(|| PathBuf::from("target/telemetry"));
+            let paths = t
+                .write_files(&dir, &format!("layers{layers}"))
+                .expect("write layer-sweep telemetry");
+            println!("# telemetry ({layers} layers): {}", t.describe());
+            for p in paths {
+                println!("# telemetry: wrote {}", p.display());
+            }
+        }
         let c = rep.completion();
         tails.push(c.max_ns);
         rows.push(vec![
