@@ -17,6 +17,12 @@
 //! if the disabled-telemetry loop falls below 95 % of baseline speed:
 //! the "off by default, zero hot-path cost" contract, held in CI.
 //!
+//! The rq section decodes a lossless paper-scale block (4 MB, K = 2913)
+//! through the systematic zero-copy fast path and through the legacy
+//! solver path it replaces, and fails if the speedup drops below
+//! `--min-rq-ratio` (default 3; measured ~20x) — the codec tentpole's
+//! perf claim, held in CI.
+//!
 //! ```sh
 //! cargo run --release -p polyraptor_bench --bin bench_smoke -- \
 //!     --smoke --out BENCH_csr.json --min-ratio 1.2
@@ -302,6 +308,64 @@ fn telemetry_overhead(t: &Topology, repeats: usize) -> TelemetryBench {
     }
 }
 
+struct RqBench {
+    k: usize,
+    symbol_size: usize,
+    fast_ns: f64,
+    legacy_solver_ns: f64,
+}
+
+/// The systematic-codec fast-path gate: decode a lossless paper-scale
+/// block (4 MB at 1440-byte symbols, K = 2913) via the systematic
+/// zero-copy path and via the legacy construction *forced through the
+/// solver* — the work the fast path exists to avoid. (Legacy
+/// `try_decode` also shortcuts a complete source receipt, so the honest
+/// baseline is the solver entry point.) The interleaved medians feed
+/// the `--min-rq-ratio` gate.
+fn rq_fast_path(repeats: usize) -> RqBench {
+    let symbol_size = 1440usize;
+    let data: Vec<u8> = (0..(4usize << 20)).map(|i| (i * 131 + 17) as u8).collect();
+    let sys = rq::Encoder::new(&data, symbol_size).expect("non-empty block");
+    let leg = rq::Encoder::legacy(&data, symbol_size).expect("non-empty block");
+    let k = sys.params().k;
+    let receive_all = |enc: &rq::Encoder| {
+        let mut dec = rq::Decoder::new(enc.params());
+        for esi in 0..k as u32 {
+            dec.push(esi, enc.symbol(esi));
+        }
+        dec
+    };
+    let dec_sys = receive_all(&sys);
+    let dec_leg = receive_all(&leg);
+    // Warm both paths once and pin byte-identity of their outputs.
+    assert_eq!(
+        dec_sys.try_decode().expect("lossless decode"),
+        dec_leg.try_decode_solver().expect("lossless decode"),
+        "fast path and legacy solver must agree"
+    );
+    let mut fast = Vec::with_capacity(repeats);
+    let mut solver = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let start = Instant::now();
+        std::hint::black_box(dec_sys.try_decode().expect("lossless decode"));
+        fast.push(start.elapsed().as_nanos() as f64);
+        let start = Instant::now();
+        std::hint::black_box(dec_leg.try_decode_solver().expect("lossless decode"));
+        solver.push(start.elapsed().as_nanos() as f64);
+    }
+    assert_eq!(
+        dec_sys.decode_stats().solver_decodes,
+        0,
+        "the gated path must never touch the solver"
+    );
+    RqBench {
+        k,
+        symbol_size,
+        fast_ns: median(fast),
+        legacy_solver_ns: median(solver),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -314,6 +378,9 @@ fn main() {
     let min_ratio: f64 = flag("--min-ratio")
         .map(|v| v.parse().expect("--min-ratio takes a number"))
         .unwrap_or(1.2);
+    let min_rq_ratio: f64 = flag("--min-rq-ratio")
+        .map(|v| v.parse().expect("--min-rq-ratio takes a number"))
+        .unwrap_or(3.0);
     let repeats = if smoke { 9 } else { 31 };
 
     let k = 10usize;
@@ -323,15 +390,22 @@ fn main() {
     let fwd = forwarding(&t, repeats);
     let rep = repairs(&t, repeats);
     let tel = telemetry_overhead(&t, repeats);
+    let rq_bench = rq_fast_path(repeats);
     let ratio = fwd.nested_ns / fwd.flat_ns;
     let csr_pass = ratio >= min_ratio;
+    // Systematic no-loss decode vs the legacy solver path it replaces:
+    // measured ~20x at paper scale; the 3x default floor leaves a wide
+    // margin for shared-runner noise while still catching any solver
+    // work leaking back into the lossless path.
+    let rq_ratio = rq_bench.legacy_solver_ns / rq_bench.fast_ns;
+    let rq_pass = rq_ratio >= min_rq_ratio;
     // Telemetry-off event loop vs the compiled-out baseline: >= 1.0
     // means free; the 0.95 floor absorbs shared-runner noise while
     // still catching any real per-event cost sneaking into the sink.
     let min_telemetry_ratio = 0.95f64;
     let telemetry_ratio = tel.baseline_ns / tel.off_ns;
     let telemetry_pass = telemetry_ratio >= min_telemetry_ratio;
-    let pass = csr_pass && telemetry_pass;
+    let pass = csr_pass && telemetry_pass && rq_pass;
 
     let json = format!(
         "{{\n  \"schema\": \"polyraptor-bench-csr/v1\",\n  \"mode\": \"{}\",\n  \
@@ -345,6 +419,9 @@ fn main() {
          \"telemetry\": {{\"baseline_run_ns\": {:.0}, \"off_run_ns\": {:.0}, \
          \"ratio_off_over_baseline\": {:.3}, \"packets_per_host\": {}, \
          \"min_telemetry_ratio\": {min_telemetry_ratio}}},\n  \
+         \"rq\": {{\"k\": {}, \"symbol_size\": {}, \
+         \"systematic_noloss_ns\": {:.0}, \"legacy_solver_ns\": {:.0}, \
+         \"ratio_legacy_over_systematic\": {:.3}, \"min_rq_ratio\": {min_rq_ratio}}},\n  \
          \"min_ratio\": {min_ratio},\n  \"pass\": {pass}\n}}\n",
         if smoke { "smoke" } else { "full" },
         fwd.flat_ns,
@@ -359,6 +436,11 @@ fn main() {
         tel.off_ns,
         telemetry_ratio,
         tel.per_host,
+        rq_bench.k,
+        rq_bench.symbol_size,
+        rq_bench.fast_ns,
+        rq_bench.legacy_solver_ns,
+        rq_ratio,
     );
     std::fs::write(&out, &json).expect("write BENCH_csr.json");
     print!("{json}");
@@ -375,6 +457,14 @@ fn main() {
         tel.off_ns / 1e6,
         tel.baseline_ns / 1e6,
         if telemetry_pass { "pass" } else { "FAIL" },
+    );
+    println!(
+        "rq no-loss decode: systematic {:.2} ms vs legacy solver {:.2} ms at k={} \
+         ({rq_ratio:.1}x, threshold {min_rq_ratio}x) -> {}",
+        rq_bench.fast_ns / 1e6,
+        rq_bench.legacy_solver_ns / 1e6,
+        rq_bench.k,
+        if rq_pass { "pass" } else { "FAIL" },
     );
     if !pass {
         std::process::exit(1);

@@ -1,6 +1,7 @@
 //! Protocol configuration.
 
 use netsim::serialization_ns;
+use rq::CodeMode;
 
 /// How a multicast sender converts receiver pulls into group emissions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +53,14 @@ pub struct PrConfig {
     pub pull_spacing_ns: u64,
     /// Oracle mode (see [`OracleMode`]).
     pub oracle: OracleMode,
+    /// Code construction mode for real-oracle sessions (see
+    /// [`rq::CodeMode`]). [`CodeMode::Systematic`] (the default) encodes
+    /// without a solve and gives receivers the zero-copy decode fast
+    /// path; [`CodeMode::Legacy`] keeps the solve-based construction for
+    /// A/B comparison. Under [`OracleMode::Counting`] no symbol bytes are
+    /// materialized, so the mode has no effect on packet-level results —
+    /// emission order and ESI spaces are identical in both modes.
+    pub code_mode: CodeMode,
     /// Re-pull a quiet session after this many nanoseconds (loss of all
     /// in-flight anchors is rare but must not wedge a session).
     pub retransmit_timeout_ns: u64,
@@ -108,6 +117,7 @@ impl PrConfig {
             initial_window: 16,
             pull_spacing_ns: serialization_ns(pkt, rate),
             oracle: OracleMode::Counting,
+            code_mode: CodeMode::Systematic,
             retransmit_timeout_ns: 2_000_000, // 2 ms
             sweep_interval_ns: 1_000_000,     // 1 ms
             straggler_lag: None,
@@ -125,6 +135,15 @@ impl PrConfig {
         Self {
             oracle: OracleMode::Real,
             ..Self::paper_default()
+        }
+    }
+
+    /// Same as [`PrConfig::real_oracle`] but with the legacy solve-based
+    /// code construction — the A/B baseline for the systematic fast path.
+    pub fn real_oracle_legacy_code() -> Self {
+        Self {
+            code_mode: CodeMode::Legacy,
+            ..Self::real_oracle()
         }
     }
 

@@ -16,7 +16,7 @@
 
 use std::collections::HashSet;
 
-use rq::{Decoder, Encoder};
+use rq::{CodeMode, Decoder, Encoder};
 
 use crate::wire::SessionId;
 
@@ -74,10 +74,12 @@ impl Oracle {
     }
 
     /// Real oracle: builds the decoder for the canonical session object
-    /// (see [`session_object`]).
-    pub fn real(session: SessionId, data_len: usize, symbol_size: usize) -> Self {
+    /// (see [`session_object`]) under the given code construction mode —
+    /// it must match the sender's mode or decoding fails outright.
+    pub fn real(session: SessionId, data_len: usize, symbol_size: usize, mode: CodeMode) -> Self {
         let data = session_object(session, data_len);
-        let enc = Encoder::new(&data, symbol_size).expect("session object is non-empty");
+        let enc =
+            Encoder::with_mode(&data, symbol_size, mode).expect("session object is non-empty");
         Oracle::Real {
             decoder: Decoder::new(enc.params()),
             expected: data,
@@ -259,7 +261,7 @@ mod tests {
         let data = session_object(session, len);
         let enc = Encoder::new(&data, 512).unwrap();
         let k = enc.params().k as u32;
-        let mut o = Oracle::real(session, len, 512);
+        let mut o = Oracle::real(session, len, 512, CodeMode::Systematic);
         // Drop one source symbol, push the rest plus two repairs.
         let mut done = false;
         for esi in 1..k {

@@ -92,7 +92,9 @@ impl ReceiverSession {
         let k = cfg.k_for(spec.data_len);
         let oracle = match cfg.oracle {
             OracleMode::Counting => Oracle::counting(spec.id, k, seed),
-            OracleMode::Real => Oracle::real(spec.id, spec.data_len, cfg.symbol_size),
+            OracleMode::Real => {
+                Oracle::real(spec.id, spec.data_len, cfg.symbol_size, cfg.code_mode)
+            }
         };
         let n_senders = spec.senders.len();
         let share = cfg.per_sender_window(spec.data_len, n_senders);

@@ -74,7 +74,10 @@ impl SenderSession {
             OracleMode::Counting => None,
             OracleMode::Real => {
                 let data = session_object(spec.id, spec.data_len);
-                Some(rq::Encoder::new(&data, cfg.symbol_size).expect("non-empty session object"))
+                Some(
+                    rq::Encoder::with_mode(&data, cfg.symbol_size, cfg.code_mode)
+                        .expect("non-empty session object"),
+                )
             }
         };
         let n_recv = spec.receivers.len();

@@ -1,13 +1,14 @@
 //! Decoder for a single source block.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 
 use crate::encoder::CodeParams;
 use crate::gf256;
-use crate::matrix::{hdpc_rows, ldpc_rows, lt_row, ConstraintRow};
-use crate::params::BlockParams;
+use crate::matrix::{hdpc_rows, ldpc_rows, lt_row, ConstraintRow, RowKind};
+use crate::params::{BlockParams, CodeMode};
 use crate::solver::{solve, SolveError};
-use crate::tuple::lt_columns;
+use crate::tuple::{lt_columns, lt_columns_with_floor};
 
 /// Decode outcome when the data is not (yet) recoverable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +45,22 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// Which decode paths a [`Decoder`] has taken so far — instrumentation for
+/// the fast-path contract ("the solver is *not* invoked when all `K`
+/// source symbols arrive") and for A/B benchmarking.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Successful decodes that took the zero-copy fast path (all source
+    /// symbols present; no linear algebra).
+    pub fast_path_decodes: u64,
+    /// Decodes (successful or not) that invoked the inactivation solver.
+    pub solver_decodes: u64,
+    /// Number of unknowns in the most recent solver invocation. In
+    /// systematic mode this is `missing + S + H` — it shrinks with the
+    /// loss count; in legacy mode it is always `L`.
+    pub last_solve_unknowns: usize,
+}
+
 /// Rateless decoder for one source block.
 ///
 /// Feed it encoding symbols in any order with [`Decoder::push`]; call
@@ -69,6 +86,7 @@ pub struct Decoder {
     code: CodeParams,
     received: BTreeMap<u32, Vec<u8>>,
     source_seen: usize,
+    stats: Cell<DecodeStats>,
 }
 
 impl Decoder {
@@ -80,6 +98,7 @@ impl Decoder {
             code,
             received: BTreeMap::new(),
             source_seen: 0,
+            stats: Cell::new(DecodeStats::default()),
         }
     }
 
@@ -120,14 +139,28 @@ impl Decoder {
         self.code
     }
 
+    /// Decode-path counters — see [`DecodeStats`].
+    pub fn decode_stats(&self) -> DecodeStats {
+        self.stats.get()
+    }
+
     /// Attempt to decode the block. On success returns exactly the
     /// original data (padding stripped).
+    ///
+    /// When every source symbol arrived this is the zero-copy fast path:
+    /// received symbols are appended straight into the output buffer and
+    /// no linear algebra runs at all (observable via [`DecodeStats`]).
+    /// Otherwise the solver runs — in [`CodeMode::Systematic`] a *reduced*
+    /// solve seeded with the known source symbols, in [`CodeMode::Legacy`]
+    /// the full `L×L` system.
     pub fn try_decode(&self) -> Result<Vec<u8>, DecodeError> {
-        let k = self.code.k;
-        let t = self.code.symbol_size;
-
         // Fast path: all source symbols present, no linear algebra at all.
         if self.systematic_complete() {
+            let mut st = self.stats.get();
+            st.fast_path_decodes += 1;
+            self.stats.set(st);
+            let k = self.code.k;
+            let t = self.code.symbol_size;
             let mut out = Vec::with_capacity(k * t);
             for esi in 0..k as u32 {
                 out.extend_from_slice(&self.received[&esi]);
@@ -135,15 +168,146 @@ impl Decoder {
             out.truncate(self.code.data_len);
             return Ok(out);
         }
+        self.try_decode_solver()
+    }
 
-        if self.received.len() < k {
+    /// Decode via the solver even when the fast path is eligible.
+    ///
+    /// Exists for the fast-path/solver equivalence tests and for A/B
+    /// benchmarking the fast path against the work it avoids; production
+    /// callers want [`Decoder::try_decode`].
+    pub fn try_decode_solver(&self) -> Result<Vec<u8>, DecodeError> {
+        if self.received.len() < self.code.k {
             return Err(DecodeError::NeedMoreSymbols {
                 have: self.received.len(),
-                need: k,
+                need: self.code.k,
             });
         }
+        match self.code.mode {
+            CodeMode::Systematic => self.decode_systematic(),
+            CodeMode::Legacy => self.decode_legacy(),
+        }
+    }
 
-        // Full solve: precode constraints + one LT row per received symbol.
+    /// Reduced solve for the systematic construction: received source
+    /// symbols pin intermediate columns `0..k` directly, so the unknowns
+    /// are only the *missing* source columns plus the `S + H` parity
+    /// columns. Every constraint row is projected onto those unknowns,
+    /// with the known-source contributions folded into its RHS — the
+    /// "seeding" that makes the system shrink with the loss count.
+    fn decode_systematic(&self) -> Result<Vec<u8>, DecodeError> {
+        let k = self.code.k;
+        let t = self.code.symbol_size;
+        let p = &self.params;
+
+        // Compact unknown indices: missing source columns first
+        // (ascending), then all parity columns `k..l`.
+        let missing: Vec<u32> = (0..k as u32)
+            .filter(|esi| !self.received.contains_key(esi))
+            .collect();
+        let m = missing.len();
+        let n_unknown = m + p.s + p.h;
+        const KNOWN: u32 = u32::MAX;
+        let mut compact = vec![KNOWN; p.l];
+        for (i, &c) in missing.iter().enumerate() {
+            compact[c as usize] = i as u32;
+        }
+        for (i, c) in (k..p.l).enumerate() {
+            compact[c] = (m + i) as u32;
+        }
+
+        let n_repair = self.received.len() - (k - m);
+        let mut rows: Vec<ConstraintRow> = Vec::with_capacity(p.s + p.h + n_repair);
+
+        // Project a binary row: unknown columns survive (remapped), known
+        // source columns XOR into the RHS.
+        let project_binary = |cols: Vec<u32>, mut value: Vec<u8>| -> ConstraintRow {
+            let mut ucols = Vec::with_capacity(cols.len());
+            for c in cols {
+                match compact[c as usize] {
+                    KNOWN => gf256::xor_assign(&mut value, &self.received[&c]),
+                    u => ucols.push(u),
+                }
+            }
+            ConstraintRow {
+                kind: RowKind::Binary { cols: ucols },
+                value,
+            }
+        };
+
+        for row in ldpc_rows(p, t) {
+            let RowKind::Binary { cols } = row.kind else {
+                unreachable!("LDPC rows are binary")
+            };
+            rows.push(project_binary(cols, row.value));
+        }
+        for row in hdpc_rows(p, 0, t) {
+            let RowKind::Dense { coefs } = row.kind else {
+                unreachable!("HDPC rows are dense")
+            };
+            let mut value = row.value;
+            let mut ucoefs = vec![0u8; n_unknown];
+            for (c, &coef) in coefs.iter().enumerate() {
+                if coef == 0 {
+                    continue;
+                }
+                match compact[c] {
+                    KNOWN => gf256::addmul(&mut value, &self.received[&(c as u32)], coef),
+                    u => ucoefs[u as usize] = coef,
+                }
+            }
+            rows.push(ConstraintRow {
+                kind: RowKind::Dense { coefs: ucoefs },
+                value,
+            });
+        }
+        // One row per received repair symbol; its LT columns over the
+        // intermediates (degree-floored in systematic mode, matching the
+        // encoder), known sources folded into the RHS.
+        for (&esi, sym) in self.received.range(k as u32..) {
+            let cols = lt_columns_with_floor(
+                p,
+                self.code.tweak,
+                esi,
+                crate::params::sys_repair_min_degree(p.l),
+            );
+            rows.push(project_binary(cols, sym.clone()));
+        }
+
+        let mut st = self.stats.get();
+        st.solver_decodes += 1;
+        st.last_solve_unknowns = n_unknown;
+        self.stats.set(st);
+
+        let solution = match solve(n_unknown, rows, t) {
+            Ok(c) => c,
+            Err(SolveError::Singular) => {
+                return Err(DecodeError::RankDeficient {
+                    have: self.received.len(),
+                })
+            }
+        };
+
+        // Assemble: received source symbols verbatim, missing ones straight
+        // from the solution (in systematic mode the intermediate *is* the
+        // source symbol — no LT re-encode needed).
+        let mut out = Vec::with_capacity(k * t);
+        for esi in 0..k as u32 {
+            if let Some(sym) = self.received.get(&esi) {
+                out.extend_from_slice(sym);
+            } else {
+                out.extend_from_slice(&solution[compact[esi as usize] as usize]);
+            }
+        }
+        out.truncate(self.code.data_len);
+        Ok(out)
+    }
+
+    /// Full solve for the legacy construction: precode constraints plus
+    /// one LT row per received symbol, over all `L` intermediates.
+    fn decode_legacy(&self) -> Result<Vec<u8>, DecodeError> {
+        let k = self.code.k;
+        let t = self.code.symbol_size;
         let mut rows: Vec<ConstraintRow> =
             Vec::with_capacity(self.params.s + self.params.h + self.received.len());
         rows.extend(ldpc_rows(&self.params, t));
@@ -151,6 +315,12 @@ impl Decoder {
         for (&esi, sym) in &self.received {
             rows.push(lt_row(&self.params, self.code.tweak, esi, sym.clone()));
         }
+
+        let mut st = self.stats.get();
+        st.solver_decodes += 1;
+        st.last_solve_unknowns = self.params.l;
+        self.stats.set(st);
+
         let intermediates = match solve(self.params.l, rows, t) {
             Ok(c) => c,
             Err(SolveError::Singular) => {

@@ -1,10 +1,10 @@
 //! Systematic encoder for a single source block.
 
 use crate::gf256;
-use crate::matrix::{hdpc_rows, ldpc_rows, lt_row, ConstraintRow};
-use crate::params::BlockParams;
+use crate::matrix::{hdpc_rows, ldpc_rows, lt_row, ConstraintRow, RowKind};
+use crate::params::{BlockParams, CodeMode};
 use crate::solver::{solve, SolveError};
-use crate::tuple::lt_columns;
+use crate::tuple::lt_columns_with_floor;
 
 /// Everything a decoder must know to decode one block. Communicated
 /// out-of-band (in Polyraptor: at session establishment), like RFC 6330's
@@ -17,9 +17,13 @@ pub struct CodeParams {
     pub symbol_size: usize,
     /// Length of the real data (the last symbol may carry zero padding).
     pub data_len: usize,
-    /// Construction tweak: bumped (rarely) until the systematic constraint
-    /// matrix is invertible for this `k`.
+    /// Construction tweak: bumped (rarely) until the legacy systematic
+    /// constraint matrix is invertible for this `k`. Always 0 in
+    /// [`CodeMode::Systematic`] — the direct construction cannot fail.
     pub tweak: u8,
+    /// Intermediate-block construction mode; encoder and decoder must
+    /// agree, so it travels with the block parameters.
+    pub mode: CodeMode,
 }
 
 /// Errors from encoder construction.
@@ -66,6 +70,12 @@ impl std::error::Error for EncodeError {}
 /// latency); `esi >= k` returns repair symbols, of which there are
 /// effectively unlimited (`u32` space).
 ///
+/// In the default [`CodeMode::Systematic`] mode construction is solve-free
+/// (the intermediates are source plus directly-computed parity);
+/// [`Encoder::legacy`] keeps the original solve-based construction for A/B
+/// comparison. Either way the intermediate precompute happens once here
+/// and is reused across every repair symbol.
+///
 /// ```
 /// use rq::Encoder;
 /// let data = vec![7u8; 4000];
@@ -85,8 +95,21 @@ pub struct Encoder {
 }
 
 impl Encoder {
-    /// Build an encoder over `data` with the given symbol size.
+    /// Build an encoder over `data` with the given symbol size, in the
+    /// default [`CodeMode::Systematic`] mode (direct parity construction,
+    /// no solve).
     pub fn new(data: &[u8], symbol_size: usize) -> Result<Self, EncodeError> {
+        Self::with_mode(data, symbol_size, CodeMode::Systematic)
+    }
+
+    /// Build an encoder in the solve-based [`CodeMode::Legacy`] mode —
+    /// kept for A/B comparison against the systematic fast path.
+    pub fn legacy(data: &[u8], symbol_size: usize) -> Result<Self, EncodeError> {
+        Self::with_mode(data, symbol_size, CodeMode::Legacy)
+    }
+
+    /// Build an encoder over `data` in an explicit mode.
+    pub fn with_mode(data: &[u8], symbol_size: usize, mode: CodeMode) -> Result<Self, EncodeError> {
         assert!(symbol_size > 0, "symbol size must be positive");
         if data.is_empty() {
             return Err(EncodeError::EmptyData);
@@ -106,28 +129,102 @@ impl Encoder {
         }
         let params = BlockParams::new(k);
 
-        // Find a construction tweak that makes the systematic matrix
-        // invertible. Attempt 0 works essentially always.
-        for tweak in 0u8..=255 {
-            match Self::derive_intermediates(&params, tweak, &source, symbol_size) {
-                Ok(intermediates) => {
-                    let code = CodeParams {
+        match mode {
+            CodeMode::Systematic => {
+                // Direct construction: no solve, no tweak, cannot fail.
+                let intermediates = Self::systematic_intermediates(&params, &source, symbol_size);
+                Ok(Self {
+                    params,
+                    code: CodeParams {
                         k,
                         symbol_size,
                         data_len: data.len(),
-                        tweak,
-                    };
-                    return Ok(Self {
-                        params,
-                        code,
-                        source,
-                        intermediates,
-                    });
+                        tweak: 0,
+                        mode,
+                    },
+                    source,
+                    intermediates,
+                })
+            }
+            CodeMode::Legacy => {
+                // Find a construction tweak that makes the systematic
+                // matrix invertible. Attempt 0 works essentially always.
+                for tweak in 0u8..=255 {
+                    match Self::derive_intermediates(&params, tweak, &source, symbol_size) {
+                        Ok(intermediates) => {
+                            let code = CodeParams {
+                                k,
+                                symbol_size,
+                                data_len: data.len(),
+                                tweak,
+                                mode,
+                            };
+                            return Ok(Self {
+                                params,
+                                code,
+                                source,
+                                intermediates,
+                            });
+                        }
+                        Err(SolveError::Singular) => continue,
+                    }
                 }
-                Err(SolveError::Singular) => continue,
+                Err(EncodeError::ConstructionFailed)
             }
         }
-        Err(EncodeError::ConstructionFailed)
+    }
+
+    /// Direct systematic construction: the intermediate block is
+    /// `[source | LDPC parity | HDPC parity]`, each parity symbol computed
+    /// straight from its constraint row — a couple of streaming passes over
+    /// the block instead of an `L×L` inactivation solve.
+    ///
+    /// This works because the precode rows are triangular over the parity
+    /// columns: LDPC row `j` touches only source columns plus its identity
+    /// column `K+j`, and HDPC row `h` touches columns `[0, K+S)` plus its
+    /// identity column `K+S+h` — so each parity symbol is determined by
+    /// columns constructed before it.
+    fn systematic_intermediates(
+        params: &BlockParams,
+        source: &[Vec<u8>],
+        symbol_size: usize,
+    ) -> Vec<Vec<u8>> {
+        let k = params.k;
+        let ks = k + params.s;
+        let mut c: Vec<Vec<u8>> = Vec::with_capacity(params.l);
+        c.extend(source.iter().cloned());
+        // LDPC parity: row j is `C[k+j] + XOR(source cols) = 0`.
+        for row in ldpc_rows(params, symbol_size) {
+            let RowKind::Binary { cols } = row.kind else {
+                unreachable!("LDPC rows are binary")
+            };
+            debug_assert_eq!(
+                cols.iter().filter(|&&col| col as usize >= k).count(),
+                1,
+                "LDPC row must touch exactly one parity column (its identity)"
+            );
+            let mut sym = vec![0u8; symbol_size];
+            for col in cols {
+                if (col as usize) < k {
+                    gf256::xor_assign(&mut sym, &c[col as usize]);
+                }
+            }
+            c.push(sym);
+        }
+        // HDPC parity: row h is `C[ks+h] + Σ coef_j · C[j] = 0` over
+        // `j < K+S`, all of which are already constructed.
+        for row in hdpc_rows(params, 0, symbol_size) {
+            let RowKind::Dense { coefs } = row.kind else {
+                unreachable!("HDPC rows are dense")
+            };
+            let mut sym = vec![0u8; symbol_size];
+            for (j, &coef) in coefs.iter().enumerate().take(ks) {
+                gf256::addmul(&mut sym, &c[j], coef);
+            }
+            c.push(sym);
+        }
+        debug_assert_eq!(c.len(), params.l);
+        c
     }
 
     /// Solve the L×L systematic system: precode constraints plus the LT
@@ -171,10 +268,18 @@ impl Encoder {
         }
     }
 
-    /// LT-encode any ESI from the intermediates (also used by tests to
-    /// confirm the systematic property `lt_encode(i) == source[i]`).
+    /// LT-encode any ESI from the intermediates.
+    ///
+    /// In [`CodeMode::Legacy`] this satisfies the solve-enforced property
+    /// `lt_encode(i) == source[i]` for `i < k` (confirmed by tests). In
+    /// [`CodeMode::Systematic`] it is only meaningful for repair ESIs —
+    /// source symbols are emitted verbatim, not via the LT relation.
     pub fn lt_encode(&self, esi: u32) -> Vec<u8> {
-        let cols = lt_columns(&self.params, self.code.tweak, esi);
+        let min_d = match self.code.mode {
+            CodeMode::Systematic => crate::params::sys_repair_min_degree(self.params.l),
+            CodeMode::Legacy => 0,
+        };
+        let cols = lt_columns_with_floor(&self.params, self.code.tweak, esi, min_d);
         let mut out = vec![0u8; self.code.symbol_size];
         for c in cols {
             gf256::xor_assign(&mut out, &self.intermediates[c as usize]);
@@ -193,33 +298,83 @@ mod tests {
 
     #[test]
     fn construction_succeeds_for_many_k() {
-        // The systematic solve uses exactly L rows, so a duplicate LT
-        // tuple (birthday-bounded, ~10% per attempt) makes it singular;
-        // the construction tweak retries deterministically — RFC 6330
-        // solves the same problem with its K' padding table. Assert the
-        // retry count stays small rather than demanding zero.
+        // Legacy mode: the systematic solve uses exactly L rows, so a
+        // duplicate LT tuple (birthday-bounded, ~10% per attempt) makes it
+        // singular; the construction tweak retries deterministically — RFC
+        // 6330 solves the same problem with its K' padding table. Assert
+        // the retry count stays small rather than demanding zero.
         for k in [1usize, 2, 3, 5, 8, 13, 50, 101, 256, 500] {
             let d = data(k * 16);
-            let enc = Encoder::new(&d, 16).unwrap();
+            let enc = Encoder::legacy(&d, 16).unwrap();
             assert_eq!(enc.params().k, k, "k mismatch");
             assert!(
                 enc.params().tweak <= 8,
                 "k={k} needed {} construction retries — structural problem",
                 enc.params().tweak
             );
+            // Systematic mode never retries: the direct construction
+            // cannot be singular.
+            let sys = Encoder::new(&d, 16).unwrap();
+            assert_eq!(sys.params().tweak, 0);
+            assert_eq!(sys.params().mode, CodeMode::Systematic);
+        }
+    }
+
+    #[test]
+    fn systematic_intermediates_satisfy_precode() {
+        // The direct construction must produce intermediates that satisfy
+        // every LDPC and HDPC constraint row (zero RHS), i.e. exactly what
+        // a decoder's reduced solve assumes.
+        for k in [1usize, 2, 7, 40, 313] {
+            let d = data(k * 24);
+            let enc = Encoder::new(&d, 24).unwrap();
+            let params = enc.block_params();
+            let mut rows = ldpc_rows(&params, 24);
+            rows.extend(hdpc_rows(&params, 0, 24));
+            for (ri, row) in rows.iter().enumerate() {
+                let mut acc = vec![0u8; 24];
+                match &row.kind {
+                    RowKind::Binary { cols } => {
+                        for &c in cols {
+                            gf256::xor_assign(&mut acc, &enc.intermediates[c as usize]);
+                        }
+                    }
+                    RowKind::Dense { coefs } => {
+                        for (j, &coef) in coefs.iter().enumerate() {
+                            gf256::addmul(&mut acc, &enc.intermediates[j], coef);
+                        }
+                    }
+                }
+                assert!(
+                    acc.iter().all(|&b| b == 0),
+                    "k={k}: precode row {ri} not satisfied"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn systematic_source_symbols_verbatim() {
+        let d = data(1000);
+        let enc = Encoder::new(&d, 100).unwrap();
+        for i in 0..enc.params().k {
+            let sym = enc.symbol(i as u32);
+            let start = i * 100;
+            let end = (start + 100).min(d.len());
+            assert_eq!(&sym[..end - start], &d[start..end]);
         }
     }
 
     #[test]
     fn nonzero_tweak_roundtrips() {
-        // Force the retry path by scanning for a K that needs tweak > 0
-        // (rare since the PI column landed, but the mechanism must keep
-        // working): encoder and decoder must agree on the retried
-        // construction end to end.
+        // Force the legacy retry path by scanning for a K that needs
+        // tweak > 0 (rare since the PI column landed, but the mechanism
+        // must keep working): encoder and decoder must agree on the
+        // retried construction end to end.
         let mut exercised = false;
         for k in 90..=600usize {
             let d = data(k * 16);
-            let enc = Encoder::new(&d, 16).unwrap();
+            let enc = Encoder::legacy(&d, 16).unwrap();
             if enc.params().tweak == 0 {
                 continue;
             }
@@ -247,11 +402,11 @@ mod tests {
 
     #[test]
     fn systematic_property() {
-        // The whole point of the systematic construction: LT(esi<k)
-        // reproduces the source symbols bit-exactly.
+        // Legacy mode's defining property: the solve pins LT(esi<k) to
+        // the source symbols bit-exactly.
         for k in [1usize, 4, 37, 200] {
             let d = data(k * 24);
-            let enc = Encoder::new(&d, 24).unwrap();
+            let enc = Encoder::legacy(&d, 24).unwrap();
             for i in 0..k as u32 {
                 assert_eq!(
                     enc.lt_encode(i),

@@ -6,8 +6,12 @@
 //! is two table lookups and an addition.
 //!
 //! Besides scalar arithmetic this module provides the *symbol* operations
-//! the codec is built from: XOR of whole symbols and fused
-//! multiply-accumulate (`dst += c · src`), both with a `u64`-wide fast path.
+//! the codec is built from: XOR of whole symbols (`u64`-wide,
+//! autovectorizable) and table-driven multiply-accumulate / scaling over
+//! whole slices ([`addmul`], [`mul_slice`]) that index one 256-byte row of
+//! a compile-time 64 KiB product table per coefficient — branchless in the
+//! per-byte loop, which is what the solver's forward-elimination and dense
+//! phases spend their time in.
 
 /// The reduction polynomial, `x^8 + x^4 + x^3 + x^2 + 1`, as the low 9 bits.
 pub const POLY: u16 = 0x11D;
@@ -24,6 +28,17 @@ pub static EXP: [u8; 510] = build_exp();
 /// Log table: `LOG[x] = log_α x` for `x != 0`. `LOG[0]` is a sentinel (0)
 /// and must never be used; all callers guard against zero operands.
 pub static LOG: [u8; 256] = build_log();
+
+/// Full 256×256 product table: `MUL_TABLE[a][b] = a · b`.
+///
+/// 64 KiB, built at compile time. The symbol-slice hot loops
+/// ([`addmul`], [`mul_slice`]) index one *row* of this table, which turns
+/// the per-byte work into a single data-dependent load and an XOR — no
+/// zero-operand branch and no log-domain addition as with the
+/// [`EXP`]/[`LOG`] pair. The row layout keeps the working set at 256
+/// bytes (four cache lines) per coefficient, which is what lets the
+/// compiler unroll the loop and the prefetcher keep up.
+pub static MUL_TABLE: [[u8; 256]; 256] = build_mul_table();
 
 const fn build_exp() -> [u8; 510] {
     let mut table = [0u8; 510];
@@ -52,14 +67,26 @@ const fn build_log() -> [u8; 256] {
     table
 }
 
+const fn build_mul_table() -> [[u8; 256]; 256] {
+    let exp = build_exp();
+    let log = build_log();
+    let mut table = [[0u8; 256]; 256];
+    let mut a = 1usize;
+    while a < 256 {
+        let mut b = 1usize;
+        while b < 256 {
+            table[a][b] = exp[log[a] as usize + log[b] as usize];
+            b += 1;
+        }
+        a += 1;
+    }
+    table
+}
+
 /// Multiply two field elements.
 #[inline]
 pub fn mul(a: u8, b: u8) -> u8 {
-    if a == 0 || b == 0 {
-        0
-    } else {
-        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
-    }
+    MUL_TABLE[a as usize][b as usize]
 }
 
 /// Multiplicative inverse. Panics on zero (division by zero is a logic
@@ -115,47 +142,191 @@ pub fn xor_assign(dst: &mut [u8], src: &[u8]) {
     }
 }
 
-/// Fused multiply-accumulate on symbols: `dst[i] ^= c · src[i]`.
+/// Table-driven multiply-accumulate over whole symbol slices:
+/// `dst[i] ^= c · dst_len-matched src[i]`.
 ///
-/// `c == 0` is a no-op and `c == 1` degenerates to [`xor_assign`]; both are
-/// common in the solver so they get dedicated paths.
+/// The per-byte loop is branchless — one row of [`MUL_TABLE`] is selected
+/// once, then every byte is a load + XOR with no data-dependent control
+/// flow (the old log/exp formulation branched on `src[i] == 0` and did two
+/// dependent lookups per byte). `c == 0` is a no-op and `c == 1`
+/// degenerates to [`xor_assign`] (which takes the `u64`-wide
+/// autovectorized path); both are common in the solver so they get
+/// dedicated paths.
 #[inline]
-pub fn fma(dst: &mut [u8], src: &[u8], c: u8) {
+pub fn addmul(dst: &mut [u8], src: &[u8], c: u8) {
     match c {
         0 => {}
         1 => xor_assign(dst, src),
         _ => {
             assert_eq!(dst.len(), src.len(), "symbol length mismatch");
-            let log_c = LOG[c as usize] as usize;
+            let row = &MUL_TABLE[c as usize];
             for (d, s) in dst.iter_mut().zip(src) {
-                if *s != 0 {
-                    *d ^= EXP[log_c + LOG[*s as usize] as usize];
-                }
+                *d ^= row[*s as usize];
             }
         }
     }
 }
 
-/// Scale a symbol in place: `dst[i] = c · dst[i]`.
+/// Table-driven in-place symbol scaling: `dst[i] = c · dst[i]`.
+///
+/// Branchless per-byte loop over one [`MUL_TABLE`] row, like [`addmul`].
 #[inline]
-pub fn scale(dst: &mut [u8], c: u8) {
+pub fn mul_slice(dst: &mut [u8], c: u8) {
     match c {
         0 => dst.fill(0),
         1 => {}
         _ => {
-            let log_c = LOG[c as usize] as usize;
+            let row = &MUL_TABLE[c as usize];
             for d in dst.iter_mut() {
-                if *d != 0 {
-                    *d = EXP[log_c + LOG[*d as usize] as usize];
-                }
+                *d = row[*d as usize];
             }
         }
     }
+}
+
+/// Fused multiply-accumulate on symbols: `dst[i] ^= c · src[i]`.
+///
+/// Alias for [`addmul`], kept for the solver's historical vocabulary.
+#[inline]
+pub fn fma(dst: &mut [u8], src: &[u8], c: u8) {
+    addmul(dst, src, c);
+}
+
+/// Scale a symbol in place: `dst[i] = c · dst[i]`.
+///
+/// Alias for [`mul_slice`].
+#[inline]
+pub fn scale(dst: &mut [u8], c: u8) {
+    mul_slice(dst, c);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Independent scalar reference: carry-less "Russian peasant"
+    /// multiplication modulo [`POLY`], sharing no code (and no tables)
+    /// with the implementations under test.
+    fn mul_ref(a: u8, b: u8) -> u8 {
+        let mut acc: u16 = 0;
+        let mut aa = u16::from(a);
+        let mut bb = b;
+        while bb != 0 {
+            if bb & 1 != 0 {
+                acc ^= aa;
+            }
+            aa <<= 1;
+            if aa & 0x100 != 0 {
+                aa ^= POLY;
+            }
+            bb >>= 1;
+        }
+        acc as u8
+    }
+
+    /// Deterministic byte stream for slice tests (no external RNG dep).
+    fn bytes(seed: u64, len: usize) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 32) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mul_table_matches_reference_exhaustively() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), mul_ref(a, b), "mul({a},{b})");
+                assert_eq!(
+                    MUL_TABLE[a as usize][b as usize],
+                    mul_ref(a, b),
+                    "MUL_TABLE[{a}][{b}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn addmul_matches_reference_all_scalars() {
+        // Every scalar, over a slice long enough to exercise unrolling.
+        let src = bytes(0xA11CE, 257);
+        let base = bytes(0xB0B, 257);
+        for c in 0..=255u8 {
+            let mut dst = base.clone();
+            addmul(&mut dst, &src, c);
+            for i in 0..src.len() {
+                assert_eq!(dst[i], base[i] ^ mul_ref(c, src[i]), "c={c} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_slice_matches_reference_all_scalars() {
+        let base = bytes(0xCAFE, 257);
+        for c in 0..=255u8 {
+            let mut dst = base.clone();
+            mul_slice(&mut dst, c);
+            for i in 0..base.len() {
+                assert_eq!(dst[i], mul_ref(c, base[i]), "c={c} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn addmul_length_edges() {
+        // Empty slices, sub-word lengths, and word-boundary straddles —
+        // the lengths where a chunked fast path would get its tail wrong.
+        for len in [0usize, 1, 2, 3, 7, 8, 9, 15, 16, 17, 63, 64, 65] {
+            let src = bytes(len as u64 + 1, len);
+            let base = bytes(len as u64 + 1000, len);
+            for c in [0u8, 1, 2, 0x53, 0xFF] {
+                let mut dst = base.clone();
+                addmul(&mut dst, &src, c);
+                for i in 0..len {
+                    assert_eq!(dst[i], base[i] ^ mul_ref(c, src[i]), "len={len} c={c}");
+                }
+                let mut dst2 = base.clone();
+                mul_slice(&mut dst2, c);
+                for i in 0..len {
+                    assert_eq!(dst2[i], mul_ref(c, base[i]), "len={len} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn addmul_random_slices() {
+        // Random (length, scalar, contents) triples, checked bytewise.
+        let mut seed = 0x5EED_u64;
+        for trial in 0..200 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let len = (seed >> 33) as usize % 200;
+            let c = (seed >> 24) as u8;
+            let src = bytes(seed ^ 0x1111, len);
+            let base = bytes(seed ^ 0x2222, len);
+            let mut dst = base.clone();
+            addmul(&mut dst, &src, c);
+            for i in 0..len {
+                assert_eq!(
+                    dst[i],
+                    base[i] ^ mul_ref(c, src[i]),
+                    "trial={trial} len={len} c={c} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "symbol length mismatch")]
+    fn addmul_length_mismatch_panics() {
+        let mut dst = vec![0u8; 4];
+        addmul(&mut dst, &[1u8; 5], 2);
+    }
 
     #[test]
     fn exp_log_roundtrip() {

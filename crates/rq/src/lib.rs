@@ -6,7 +6,11 @@
 //! provides:
 //!
 //! * a **systematic** encoder — encoding symbols `0..k` *are* the source
-//!   symbols, so a lossless transfer needs no decoding at all;
+//!   symbols, so a lossless transfer needs no decoding at all; in the
+//!   default [`CodeMode::Systematic`] construction (SCDP-style) the
+//!   encoder is also *solve-free* and the decoder's solve shrinks with
+//!   the loss count ([`CodeMode::Legacy`] keeps the original solve-based
+//!   construction for A/B comparison);
 //! * a **rateless** repair stream — any `esi >= k` yields a repair symbol,
 //!   and any fresh symbol is as useful as any other, which is what lets
 //!   Polyraptor never retransmit and never care which packet was lost;
@@ -65,7 +69,7 @@ pub mod solver;
 pub mod tuple;
 
 pub use block::{ObjectDecoder, ObjectEncoder, ObjectParams, PayloadId};
-pub use decoder::{DecodeError, Decoder};
+pub use decoder::{DecodeError, DecodeStats, Decoder};
 pub use encoder::{CodeParams, EncodeError, Encoder};
-pub use params::BlockParams;
+pub use params::{BlockParams, CodeMode};
 pub use solver::SolveError;

@@ -257,7 +257,7 @@ pub fn solve(
         {
             let beta = d_coefs[pcol as usize];
             if beta != 0 {
-                gf256::fma(d_value, &p_value, beta);
+                gf256::addmul(d_value, &p_value, beta);
                 for (di, pi) in d_inact.iter_mut().zip(&p_inact) {
                     *di ^= gf256::mul(beta, *pi);
                 }
@@ -293,7 +293,7 @@ pub fn solve(
         let inact = &bin_inact[prow as usize];
         for (i, &coef) in inact.iter().enumerate() {
             if coef != 0 {
-                gf256::fma(&mut val, &out[inactive_cols[i] as usize], coef);
+                gf256::addmul(&mut val, &out[inactive_cols[i] as usize], coef);
             }
         }
         out[pcol as usize] = val;
@@ -329,8 +329,8 @@ fn gaussian_solve(
         let p = coefs[r][col];
         if p != 1 {
             let pinv = gf256::inv(p);
-            gf256::scale(&mut coefs[r], pinv);
-            gf256::scale(&mut values[r], pinv);
+            gf256::mul_slice(&mut coefs[r], pinv);
+            gf256::mul_slice(&mut values[r], pinv);
         }
         // Eliminate the column from every other row.
         let (prow_coefs, prow_value) = (coefs[r].clone(), values[r].clone());
@@ -340,8 +340,8 @@ fn gaussian_solve(
             }
             let beta = coefs[other][col];
             if beta != 0 {
-                gf256::fma(&mut coefs[other], &prow_coefs, beta);
-                gf256::fma(&mut values[other], &prow_value, beta);
+                gf256::addmul(&mut coefs[other], &prow_coefs, beta);
+                gf256::addmul(&mut values[other], &prow_value, beta);
             }
         }
     }
@@ -433,7 +433,7 @@ mod tests {
             let coefs: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
             let mut value = vec![0u8; t];
             for (j, &cf) in coefs.iter().enumerate() {
-                gf256::fma(&mut value, &secret[j], cf);
+                gf256::addmul(&mut value, &secret[j], cf);
             }
             rows.push(dense(coefs, value));
         }
@@ -472,7 +472,7 @@ mod tests {
             let coefs: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
             let mut value = vec![0u8; t];
             for (j, &cf) in coefs.iter().enumerate() {
-                gf256::fma(&mut value, &secret[j], cf);
+                gf256::addmul(&mut value, &secret[j], cf);
             }
             rows.push(dense(coefs, value));
         }

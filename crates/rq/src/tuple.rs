@@ -49,10 +49,25 @@ pub fn tuple(params: &BlockParams, tweak: u8, esi: u32) -> Tuple {
 /// construction at `K ≳ 10⁴`; the PI column breaks binary
 /// cancellation patterns at the cost of one extra XOR per symbol.
 pub fn lt_columns(params: &BlockParams, tweak: u8, esi: u32) -> Vec<u32> {
+    lt_columns_with_floor(params, tweak, esi, 0)
+}
+
+/// [`lt_columns`] with a minimum walk degree.
+///
+/// The systematic (direct-construction) mode uses a floored degree for its
+/// repair symbols: with received source symbols folded out of the decode
+/// system, a repair row only contributes the columns that remain unknown,
+/// and the plain LT degree distribution (mean ≈ 4.6) leaves too few — the
+/// projected rows degenerate to degree ≈ 2 at moderate loss and the
+/// reduced system goes rank-deficient at rates far above the code's
+/// overhead-failure envelope. Flooring the walk degree restores the
+/// envelope at the cost of a few extra XORs per *repair* symbol (source
+/// symbols are emitted verbatim and pay nothing).
+pub fn lt_columns_with_floor(params: &BlockParams, tweak: u8, esi: u32, min_d: u32) -> Vec<u32> {
     let Tuple { d, a, b } = tuple(params, tweak, esi);
     let l = params.l as u32;
     let lp = params.l_prime as u32;
-    let d = d.min(l); // degree can't exceed the number of intermediates
+    let d = d.max(min_d).min(l); // degree can't exceed the number of intermediates
     let mut cols = Vec::with_capacity(d as usize + 1);
     let mut b = b;
     while b >= l {

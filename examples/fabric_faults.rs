@@ -320,6 +320,25 @@ fn main() {
         l as f64 / b as f64,
     );
 
+    // Systematic vs legacy code construction, A/B on the identical fault
+    // run: under the counting oracle the code mode touches no packet, so
+    // the runs must be indistinguishable — this line is the cheap CI
+    // check that flipping the codec default did not perturb the
+    // packet-level story.
+    let mut legacy_code_opts = RqRunOptions::default();
+    legacy_code_opts.pr.code_mode = polyraptor_repro::polyraptor::CodeMode::Legacy;
+    let legacy_code = run_fault_rq(&sc, &fabric, &legacy_code_opts);
+    assert_eq!(
+        legacy_code.makespan(),
+        rq.makespan(),
+        "code mode must not perturb counting-oracle runs"
+    );
+    println!(
+        "code mode A/B: systematic {:.2} ms vs legacy {:.2} ms makespan (packet-identical)",
+        rq.makespan().as_secs_f64() * 1e3,
+        legacy_code.makespan().as_secs_f64() * 1e3,
+    );
+
     // Incremental route repair, isolated: the control-plane bill of one
     // link failure on this fabric.
     let (full_ms, repair_ms, rebuilt) = time_reroute(&fabric);
