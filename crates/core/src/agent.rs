@@ -34,6 +34,7 @@ const KIND_START: u64 = 1;
 const KIND_PACER: u64 = 2;
 const KIND_SWEEP: u64 = 3;
 const KIND_HOSTFAIL: u64 = 4;
+const KIND_HOSTUP: u64 = 5;
 
 /// Token for a session's start timer — schedule this at `spec.start` on
 /// **every** participating host.
@@ -50,6 +51,18 @@ pub fn start_token(session: SessionId) -> u64 {
 /// reroute pays.
 pub fn host_fail_token(dead: NodeId) -> u64 {
     KIND_HOSTFAIL << 56 | u64::from(dead.0)
+}
+
+/// Token for a host-revival notification: the control plane tells this
+/// host that `revived` — previously reported via [`host_fail_token`] —
+/// came back up (scripted repair). The agent re-admits the revived
+/// sender to every receive session that had stranded it, then relies on
+/// the keep-alive sweep's probing re-pulls as the liveness signal: no
+/// pull is sent here and no credit is minted across the strand/revive
+/// boundary. Schedule it at the repair instant plus the control-plane
+/// convergence delay, mirroring the failure notification.
+pub fn host_up_token(revived: NodeId) -> u64 {
+    KIND_HOSTUP << 56 | u64::from(revived.0)
 }
 
 fn pacer_token() -> u64 {
@@ -152,6 +165,9 @@ pub struct PolyraptorAgent {
     /// rest had no survivor and ride on the keep-alive sweep until the
     /// dead host revives).
     pub retargeted_sessions: u64,
+    /// (session, revived sender) re-admissions via host-revival
+    /// notifications — strandings that were later undone.
+    pub unstranded_sessions: u64,
     /// Flow-span telemetry: session open/close and recovery marks, in
     /// the order recorded (time-ordered — marks are appended at event
     /// time). Empty unless [`PrConfig::record_spans`] is set; collected
@@ -176,6 +192,7 @@ impl PolyraptorAgent {
             records: Vec::new(),
             stranded_sessions: 0,
             retargeted_sessions: 0,
+            unstranded_sessions: 0,
             spans: Vec::new(),
         }
     }
@@ -349,6 +366,28 @@ impl PolyraptorAgent {
         self.arm_sweep(ctx);
     }
 
+    /// A host-revival notification arrived: re-admit `revived` to every
+    /// incomplete receive session that had stranded it, and make sure
+    /// the keep-alive sweep is running. Deliberately nothing else: the
+    /// sweep's probing re-pulls are the liveness signal (a revived
+    /// sender answers the next probe and the self-clocked pull loop
+    /// restarts from there), and the write-off minted at stranding
+    /// stands — no credit crosses the strand/revive boundary.
+    fn on_host_revival(&mut self, revived: NodeId, ctx: &mut Ctx<PrPayload>) {
+        let mut unstranded: Vec<SessionId> = Vec::new();
+        for (sid, rs) in self.recv_sessions.iter_mut() {
+            if rs.done || !rs.unstrand_sender(revived) {
+                continue;
+            }
+            self.unstranded_sessions += 1;
+            unstranded.push(*sid);
+        }
+        for sid in unstranded {
+            self.mark_span(ctx.now, sid, Some(revived), SpanMark::Unstranded);
+        }
+        self.arm_sweep(ctx);
+    }
+
     fn arm_sweep(&mut self, ctx: &mut Ctx<PrPayload>) {
         if !self.sweep_armed && self.active_recv > 0 {
             self.sweep_armed = true;
@@ -517,6 +556,10 @@ impl Agent<PrPayload> for PolyraptorAgent {
             KIND_HOSTFAIL => {
                 let dead = NodeId((token & 0xFFFF_FFFF) as u32);
                 self.on_host_failure(dead, ctx);
+            }
+            KIND_HOSTUP => {
+                let revived = NodeId((token & 0xFFFF_FFFF) as u32);
+                self.on_host_revival(revived, ctx);
             }
             other => panic!("unknown timer kind {other}"),
         }

@@ -65,7 +65,7 @@ pub mod sender;
 pub mod session;
 pub mod wire;
 
-pub use agent::{host_fail_token, start_token, PolyraptorAgent};
+pub use agent::{host_fail_token, host_up_token, start_token, PolyraptorAgent};
 pub use config::{MulticastPull, OracleMode, PrConfig};
 pub use metrics::SessionRecord;
 pub use oracle::{required_overhead, session_object, Oracle};

@@ -62,6 +62,8 @@ pub struct ReceiverSession {
     repull_round: u64,
     /// Senders known dead (host failure): excluded from sweeps and
     /// recovery targets; their remaining share rides on the survivors.
+    /// Cleared again by [`ReceiverSession::unstrand_sender`] when the
+    /// control plane reports the host revived.
     stranded: Vec<bool>,
     /// Senders stranded over this session's lifetime (metrics).
     retargets: u32,
@@ -324,6 +326,26 @@ impl ReceiverSession {
         self.stranded[idx] = true;
         self.retargets += 1;
         self.written_off[idx] += self.stranded_estimate(idx);
+        true
+    }
+
+    /// The control plane reports the host at `revived` came back up. If
+    /// it is a sender this session had stranded, re-admit it: clear the
+    /// dead mark so sweeps and recovery rounds may target it again.
+    /// Nothing else changes — the write-off minted at stranding stands
+    /// and `granted` is untouched, so **no credit crosses the
+    /// strand/revive boundary**: the revived sender starts from a clean
+    /// ledger and earns new licenses only through the keep-alive
+    /// sweep's probing re-pulls (the liveness signal). Returns `true`
+    /// when the sender was actually re-admitted.
+    pub fn unstrand_sender(&mut self, revived: NodeId) -> bool {
+        let Some(idx) = self.spec.sender_index(revived) else {
+            return false;
+        };
+        if !self.stranded[idx] || self.done {
+            return false;
+        }
+        self.stranded[idx] = false;
         true
     }
 

@@ -34,6 +34,9 @@ pub enum SessionState {
     /// share has been written off and — when a surviving replica exists
     /// — re-targeted there. The session still completes; the state
     /// records that it needed the paper's data redundancy to do so.
+    /// Not terminal: a `HostUp` notification re-admits the revived
+    /// sender (`ReceiverSession::unstrand_sender`) and the state flows
+    /// back to [`SessionState::Active`].
     Stranded,
     /// Object recovered; FINs sent.
     Complete,

@@ -144,6 +144,87 @@ proptest! {
         );
     }
 
+    /// Across a strand → revive boundary no credit is minted: the
+    /// write-off taken at stranding stands, the revived sender is
+    /// re-admitted with a zero stranded estimate (its first probing
+    /// re-pull is a pure nudge), and a recovery round over the full
+    /// sender set — revived sender included — still never requests more
+    /// symbols than the decode needs.
+    #[test]
+    fn revival_readmits_without_minting_credit(
+        k in 1usize..200,
+        n_senders in 2usize..5,
+        n_arrivals in 0usize..120,
+        dead in 0usize..4,
+        cap in 1u32..600,
+        repulls in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let cfg = PrConfig::paper_default();
+        let spec = SessionSpec::multi_source(
+            SessionId(79),
+            k * cfg.symbol_size,
+            (1..=n_senders as u32).map(NodeId).collect(),
+            NodeId(0),
+            SimTime::ZERO,
+        );
+        let mut rs = ReceiverSession::new(spec, NodeId(0), &cfg, 42);
+        let mut rng = netsim::Pcg32::new(seed);
+        for _ in 0..n_arrivals {
+            if rs.done {
+                break;
+            }
+            let idx = rng.below(n_senders as u64) as u8;
+            let esi = rng.below(4 * k as u64) as u32;
+            if rs.on_symbol(idx, esi, None, SimTime::ZERO) {
+                rs.done = true;
+            }
+        }
+        if rs.done {
+            return Ok(());
+        }
+        let dead_idx = dead % n_senders;
+        let dead = NodeId(1 + dead_idx as u32);
+        prop_assert!(!rs.unstrand_sender(dead), "nothing to undo pre-strand");
+        prop_assert!(rs.mark_sender_stranded(dead));
+        let count_at_stranding = rs.report_count(dead_idx);
+        prop_assert_eq!(
+            rs.stranded_estimate(dead_idx), 0,
+            "stranding writes the dead sender's debt off"
+        );
+        // The scripted repair lands: the sender is re-admitted, exactly
+        // once, and the ledger is untouched — same reported count, still
+        // nothing stranded, so the first probing re-pull carries a zero
+        // batch (a pure liveness nudge).
+        prop_assert!(rs.unstrand_sender(dead));
+        prop_assert!(!rs.unstrand_sender(dead), "re-admission is idempotent");
+        prop_assert!(!rs.sender_stranded(dead_idx));
+        prop_assert!(rs.surviving_senders().contains(&dead));
+        prop_assert_eq!(rs.report_count(dead_idx), count_at_stranding);
+        prop_assert_eq!(rs.stranded_estimate(dead_idx), 0);
+        rs.begin_recovery_round();
+        prop_assert_eq!(
+            rs.take_repull_batch(dead_idx, cap), 0,
+            "revival must not mint recovery credit"
+        );
+        // A full recovery round over every sender — the revived one
+        // included — stays bounded by the decode's remaining need.
+        let needed = rs.symbols_needed();
+        rs.begin_recovery_round();
+        let mut total = 0u64;
+        for _ in 0..repulls {
+            for idx in 0..n_senders {
+                total += u64::from(rs.take_repull_batch(idx, cap));
+            }
+        }
+        prop_assert!(
+            total <= needed,
+            "post-revival round requested {} symbols but the decode needs only {}",
+            total,
+            needed
+        );
+    }
+
     /// The sender honors any (count, batch) sequence without ever
     /// believing more credit than it emitted: after arbitrary re-pull
     /// abuse, cumulative emissions stay bounded by what the pulls could

@@ -71,6 +71,7 @@
 
 pub mod fault;
 pub mod packet;
+pub mod par;
 pub mod queue;
 pub mod rng;
 pub mod sim;

@@ -157,6 +157,12 @@ pub struct SimConfig {
     pub reroute_delay_ns: u64,
     /// RNG seed (spraying decisions).
     pub seed: u64,
+    /// Worker threads for route (re)computation (applied to the
+    /// topology via [`Topology::set_parallelism`]): 1 = serial (the
+    /// default, the exact pre-parallel code path), 0 = one per
+    /// available core. Results are byte-identical at every setting —
+    /// a throughput knob only, so determinism per seed is unaffected.
+    pub parallelism: usize,
 }
 
 impl SimConfig {
@@ -169,6 +175,7 @@ impl SimConfig {
             layer_assign: LayerAssign::FlowHash,
             reroute_delay_ns: 0,
             seed,
+            parallelism: 1,
         }
     }
 
@@ -181,6 +188,7 @@ impl SimConfig {
             layer_assign: LayerAssign::FlowHash,
             reroute_delay_ns: 0,
             seed,
+            parallelism: 1,
         }
     }
 }
@@ -364,7 +372,8 @@ impl<P: SimPayload, A: Agent<P>, T: TelemetrySink> Simulator<P, A, T> {
     /// telemetry sink — pass `None::<Recorder>` for a runtime-switchable
     /// sink that is currently off, or `Some(Recorder::new(..))` to
     /// record.
-    pub fn with_telemetry(topo: Topology, config: SimConfig, telemetry: T) -> Self {
+    pub fn with_telemetry(mut topo: Topology, config: SimConfig, telemetry: T) -> Self {
+        topo.set_parallelism(config.parallelism);
         let queues = (0..topo.node_count())
             .map(|n| {
                 let node = NodeId(n as u32);

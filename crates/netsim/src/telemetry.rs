@@ -602,6 +602,11 @@ pub enum SpanMark {
     /// A sender (`peer`) was written off after a host failure; the
     /// session is stranded until re-targeted.
     Stranded,
+    /// A stranded sender (`peer`) revived (scripted host repair): the
+    /// session re-admitted it as a pull target. No credit crosses the
+    /// strand/revive boundary — the revived sender earns licenses only
+    /// through the keep-alive sweep's probing re-pulls.
+    Unstranded,
 }
 
 /// One mark in a flow/session span, recorded by a transport agent.

@@ -36,12 +36,16 @@
 //!   edge log and frozen into the arena by the first route computation.
 //! - **Routes** (per layer): one flat `buf: Vec<u16>` holding a
 //!   fixed-capacity cell per `(node, destination)` — capacity
-//!   `deg(node)`, at arena offset `port_off[n]·H + h·deg(n)` for `H`
-//!   hosts — plus a `len: Vec<u16>` table (`len[n·H + h]`) giving the
-//!   occupied prefix. The advertised ports are that prefix, always in
-//!   ascending port order. Because a cell can never overflow (a node
-//!   advertises at most `deg(n)` distinct ports), failure excision and
-//!   restore surgery shift entries *in place* and never reallocate.
+//!   `deg(node)`, at arena offset `h·P + port_off[n]` for `P` total
+//!   directed ports — plus a `len: Vec<u16>` table (`len[h·N + n]`)
+//!   giving the occupied prefix. The advertised ports are that prefix,
+//!   always in ascending port order. Because a cell can never overflow
+//!   (a node advertises at most `deg(n)` distinct ports), failure
+//!   excision and restore surgery shift entries *in place* and never
+//!   reallocate. The arenas are column-major — destination column `h`
+//!   owns contiguous `buf[h·P..]`/`len[h·N..]` regions — so route
+//!   (re)computation can hand disjoint columns to parallel workers as
+//!   a plain `chunks_mut` partition (see [`crate::par`]).
 //! - **Distances / weights** (per layer): flat `dist[h·N + n]` and a
 //!   per-layer weight arena indexed by global port id.
 //!
@@ -152,20 +156,27 @@ impl RoutingPolicy {
 /// weighted distances, per (node, destination-host), maintained in
 /// lockstep by full recomputation and incremental repair alike.
 ///
-/// The route cell for `(node u, dst h)` occupies
-/// `buf[port_off[u]·n_hosts + h·deg(u) ..][..deg(u)]`; its occupied
-/// prefix length is `len[u·n_hosts + h]` and the prefix is always in
-/// ascending port order (the order full recomputation records), so
-/// in-place surgery stays bit-identical to a from-scratch build.
+/// The arenas are **column-major**: destination column `h` owns the
+/// contiguous regions `buf[h·P .. (h+1)·P]`, `len[h·N .. (h+1)·N]`, and
+/// `dist[h·N .. (h+1)·N]` (`P` = total directed port count, `N` = node
+/// count). The route cell for `(node u, dst h)` occupies
+/// `buf[h·P + port_off[u] ..][..deg(u)]`; its occupied prefix length is
+/// `len[h·N + u]` and the prefix is always in ascending port order (the
+/// order full recomputation records), so in-place surgery stays
+/// bit-identical to a from-scratch build. Column-major is what lets the
+/// parallel (re)compute paths hand each destination column to a worker
+/// as a safe `chunks_mut` slice partition — no two columns share bytes.
 #[derive(Debug, Clone, Default)]
 struct LayerTables {
-    /// Node count `N` (row stride of `dist`).
+    /// Node count `N` (row stride of `len` and `dist`).
     n_nodes: usize,
-    /// Host count `H` (cell stride of `buf`, row stride of `len`).
+    /// Host count `H` (column count of all three arenas).
     n_hosts: usize,
+    /// Total directed port count `P` (column stride of `buf`).
+    n_ports: usize,
     /// Route arena: fixed-capacity advertised-port cells (see above).
     buf: Vec<u16>,
-    /// `len[node·H + h]` = occupied prefix of that route cell.
+    /// `len[h·N + node]` = occupied prefix of that route cell.
     len: Vec<u16>,
     /// `dist[h·N + node]` = weighted distance from `node` to that host
     /// under the mask the routes were computed with (`u32::MAX` =
@@ -180,14 +191,14 @@ impl LayerTables {
     fn cell(&self, off: &[u32], u: usize, h_idx: usize) -> (usize, usize) {
         let base = off[u] as usize;
         let deg = off[u + 1] as usize - base;
-        (base * self.n_hosts + h_idx * deg, deg)
+        (h_idx * self.n_ports + base, deg)
     }
 
     /// The advertised ports of `(u, h_idx)`: the cell's occupied prefix.
     #[inline]
     fn advertised(&self, off: &[u32], u: usize, h_idx: usize) -> &[u16] {
         let (start, _) = self.cell(off, u, h_idx);
-        let l = self.len[u * self.n_hosts + h_idx] as usize;
+        let l = self.len[h_idx * self.n_nodes + u] as usize;
         &self.buf[start..start + l]
     }
 
@@ -207,7 +218,7 @@ impl LayerTables {
     /// `deg`-port node at capacity `deg`, so the shift always fits.
     fn insert_port(&mut self, off: &[u32], u: usize, h_idx: usize, p: u16) {
         let (start, deg) = self.cell(off, u, h_idx);
-        let li = u * self.n_hosts + h_idx;
+        let li = h_idx * self.n_nodes + u;
         let l = self.len[li] as usize;
         if let Err(pos) = self.buf[start..start + l].binary_search(&p) {
             debug_assert!(l < deg, "route cell overflow");
@@ -223,13 +234,13 @@ impl LayerTables {
     fn set_single(&mut self, off: &[u32], u: usize, h_idx: usize, p: u16) {
         let (start, _) = self.cell(off, u, h_idx);
         self.buf[start] = p;
-        self.len[u * self.n_hosts + h_idx] = 1;
+        self.len[h_idx * self.n_nodes + u] = 1;
     }
 
     /// Empty the cell.
     #[inline]
     fn clear_cell(&mut self, u: usize, h_idx: usize) {
-        self.len[u * self.n_hosts + h_idx] = 0;
+        self.len[h_idx * self.n_nodes + u] = 0;
     }
 }
 
@@ -288,6 +299,21 @@ pub struct Topology {
     /// the full fallback — surgery against stale weight tables would
     /// diverge from a fresh [`Topology::compute_routes_masked`].
     routes_policy: Option<RoutingPolicy>,
+    /// The policy the cached `weights` arenas were built under (`None`
+    /// = stale: the policy changed or the port arena was re-frozen).
+    /// Weight tables depend only on (policy, frozen graph) — never the
+    /// fault mask — so mid-run masked recomputes reuse them instead of
+    /// re-deriving one seeded hash per inter-switch link per layer.
+    weights_policy: Option<RoutingPolicy>,
+    /// Diagnostic: how many times the per-layer weight arenas were
+    /// (re)built — see [`Topology::weight_builds`].
+    weight_builds: u64,
+    /// Route-computation worker threads (see
+    /// [`Topology::set_parallelism`]): 1 = serial on the calling thread
+    /// (the default, and the exact pre-parallel code path), 0 = one per
+    /// available core. A pure throughput knob: tables are byte-identical
+    /// at every setting.
+    parallelism: usize,
     /// The fault mask the current layer tables were computed against —
     /// the baseline [`Topology::repair_routes`] diffs new masks against.
     routes_mask: FaultMask,
@@ -315,8 +341,37 @@ impl Topology {
             weights: Vec::new(),
             policy: RoutingPolicy::minimal(),
             routes_policy: None,
+            weights_policy: None,
+            weight_builds: 0,
+            parallelism: 1,
             routes_mask: FaultMask::new(),
         }
+    }
+
+    /// Set the number of worker threads route (re)computation may use:
+    /// `1` (the default) runs the serial loop on the calling thread —
+    /// the exact pre-parallel code path; `0` resolves to the number of
+    /// available cores; any other value caps the scoped worker pool
+    /// (see [`crate::par`]). Every destination column is a pure,
+    /// disjoint unit of work, so tables are byte-identical at every
+    /// setting — this is a throughput knob, never a behaviour knob.
+    pub fn set_parallelism(&mut self, parallelism: usize) {
+        self.parallelism = parallelism;
+    }
+
+    /// The current route-computation parallelism knob (see
+    /// [`Topology::set_parallelism`]).
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Diagnostic counter: how many times the per-layer link-weight
+    /// arenas were (re)built. Weight tables depend only on (policy,
+    /// frozen graph) — never the fault mask — so mid-run masked
+    /// recomputes and repairs must reuse the cached arenas; tests gate
+    /// on this counter staying flat across fault events.
+    pub fn weight_builds(&self) -> u64 {
+        self.weight_builds
     }
 
     /// Select the layered routing policy. Takes effect at the next
@@ -422,6 +477,9 @@ impl Topology {
             cursor[b] += 1;
         }
         self.ports_stale = false;
+        // A re-frozen arena may assign different global port ids;
+        // cached weight tables are keyed by them and must be rebuilt.
+        self.weights_policy = None;
     }
 
     /// Node kind accessor.
@@ -486,52 +544,77 @@ impl Topology {
     ///
     /// The layer arenas are resized in place, so every recompute after
     /// the first reuses the existing multi-megabyte allocations instead
-    /// of cloning or reallocating nested tables.
+    /// of cloning or reallocating nested tables. Columns are rebuilt by
+    /// up to [`Topology::set_parallelism`] scoped workers — each owns a
+    /// disjoint contiguous slice of the column-major arenas, so the
+    /// result is byte-identical at every thread count.
     pub fn compute_routes_masked(&mut self, mask: &FaultMask) {
         self.freeze_ports();
         let n = self.node_count();
         let n_hosts = self.hosts.len();
         let p_total = self.ports.len();
         let n_layers = self.policy.layers;
-        self.weights = (0..n_layers).map(|l| self.layer_weight_table(l)).collect();
+        self.ensure_weights();
         self.layers.truncate(n_layers);
         self.layers.resize_with(n_layers, LayerTables::default);
         for tab in &mut self.layers {
             tab.n_nodes = n;
             tab.n_hosts = n_hosts;
+            tab.n_ports = p_total;
             tab.buf.resize(p_total * n_hosts, 0);
             tab.len.resize(n * n_hosts, 0);
             tab.dist.resize(n_hosts * n, u32::MAX);
         }
-        let mut scratch = ColumnScratch::default();
-        for layer in 0..n_layers {
-            let weights = &self.weights[layer];
-            let LayerTables {
-                n_nodes,
-                n_hosts: nh,
-                buf,
-                len,
-                dist,
-            } = &mut self.layers[layer];
-            for h_idx in 0..*nh {
-                compute_column(
-                    &self.ports,
-                    &self.port_off,
-                    weights,
-                    layer == 0,
-                    mask,
-                    self.hosts[h_idx],
-                    h_idx,
-                    *nh,
-                    buf,
-                    len,
-                    &mut dist[h_idx * *n_nodes..(h_idx + 1) * *n_nodes],
-                    &mut scratch,
-                );
-            }
+        let mut jobs: Vec<ColumnJob> = Vec::with_capacity(n_layers * n_hosts);
+        for (layer, tab) in self.layers.iter_mut().enumerate() {
+            column_jobs(
+                tab,
+                &self.weights[layer],
+                layer == 0,
+                &self.hosts,
+                None,
+                &mut jobs,
+            );
         }
+        let (ports, port_off) = (&self.ports, &self.port_off);
+        crate::par::scatter(
+            crate::par::resolve(self.parallelism),
+            jobs,
+            ColumnScratch::default,
+            |scratch, job| {
+                compute_column(
+                    ports,
+                    port_off,
+                    job.weights,
+                    job.uniform,
+                    mask,
+                    job.host,
+                    job.buf,
+                    job.len,
+                    job.dist,
+                    scratch,
+                );
+            },
+        );
         self.routes_policy = Some(self.policy);
         self.routes_mask = mask.clone();
+    }
+
+    /// Rebuild the per-layer link-weight arenas iff the cached ones are
+    /// stale — the policy changed, or the port arena was re-frozen
+    /// (which may reassign the global port ids the arenas are indexed
+    /// by). The tables are a pure function of (policy, frozen graph),
+    /// independent of the fault mask, so the common mid-run case —
+    /// masked recompute or repair after a fault event — reuses them.
+    fn ensure_weights(&mut self) {
+        if self.weights_policy == Some(self.policy) {
+            return;
+        }
+        self.weights = (0..self.policy.layers)
+            .map(|l| self.layer_weight_table(l))
+            .collect();
+        self.weights_policy = Some(self.policy);
+        self.weight_builds += 1;
     }
 
     /// One layer's link-weight arena (indexed by global port id): 1
@@ -643,7 +726,7 @@ impl Topology {
             dests_touched: self.hosts.len() * n_layers,
             restored,
         };
-        if self.routes_policy != Some(self.policy) {
+        if self.routes_policy != Some(self.policy) || self.weights_policy != Some(self.policy) {
             self.compute_routes_masked(mask);
             return full;
         }
@@ -671,10 +754,11 @@ impl Topology {
         dead.sort_unstable();
         dead.dedup();
         // Surgery runs layer-major, dead-entry-major within a layer:
-        // each dead (u, p) sweeps node u's arena region — all H of its
-        // route cells, contiguous in the flat buffer — shifting entries
-        // in place and flagging per-destination outcomes in bitmaps that
-        // are aggregated afterwards.
+        // each dead (u, p) sweeps node u's route cells across all H
+        // destination columns (one cell per column stride in the
+        // column-major arena), shifting entries in place and flagging
+        // per-destination outcomes in bitmaps that are aggregated
+        // afterwards.
         let n_hosts = self.hosts.len();
         let mut dirty_cols: Vec<Vec<bool>> = Vec::with_capacity(n_layers);
         let mut touched_total = 0usize;
@@ -689,6 +773,7 @@ impl Topology {
                 }
             }
             let tab = &mut self.layers[layer];
+            let (nn, pt) = (tab.n_nodes, tab.n_ports);
             for &(u, p) in &dead {
                 // A live switch that loses its last advertised port may
                 // now be farther from (or cut off from) the destination,
@@ -701,15 +786,13 @@ impl Topology {
                 let empties_matter = self.kinds[uu] == NodeKind::Switch && alive;
                 let is_host = self.kinds[uu] == NodeKind::Host;
                 let base = self.port_off[uu] as usize;
-                let deg = self.port_off[uu + 1] as usize - base;
-                let region = base * n_hosts;
                 for h_idx in 0..n_hosts {
-                    let li = uu * n_hosts + h_idx;
+                    let li = h_idx * nn + uu;
                     let l = tab.len[li] as usize;
                     if l == 0 {
                         continue;
                     }
-                    let cell = region + h_idx * deg;
+                    let cell = h_idx * pt + base;
                     if let Some(pos) = tab.buf[cell..cell + l].iter().position(|&x| x == p) {
                         tab.buf.copy_within(cell + pos + 1..cell + l, cell + pos);
                         tab.len[li] = (l - 1) as u16;
@@ -767,33 +850,41 @@ impl Topology {
             .iter()
             .map(|cols| cols.iter().filter(|&&d| d).count())
             .sum();
-        let mut scratch = ColumnScratch::default();
-        for (layer, cols) in dirty_cols.iter().enumerate() {
-            let weights = &self.weights[layer];
-            let LayerTables {
-                n_nodes,
-                n_hosts: nh,
-                buf,
-                len,
-                dist,
-            } = &mut self.layers[layer];
-            for h_idx in (0..cols.len()).filter(|&h| cols[h]) {
-                compute_column(
-                    &self.ports,
-                    &self.port_off,
-                    weights,
-                    layer == 0,
-                    mask,
-                    self.hosts[h_idx],
-                    h_idx,
-                    *nh,
-                    buf,
-                    len,
-                    &mut dist[h_idx * *n_nodes..(h_idx + 1) * *n_nodes],
-                    &mut scratch,
-                );
-            }
+        // The dirty (layer, column) rebuilds are the same pure,
+        // disjoint-output units the full recompute fans out, so they
+        // share the scatter: one job list across all layers keeps the
+        // workers busy even when each layer dirtied only a few columns.
+        let mut jobs: Vec<ColumnJob> = Vec::with_capacity(dirty_total);
+        for (layer, tab) in self.layers.iter_mut().enumerate() {
+            column_jobs(
+                tab,
+                &self.weights[layer],
+                layer == 0,
+                &self.hosts,
+                Some(&dirty_cols[layer]),
+                &mut jobs,
+            );
         }
+        let (ports, port_off) = (&self.ports, &self.port_off);
+        crate::par::scatter(
+            crate::par::resolve(self.parallelism),
+            jobs,
+            ColumnScratch::default,
+            |scratch, job| {
+                compute_column(
+                    ports,
+                    port_off,
+                    job.weights,
+                    job.uniform,
+                    mask,
+                    job.host,
+                    job.buf,
+                    job.len,
+                    job.dist,
+                    scratch,
+                );
+            },
+        );
         self.routes_mask = mask.clone();
         RouteRepair {
             full: false,
@@ -1151,6 +1242,69 @@ struct ColumnScratch {
     heap: std::collections::BinaryHeap<std::cmp::Reverse<(u32, u32)>>,
 }
 
+/// One (layer, destination-column) unit of route-computation work: the
+/// column's disjoint slices of the column-major arenas plus the layer
+/// context the rebuild needs. Built by [`column_jobs`], consumed by a
+/// [`crate::par::scatter`] over [`compute_column`]. Columns never share
+/// arena bytes, so any number of jobs can run concurrently and the
+/// result is identical to the serial loop.
+struct ColumnJob<'a> {
+    /// The layer's link-weight arena (shared, read-only).
+    weights: &'a [u8],
+    /// Layer 0: unit weights, BFS fast path.
+    uniform: bool,
+    /// The destination host this column routes towards.
+    host: NodeId,
+    /// The column's `P`-length route-cell slice.
+    buf: &'a mut [u16],
+    /// The column's `N`-length occupied-prefix slice.
+    len: &'a mut [u16],
+    /// The column's `N`-length distance slice.
+    dist: &'a mut [u32],
+}
+
+/// Split `v` into `count` disjoint column slices of `stride` elements
+/// each. `stride == 0` yields `count` empty slices: a degenerate arena
+/// (a graph with no links has no route cells) still has columns.
+fn column_chunks<T>(v: &mut [T], stride: usize, count: usize) -> Vec<&mut [T]> {
+    if stride == 0 {
+        return (0..count).map(|_| &mut [] as &mut [T]).collect();
+    }
+    debug_assert_eq!(v.len(), stride * count);
+    v.chunks_mut(stride).collect()
+}
+
+/// Carve one layer's arenas into per-destination-column jobs and push
+/// them onto `out` — all columns, or only those flagged in `cols`. The
+/// pushed jobs hold disjoint `&mut` slices into `tab`, which is what
+/// makes the scatter safe without any interior synchronisation.
+fn column_jobs<'a>(
+    tab: &'a mut LayerTables,
+    weights: &'a [u8],
+    uniform: bool,
+    hosts: &[NodeId],
+    cols: Option<&[bool]>,
+    out: &mut Vec<ColumnJob<'a>>,
+) {
+    let (n, p, nh) = (tab.n_nodes, tab.n_ports, tab.n_hosts);
+    let bufs = column_chunks(&mut tab.buf, p, nh);
+    let lens = column_chunks(&mut tab.len, n, nh);
+    let dists = column_chunks(&mut tab.dist, n, nh);
+    for (h_idx, ((buf, len), dist)) in bufs.into_iter().zip(lens).zip(dists).enumerate() {
+        if cols.is_some_and(|c| !c[h_idx]) {
+            continue;
+        }
+        out.push(ColumnJob {
+            weights,
+            uniform,
+            host: hosts[h_idx],
+            buf,
+            len,
+            dist,
+        });
+    }
+}
+
 /// Rebuild one layer's routing column for one destination host: a
 /// weighted shortest-path search from the destination outward (weights
 /// in {1, 2} per the layer's preferred-link draw), recording the
@@ -1163,8 +1317,10 @@ struct ColumnScratch {
 /// repair fast path at its old constant factor. The search traverses
 /// links in reverse, but the mask and the weights are symmetric per
 /// link, so checking the (u, port) direction suffices. A free function
-/// (not a method) so the repair path can borrow individual `Topology`
-/// fields disjointly.
+/// (not a method), taking only this column's slices of the column-major
+/// arenas (`buf`: P-length, `len`/`dist`: N-length), so the repair path
+/// can borrow `Topology` fields disjointly and the parallel scatter can
+/// run many columns at once.
 #[allow(clippy::too_many_arguments)]
 fn compute_column(
     ports: &[Port],
@@ -1173,8 +1329,6 @@ fn compute_column(
     uniform: bool,
     mask: &FaultMask,
     host: NodeId,
-    h_idx: usize,
-    n_hosts: usize,
     buf: &mut [u16],
     len: &mut [u16],
     dist: &mut [u32],
@@ -1182,9 +1336,7 @@ fn compute_column(
 ) {
     use std::cmp::Reverse;
     let n = port_off.len() - 1;
-    for u in 0..n {
-        len[u * n_hosts + h_idx] = 0;
-    }
+    len.fill(0);
     dist.fill(u32::MAX);
     if mask.node_is_down(host) {
         return;
@@ -1239,7 +1391,6 @@ fn compute_column(
         let du = dist[u];
         let base = port_off[u] as usize;
         let deg = port_off[u + 1] as usize - base;
-        let cell = base * n_hosts + h_idx * deg;
         let mut l = 0usize;
         for pi in 0..deg {
             let p = &ports[base + pi];
@@ -1248,11 +1399,11 @@ fn compute_column(
             }
             let dp = dist[p.peer.0 as usize];
             if dp != u32::MAX && dp + weights[base + pi] as u32 == du {
-                buf[cell + l] = pi as u16;
+                buf[base + l] = pi as u16;
                 l += 1;
             }
         }
-        len[u * n_hosts + h_idx] = l as u16;
+        len[u] = l as u16;
     }
 }
 
@@ -1359,7 +1510,7 @@ fn restore_surgery_layer(
                     tab.set_single(off, port.peer.0 as usize, h_idx, port.peer_port);
                 }
             }
-            tab.len[wu * tab.n_hosts + h_idx] = l as u16;
+            tab.len[h_idx * tab.n_nodes + wu] = l as u16;
         }
     }
     for &(u, p) in restored_links {
@@ -1830,6 +1981,109 @@ mod tests {
                     .collect()
             })
             .collect()
+    }
+
+    /// Every layer's weight table, via the public accessor — the
+    /// representation the cache-reuse test snapshots.
+    fn weight_snapshot(t: &Topology) -> Vec<Vec<u8>> {
+        (0..t.layer_count())
+            .map(|layer| {
+                (0..t.node_count() as u32)
+                    .flat_map(|n| {
+                        (0..t.node_ports(NodeId(n)).len() as u16)
+                            .map(move |p| (NodeId(n), p))
+                            .collect::<Vec<_>>()
+                    })
+                    .map(|(n, p)| t.layer_link_weight(layer, n, p))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Mid-run masked recomputes and repairs reuse the cached weight
+    /// arenas: the tables depend only on (policy, frozen graph), never
+    /// the fault mask, so fault events must not re-derive one seeded
+    /// hash per inter-switch link — and the cached tables must be
+    /// bit-identical to freshly derived ones.
+    #[test]
+    fn weight_tables_cached_across_masked_recomputes() {
+        let mut t = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        t.set_policy(RoutingPolicy::layered(3, 9));
+        t.compute_routes();
+        let builds = t.weight_builds();
+        let snapshot = weight_snapshot(&t);
+        let mut mask = FaultMask::new();
+        mask.fail_node(t.core_switches()[0]);
+        t.compute_routes_masked(&mask);
+        mask.fail_link(&t, t.hosts()[0], 0);
+        t.repair_routes(&mask);
+        mask.restore_node(t.core_switches()[0]);
+        t.repair_routes(&mask);
+        assert_eq!(
+            t.weight_builds(),
+            builds,
+            "fault events rebuilt mask-independent weight tables"
+        );
+        assert_eq!(weight_snapshot(&t), snapshot, "cached tables diverged");
+        // A policy change invalidates the cache; flipping back rebuilds
+        // tables identical to the originally cached ones (the tables
+        // are a pure function of policy + graph).
+        t.set_policy(RoutingPolicy::layered(3, 10));
+        t.compute_routes();
+        assert_eq!(t.weight_builds(), builds + 1, "policy change must rebuild");
+        t.set_policy(RoutingPolicy::layered(3, 9));
+        t.compute_routes();
+        assert_eq!(weight_snapshot(&t), snapshot);
+    }
+
+    /// Parallel route computation is byte-identical to serial — full
+    /// compute and fail/restore repair alike. Columns are pure units
+    /// writing disjoint arena slices, so the thread count (including 0
+    /// = auto and counts above the column count) can never leak into
+    /// the tables.
+    #[test]
+    fn parallel_compute_and_repair_match_serial() {
+        let mut serial = Topology::fat_tree(4, 1_000_000_000, 10_000);
+        serial.set_policy(RoutingPolicy::layered(3, 7));
+        serial.compute_routes();
+        for threads in [0, 2, 3, 64] {
+            let mut par = Topology::fat_tree(4, 1_000_000_000, 10_000);
+            par.set_policy(RoutingPolicy::layered(3, 7));
+            par.set_parallelism(threads);
+            par.compute_routes();
+            assert_eq!(
+                route_tables(&serial),
+                route_tables(&par),
+                "full compute, threads={threads}"
+            );
+            let core = serial.core_switches()[0];
+            let victim = serial.hosts()[3];
+            let mut mask = FaultMask::new();
+            mask.fail_node(core);
+            mask.fail_link(&serial, victim, 0);
+            let mut serial_run = serial.clone();
+            serial_run.repair_routes(&mask);
+            par.repair_routes(&mask);
+            assert_eq!(
+                route_tables(&serial_run),
+                route_tables(&par),
+                "failure repair, threads={threads}"
+            );
+            mask.restore_node(core);
+            mask.restore_link(&serial_run, victim, 0);
+            serial_run.repair_routes(&mask);
+            par.repair_routes(&mask);
+            assert_eq!(
+                route_tables(&serial_run),
+                route_tables(&par),
+                "restore repair, threads={threads}"
+            );
+            assert_eq!(
+                route_tables(&serial),
+                route_tables(&par),
+                "restored tables must match pristine, threads={threads}"
+            );
+        }
     }
 
     #[test]

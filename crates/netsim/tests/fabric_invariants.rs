@@ -517,6 +517,96 @@ proptest! {
         }
     }
 
+    /// Parallel route computation is byte-identical to serial: the same
+    /// full compute, mixed fail/restore deltas, and per-delta repairs
+    /// executed at 2–4 worker threads yield exactly the serial
+    /// topology's next-port sets and per-layer distances, on every
+    /// topology family under a 1–3-layer policy. (The chunked scatter
+    /// only partitions disjoint destination columns — see
+    /// `netsim::par` — so thread count must never leak into results.)
+    #[test]
+    fn parallel_routes_byte_identical_to_serial(
+        fabric in any_fabric(),
+        layers in 1usize..=3,
+        threads in 2usize..=4,
+        seed in any::<u64>(),
+    ) {
+        let (mut serial, label) = fabric;
+        serial.set_policy(RoutingPolicy::layered(layers, seed ^ 0x9A12));
+        serial.compute_routes();
+        let mut par = serial.clone();
+        par.set_parallelism(threads);
+        par.compute_routes();
+        let hosts = serial.hosts().to_vec();
+        let mut links = Vec::new();
+        for n in 0..serial.node_count() as u32 {
+            let node = NodeId(n);
+            for (pi, p) in serial.node_ports(node).iter().enumerate() {
+                if p.peer.0 > n {
+                    links.push((node, pi as u16));
+                }
+            }
+        }
+        let mut nodes: Vec<NodeId> = serial.core_switches();
+        nodes.extend(serial.hosts().iter().copied());
+        let mut rng = netsim::Pcg32::new(seed);
+        let mut mask = FaultMask::new();
+        let mut failed_links: Vec<(NodeId, u16)> = Vec::new();
+        let mut failed_nodes: Vec<NodeId> = Vec::new();
+        for step in 0..4 {
+            if step > 0 {
+                // Mixed fail/restore delta, repaired on both sides.
+                let restore = !(failed_links.is_empty() && failed_nodes.is_empty())
+                    && rng.below(2) == 0;
+                if restore {
+                    let pick_link = !failed_links.is_empty()
+                        && (failed_nodes.is_empty() || rng.below(2) == 0);
+                    if pick_link {
+                        let i = rng.below(failed_links.len() as u64) as usize;
+                        let (n, p) = failed_links.swap_remove(i);
+                        mask.restore_link(&serial, n, p);
+                    } else {
+                        let i = rng.below(failed_nodes.len() as u64) as usize;
+                        mask.restore_node(failed_nodes.swap_remove(i));
+                    }
+                } else if rng.below(2) == 0 {
+                    let (n, p) = links[rng.below(links.len() as u64) as usize];
+                    if !mask.link_is_down(n, p) {
+                        mask.fail_link(&serial, n, p);
+                        failed_links.push((n, p));
+                    }
+                } else {
+                    let w = nodes[rng.below(nodes.len() as u64) as usize];
+                    if !mask.node_is_down(w) {
+                        mask.fail_node(w);
+                        failed_nodes.push(w);
+                    }
+                }
+                serial.repair_routes(&mask);
+                par.repair_routes(&mask);
+            }
+            par.check_csr_invariants();
+            for layer in 0..layers {
+                for n in 0..serial.node_count() as u32 {
+                    for &h in &hosts {
+                        prop_assert_eq!(
+                            par.try_next_ports_on(layer, NodeId(n), h),
+                            serial.try_next_ports_on(layer, NodeId(n), h),
+                            "{}: {} threads, layer {} node {} dest {} ports diverged at step {}",
+                            label, threads, layer, n, h.0, step
+                        );
+                        prop_assert_eq!(
+                            par.layer_distance(layer, NodeId(n), h),
+                            serial.layer_distance(layer, NodeId(n), h),
+                            "{}: {} threads, layer {} node {} dest {} distance diverged at step {}",
+                            label, threads, layer, n, h.0, step
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     /// Any single fabric-link or transit/aggregation-switch failure in a
     /// k ≥ 4 fat-tree leaves every host pair routable after a masked
     /// recompute (edge switches are excluded: killing one provably

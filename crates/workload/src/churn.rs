@@ -20,7 +20,7 @@
 use netsim::{
     FabricStats, FaultMix, FaultPlan, FaultProcess, Pcg32, SimConfig, SimTime, Simulator, Topology,
 };
-use polyraptor::{host_fail_token, PolyraptorAgent};
+use polyraptor::{host_fail_token, host_up_token, PolyraptorAgent};
 use tcpsim::{conn_start_token, TcpAgent};
 
 use crate::fault::{RecoveryStats, REROUTE_DELAY_NS};
@@ -137,6 +137,10 @@ pub struct ChurnReport {
     pub stranded_sessions: u64,
     /// Strandings re-targeted at a surviving replica.
     pub retargeted_sessions: u64,
+    /// Strandings undone by a host-revival notification: the revived
+    /// sender was re-admitted to a still-open session (no credit is
+    /// minted across the strand/revive boundary).
+    pub unstranded_sessions: u64,
     /// Symbols re-pulled from survivors on re-target, summed over all
     /// sessions (each bounded by its decode's remaining need).
     pub retarget_symbols: u64,
@@ -188,6 +192,7 @@ pub fn run_churn_rq(sc: &ChurnScenario, fabric: &Fabric, opts: &RqRunOptions) ->
     let mut sim_cfg = SimConfig::ndp(sc.seed ^ 0xC0_17);
     sim_cfg.switch_queue = opts.switch_queue;
     sim_cfg.route = opts.route;
+    sim_cfg.parallelism = opts.parallelism;
     sim_cfg.layer_assign = opts.layer_assign;
     sim_cfg.reroute_delay_ns = REROUTE_DELAY_NS;
     let mut pr = opts.pr;
@@ -223,15 +228,25 @@ pub fn run_churn_rq(sc: &ChurnScenario, fabric: &Fabric, opts: &RqRunOptions) ->
                 continue;
             }
             sim.schedule_timer(ls.client, notify, host_fail_token(f.host));
+            // The matching revival notification, one convergence window
+            // after the scripted repair: the client re-admits the
+            // revived replica to its still-open sessions and the
+            // keep-alive sweep's probing takes it from there.
+            if let Some(up) = f.repaired_at {
+                let renotify = up.max(ls.start) + REROUTE_DELAY_NS;
+                sim.schedule_timer(ls.client, renotify, host_up_token(f.host));
+            }
         }
     }
 
     sim.run_to_completion();
     let flows = collect_rq_results(&sim, &sessions, Pattern::Read);
     let (mut stranded, mut retargeted, mut retarget_symbols) = (0u64, 0u64, 0u64);
+    let mut unstranded = 0u64;
     for (_, agent) in sim.agents() {
         stranded += agent.stranded_sessions;
         retargeted += agent.retargeted_sessions;
+        unstranded += agent.unstranded_sessions;
         retarget_symbols += agent
             .records
             .iter()
@@ -253,6 +268,7 @@ pub fn run_churn_rq(sc: &ChurnScenario, fabric: &Fabric, opts: &RqRunOptions) ->
         host_failures: host_failures.len(),
         stranded_sessions: stranded,
         retargeted_sessions: retargeted,
+        unstranded_sessions: unstranded,
         retarget_symbols,
         timeouts: 0,
         telemetry,
@@ -278,6 +294,7 @@ pub fn run_churn_tcp(sc: &ChurnScenario, fabric: &Fabric, opts: &TcpRunOptions) 
     let mut sim_cfg = SimConfig::classic(sc.seed ^ 0xC0_17);
     sim_cfg.switch_queue = opts.switch_queue;
     sim_cfg.route = opts.route;
+    sim_cfg.parallelism = opts.parallelism;
     sim_cfg.reroute_delay_ns = REROUTE_DELAY_NS;
     let mut sim: Simulator<_, TcpAgent, _> =
         Simulator::with_telemetry(topo, sim_cfg, opts.telemetry.recorder());
@@ -310,6 +327,7 @@ pub fn run_churn_tcp(sc: &ChurnScenario, fabric: &Fabric, opts: &TcpRunOptions) 
         fault_instants,
         stranded_sessions: 0,
         retargeted_sessions: 0,
+        unstranded_sessions: 0,
         retarget_symbols: 0,
         timeouts,
         telemetry,

@@ -320,6 +320,7 @@ pub fn run_fault_rq(sc: &FaultScenario, fabric: &Fabric, opts: &RqRunOptions) ->
     let mut sim_cfg = SimConfig::ndp(sc.seed ^ 0xFA17);
     sim_cfg.switch_queue = opts.switch_queue;
     sim_cfg.route = opts.route;
+    sim_cfg.parallelism = opts.parallelism;
     sim_cfg.layer_assign = opts.layer_assign;
     sim_cfg.reroute_delay_ns = REROUTE_DELAY_NS;
     let mut pr = opts.pr;
@@ -364,6 +365,7 @@ pub fn run_fault_tcp(sc: &FaultScenario, fabric: &Fabric, opts: &TcpRunOptions) 
     let mut sim_cfg = SimConfig::classic(sc.seed ^ 0xFA17);
     sim_cfg.switch_queue = opts.switch_queue;
     sim_cfg.route = opts.route;
+    sim_cfg.parallelism = opts.parallelism;
     sim_cfg.reroute_delay_ns = REROUTE_DELAY_NS;
     let mut sim: Simulator<_, TcpAgent, _> =
         Simulator::with_telemetry(topo, sim_cfg, opts.telemetry.recorder());

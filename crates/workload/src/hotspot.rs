@@ -47,6 +47,7 @@ pub fn run_hotspot_rq(
     let mut sim_cfg = netsim::SimConfig::ndp(scenario.seed ^ 0x407);
     sim_cfg.switch_queue = opts.switch_queue;
     sim_cfg.route = opts.route;
+    sim_cfg.parallelism = opts.parallelism;
     sim_cfg.layer_assign = opts.layer_assign;
     let mut sim: Simulator<_, PolyraptorAgent> = Simulator::new(topo, sim_cfg);
     let mut rng = Pcg32::new(scenario.seed ^ 0x5077);

@@ -295,6 +295,11 @@ pub struct RqRunOptions {
     /// churn runners, which attach a [`crate::RunTelemetry`] to their
     /// reports; enabling it also turns on the agents' flow spans.
     pub telemetry: TelemetryOptions,
+    /// Route-computation worker threads (0 = available cores, 1 =
+    /// serial, the default). Reports are byte-identical per seed at
+    /// every setting — route tables are computed by pure per-column
+    /// work — so this is purely a wall-clock knob for large fabrics.
+    pub parallelism: usize,
 }
 
 impl Default for RqRunOptions {
@@ -306,6 +311,7 @@ impl Default for RqRunOptions {
             policy: RoutingPolicy::minimal(),
             layer_assign: LayerAssign::FlowHash,
             telemetry: TelemetryOptions::default(),
+            parallelism: 1,
         }
     }
 }
@@ -324,6 +330,7 @@ pub fn run_storage_rq(
     let mut sim_cfg = SimConfig::ndp(scenario.seed ^ 0xFAB);
     sim_cfg.switch_queue = opts.switch_queue;
     sim_cfg.route = opts.route;
+    sim_cfg.parallelism = opts.parallelism;
     sim_cfg.layer_assign = opts.layer_assign;
     let mut sim: Simulator<_, PolyraptorAgent> = Simulator::new(topo, sim_cfg);
 
@@ -474,6 +481,10 @@ pub struct TcpRunOptions {
     /// churn runners, which attach a [`crate::RunTelemetry`] to their
     /// reports.
     pub telemetry: TelemetryOptions,
+    /// Route-computation worker threads (0 = available cores, 1 =
+    /// serial, the default). Reports are byte-identical per seed at
+    /// every setting.
+    pub parallelism: usize,
 }
 
 impl Default for TcpRunOptions {
@@ -484,6 +495,7 @@ impl Default for TcpRunOptions {
             route: RouteMode::EcmpFlow,
             policy: RoutingPolicy::minimal(),
             telemetry: TelemetryOptions::default(),
+            parallelism: 1,
         }
     }
 }
@@ -502,6 +514,7 @@ pub fn run_storage_tcp(
     let mut sim_cfg = SimConfig::classic(scenario.seed ^ 0xFAB);
     sim_cfg.switch_queue = opts.switch_queue;
     sim_cfg.route = opts.route;
+    sim_cfg.parallelism = opts.parallelism;
     let mut sim: Simulator<_, TcpAgent> = Simulator::new(topo, sim_cfg);
     let hosts = sim.topology().hosts().to_vec();
     for &h in &hosts {
@@ -609,6 +622,7 @@ pub fn run_incast_rq(scenario: &IncastScenario, fabric: &Fabric, opts: &RqRunOpt
     let mut sim_cfg = SimConfig::ndp(scenario.seed ^ 0x1C);
     sim_cfg.switch_queue = opts.switch_queue;
     sim_cfg.route = opts.route;
+    sim_cfg.parallelism = opts.parallelism;
     sim_cfg.layer_assign = opts.layer_assign;
     let mut sim: Simulator<_, PolyraptorAgent> = Simulator::new(topo, sim_cfg);
     let hosts = sim.topology().hosts().to_vec();
@@ -643,6 +657,7 @@ pub fn run_incast_tcp(scenario: &IncastScenario, fabric: &Fabric, opts: &TcpRunO
     let mut sim_cfg = SimConfig::classic(scenario.seed ^ 0x1C);
     sim_cfg.switch_queue = opts.switch_queue;
     sim_cfg.route = opts.route;
+    sim_cfg.parallelism = opts.parallelism;
     let mut sim: Simulator<_, TcpAgent> = Simulator::new(topo, sim_cfg);
     let hosts = sim.topology().hosts().to_vec();
     for &h in &hosts {

@@ -257,6 +257,7 @@ fn mark_label(m: &FlowSpanEvent) -> String {
         SpanMark::Repull => "re-pull",
         SpanMark::Retarget => "re-target",
         SpanMark::Stranded => "stranded",
+        SpanMark::Unstranded => "revived",
     };
     if m.peer == FlowSpanEvent::NO_PEER {
         verb.to_string()

@@ -29,7 +29,13 @@
 //! cargo run --release --example fabric_faults            # 250-host fabric
 //! cargo run --release --example fabric_faults -- --smoke # 16-host quick run
 //! cargo run --release --example fabric_faults -- --churn [--smoke] [--telemetry]
+//! cargo run --release --example fabric_faults -- --churn --par 4 # parallel reroutes
 //! ```
+//!
+//! `--par N` sets the route-computation worker threads (0 = available
+//! cores, 1 = serial); results stay byte-identical per seed at every
+//! setting — the flag only changes the reroute wall-clock on the
+//! large-fabric churn lines.
 
 use std::path::Path;
 
@@ -41,6 +47,23 @@ use polyraptor_repro::workload::{
 
 /// Where `--telemetry` artefacts land.
 const TELEMETRY_DIR: &str = "target/telemetry";
+
+/// `--par N`: route-computation worker threads (0 = available cores,
+/// 1 = serial, the default). Results are byte-identical per seed at
+/// every setting — the flag only changes reroute wall-clock on the
+/// large fabrics.
+fn par_flag() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--par")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--par takes a thread count")
+                .parse()
+                .expect("--par takes a thread count")
+        })
+        .unwrap_or(1)
+}
 
 /// Per-layer trim shares: each layer's trims as count and share of all
 /// layer-attributed trims, next to what the layer forwarded. Layers
@@ -76,9 +99,11 @@ fn write_telemetry(t: &RunTelemetry, prefix: &str) {
 }
 
 /// Wall-clock the control-plane bill of one link failure on `fabric`:
-/// a full masked recomputation vs. the incremental repair.
+/// a full masked recomputation vs. the incremental repair, at the
+/// `--par` thread count.
 fn time_reroute(fabric: &Fabric) -> (f64, f64, usize) {
-    let pristine = fabric.build();
+    let mut pristine = fabric.build();
+    pristine.set_parallelism(par_flag());
     // Victim: the first switch-switch link (an edge/leaf uplink).
     let (node, port) = (0..pristine.node_count() as u32)
         .map(polyraptor_repro::netsim::NodeId)
@@ -164,7 +189,10 @@ fn run_churn(smoke: bool, telemetry: bool) {
         sc.fault_events,
         sc.repair_delay_ns / 1_000_000,
     );
-    let mut opts = RqRunOptions::default();
+    let mut opts = RqRunOptions {
+        parallelism: par_flag(),
+        ..Default::default()
+    };
     if telemetry {
         opts.telemetry = TelemetryOptions::enabled_default();
     }
@@ -214,7 +242,11 @@ fn run_churn(smoke: bool, telemetry: bool) {
     for fabric in [Fabric::large(), Fabric::large_jellyfish()] {
         let mut big = ChurnScenario::ten_event(big_sessions, big_bytes, 2);
         big.fault_events = big_events;
-        let rep = run_churn_rq(&big, &fabric, &RqRunOptions::default());
+        let big_opts = RqRunOptions {
+            parallelism: par_flag(),
+            ..Default::default()
+        };
+        let rep = run_churn_rq(&big, &fabric, &big_opts);
         let c = rep.completion();
         let (full_ms, repair_ms, _) = time_reroute(&fabric);
         println!(
@@ -251,7 +283,10 @@ fn main() {
         fabric.describe()
     );
 
-    let mut rq_opts = RqRunOptions::default();
+    let mut rq_opts = RqRunOptions {
+        parallelism: par_flag(),
+        ..Default::default()
+    };
     if telemetry {
         rq_opts.telemetry = TelemetryOptions::enabled_default();
     }

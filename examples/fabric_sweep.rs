@@ -25,7 +25,11 @@
 //! cargo run --release --example fabric_sweep            # full scale
 //! cargo run --release --example fabric_sweep -- --smoke # quick run
 //! cargo run --release --example fabric_sweep -- --out target/figures [--telemetry]
+//! cargo run --release --example fabric_sweep -- --par 4 # parallel reroutes
 //! ```
+//!
+//! `--par N` sets the route-computation worker threads (0 = available
+//! cores); results stay byte-identical per seed at every setting.
 
 use std::path::PathBuf;
 
@@ -58,6 +62,19 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let telemetry = args.iter().any(|a| a == "--telemetry");
+    // Route-computation worker threads (0 = available cores, 1 =
+    // serial). Sweep rows are byte-identical per seed at every setting;
+    // the flag only changes reroute wall-clock on large fabrics.
+    let par: usize = args
+        .iter()
+        .position(|a| a == "--par")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--par takes a thread count")
+                .parse()
+                .expect("--par takes a thread count")
+        })
+        .unwrap_or(1);
     let out: Option<PathBuf> = args
         .iter()
         .position(|a| a == "--out")
@@ -88,8 +105,16 @@ fn main() {
             prop_ns: 10_000,
         };
         let sc = FaultScenario::fig1_failure(sessions, bytes, 42);
-        let rq = run_fault_rq(&sc, &fabric, &RqRunOptions::default());
-        let tcp = run_fault_tcp(&sc, &fabric, &TcpRunOptions::default());
+        let rq_opts = RqRunOptions {
+            parallelism: par,
+            ..Default::default()
+        };
+        let tcp_opts = TcpRunOptions {
+            parallelism: par,
+            ..Default::default()
+        };
+        let rq = run_fault_rq(&sc, &fabric, &rq_opts);
+        let tcp = run_fault_tcp(&sc, &fabric, &tcp_opts);
         rows.push(vec![
             oversub,
             rq.makespan().as_secs_f64() * 1e3,
@@ -135,7 +160,10 @@ fn main() {
         let rep = run_churn_rq(
             &link_churn(jf_sessions, jf_bytes, jf_events, 1),
             &fabric,
-            &RqRunOptions::default(),
+            &RqRunOptions {
+                parallelism: par,
+                ..Default::default()
+            },
         );
         let c = rep.completion();
         rows.push(vec![
@@ -194,6 +222,7 @@ fn main() {
     for layers in [1usize, 2, 3, 4] {
         let opts = RqRunOptions {
             policy: RoutingPolicy::layered(layers, 7),
+            parallelism: par,
             telemetry: if telemetry {
                 TelemetryOptions::enabled_default()
             } else {

@@ -68,6 +68,11 @@ fn churn_soak_completes_everything_and_retargets_all_stranded() {
         rep.retarget_symbols > 0,
         "re-target must move the dead replica's share to survivors"
     );
+    // Revivals can only undo strandings that actually happened.
+    assert!(
+        rep.unstranded_sessions <= rep.stranded_sessions,
+        "un-strand count bounded by strandings"
+    );
     // The fabric half of the story: flaps coalesced into no-op deltas.
     // (Bunched repairs at this event rate legitimately exceed the
     // mass-delta threshold, so restore-repair is asserted separately by
@@ -130,8 +135,26 @@ fn churn_soak_is_byte_identical_per_seed() {
     assert_eq!(fingerprint(&a), fingerprint(&b), "identical per-flow stats");
     assert_eq!(a.stranded_sessions, b.stranded_sessions);
     assert_eq!(a.retargeted_sessions, b.retargeted_sessions);
+    assert_eq!(a.unstranded_sessions, b.unstranded_sessions);
     assert_eq!(a.retarget_symbols, b.retarget_symbols);
     assert_eq!(a.fault_instants, b.fault_instants);
+
+    // Parallel route computation must not leak into results: the same
+    // seed run with multi-threaded reroutes reproduces the serial run
+    // byte for byte (fabric stats field for field, per-flow timings,
+    // and the whole stranding ledger).
+    let par_opts = RqRunOptions {
+        parallelism: 3,
+        ..Default::default()
+    };
+    let p = run_churn_rq(&sc, &fabric, &par_opts);
+    assert_eq!(a.fabric, p.fabric, "parallel reroutes alter no fabric stat");
+    assert_eq!(fingerprint(&a), fingerprint(&p), "parallel run diverged");
+    assert_eq!(a.stranded_sessions, p.stranded_sessions);
+    assert_eq!(a.retargeted_sessions, p.retargeted_sessions);
+    assert_eq!(a.unstranded_sessions, p.unstranded_sessions);
+    assert_eq!(a.retarget_symbols, p.retarget_symbols);
+    assert_eq!(a.fault_instants, p.fault_instants);
 
     // A different seed produces a different run (the soak is not
     // accidentally fault-free or schedule-independent).
