@@ -45,6 +45,13 @@ impl Agent<P> for Blaster {
 }
 
 fn event_throughput(c: &mut Criterion) {
+    // Both event-loop micro-optimisations land here: the hot loop
+    // does one heap pop per node event (no peek-then-pop double
+    // access), and `Arrive` boxes its packet so the heap sifts a
+    // 48-byte key-plus-pointer instead of the whole payload. The
+    // incast shape is push-pop interleaved (deep queues at the
+    // victim); the all-pairs shape below is pop-dominated with a
+    // wide heap — together they bound both sift directions.
     let mut g = c.benchmark_group("netsim/event_throughput");
     g.sample_size(10);
     // 15 hosts blast 200 packets each at one victim across a k=4
@@ -67,6 +74,33 @@ fn event_throughput(c: &mut Criterion) {
                 );
             }
             for &h in &hosts[1..] {
+                sim.schedule_timer(h, SimTime::ZERO, 0);
+            }
+            sim.run_to_completion();
+            std::hint::black_box(sim.stats().events)
+        })
+    });
+    // Every host blasts its diagonal peer: no single victim, so the
+    // event heap stays wide and the loop spends its time in pops and
+    // sifts rather than queue churn.
+    g.throughput(Throughput::Elements(16 * 200));
+    g.bench_function("all_pairs_burst_k4", |b| {
+        b.iter(|| {
+            let topo = Topology::fat_tree(4, 1_000_000_000, 10_000);
+            let hosts = topo.hosts().to_vec();
+            let n = hosts.len();
+            let mut sim: Simulator<P, Blaster> = Simulator::new(topo, SimConfig::ndp(7));
+            for (i, &h) in hosts.iter().enumerate() {
+                sim.set_agent(
+                    h,
+                    Blaster {
+                        dst: hosts[(i + n / 2) % n],
+                        n: 200,
+                        received: 0,
+                    },
+                );
+            }
+            for &h in &hosts {
                 sim.schedule_timer(h, SimTime::ZERO, 0);
             }
             sim.run_to_completion();

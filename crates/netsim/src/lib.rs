@@ -74,6 +74,7 @@ pub mod packet;
 pub mod par;
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod sim;
 pub mod telemetry;
 pub mod time;
@@ -85,6 +86,7 @@ pub use fault::{
 pub use packet::{Dest, FlowId, GroupId, Packet, SimPayload, HEADER_BYTES};
 pub use queue::{Enqueued, PortQueue, QueueConfig, QueueStats};
 pub use rng::Pcg32;
+pub use shard::ShardPlan;
 pub use sim::{
     ecmp_choice, layer_choice, Agent, Ctx, FabricStats, LayerAssign, RouteMode, SimConfig,
     Simulator,

@@ -2,9 +2,15 @@
 //!
 //! The simulator owns the topology, one [`PortQueue`] per (node, port),
 //! the multicast group tables, and one transport [`Agent`] per host. It
-//! processes four event kinds in deterministic `(time, sequence)` order:
-//! packet arrivals, port transmissions, agent timers, and scripted
-//! fabric faults (see [`crate::fault`]).
+//! processes packet arrivals, port transmissions, agent timers, and
+//! scripted fabric faults (see [`crate::fault`]) in deterministic
+//! `(time, rank, sequence)` order, where `rank` 0 is the global
+//! control plane (faults and reroutes) and rank `n + 1` is node `n`:
+//! every event is keyed by the node that *authored* it and a per-node
+//! sequence counter, so the order is a pure function of the simulated
+//! causality — not of the order the implementation happened to push
+//! events — and a sharded run (see [`crate::shard`]) reproduces the
+//! serial schedule byte for byte.
 //!
 //! Hosts hand packets to their NIC queue; switches forward within the
 //! packet's routing layer (assigned per flow, see
@@ -21,6 +27,14 @@
 //! packets that were in flight on the failed link (they "arrive" on a
 //! wire that no longer exists). All of it is accounted in
 //! [`FabricStats`]: `lost_to_fault`, `reroutes`, `trees_repaired`.
+//!
+//! Internally the simulator keeps two heaps: the node heap (arrivals,
+//! dequeues, timers — everything a single node authors and a single
+//! node consumes) and the much smaller global heap (faults and
+//! reroutes, which mutate fabric-wide state). The serial hot loop pops
+//! the node heap once per event and only compares against an O(1) peek
+//! of the global head; the sharded runner gives every shard its own
+//! node heap and executes the global heap at synchronisation barriers.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
@@ -29,6 +43,7 @@ use crate::fault::{FaultAction, FaultMask, FaultPlan};
 use crate::packet::{Dest, GroupId, Packet, SimPayload};
 use crate::queue::{Enqueued, PortQueue, QueueConfig, QueueStats};
 use crate::rng::Pcg32;
+use crate::shard::ShardPlan;
 use crate::telemetry::{AnomalyKind, FabricEvent, NoTelemetry, PortProbe, TelemetrySink};
 use crate::time::{serialization_ns, SimTime};
 use crate::topology::{NodeId, NodeKind, RoutingPolicy, Topology};
@@ -126,10 +141,12 @@ pub enum LayerAssign {
     /// Per-flow hash (the FatPaths default): every packet of a flow
     /// rides one layer, so a flow sees stable path characteristics and
     /// every switch agrees on the layer without per-packet state.
-    /// Flows are re-assigned away from a layer whose path to the
-    /// destination is dead at a hop (no advertised port, or every
-    /// advertised port locally known down) — at most one move per
-    /// (flow, destination) per convergence window, counted in
+    /// The first switch a packet enters stamps the assigned layer into
+    /// the packet (exactly FatPaths' source stamping); downstream hops
+    /// honour the stamp. Flows are re-assigned away from a layer whose
+    /// path to the destination is dead at a hop (no advertised port, or
+    /// every advertised port locally known down) — at most one move per
+    /// (switch, flow, destination) per convergence window, counted in
     /// [`FabricStats::layer_reassignments`]; the moves are forgotten
     /// when routes converge (layers only reweight links, so after a
     /// repair every layer reaches everything the fabric reaches).
@@ -163,6 +180,14 @@ pub struct SimConfig {
     /// available core. Results are byte-identical at every setting —
     /// a throughput knob only, so determinism per seed is unaffected.
     pub parallelism: usize,
+    /// Event-loop shards (see [`crate::shard`]): 1 = the serial loop
+    /// (the default), 0 = one shard per available core, `n` = partition
+    /// the fabric into up to `n` switch-group shards and run them on
+    /// scoped threads under conservative time-window synchronisation.
+    /// Results are byte-identical per seed at every setting — like
+    /// [`SimConfig::parallelism`], a throughput knob, never a behaviour
+    /// knob.
+    pub shards: usize,
 }
 
 impl SimConfig {
@@ -176,6 +201,7 @@ impl SimConfig {
             reroute_delay_ns: 0,
             seed,
             parallelism: 1,
+            shards: 1,
         }
     }
 
@@ -189,28 +215,95 @@ impl SimConfig {
             reroute_delay_ns: 0,
             seed,
             parallelism: 1,
+            shards: 1,
         }
     }
 }
 
+/// Internal payload wrapper carrying the packet's routing-layer stamp.
+///
+/// The first switch a packet enters assigns its layer and stamps it
+/// here ([`LAYER_UNSTAMPED`] until then); downstream switches honour
+/// the stamp, so layer assignment needs no fabric-global state — the
+/// property that lets shards forward without sharing a map. Queues and
+/// events carry `Packet<Stamped<P>>`; agents only ever see the bare
+/// `P` (packets are unwrapped at delivery and wrapped at the NIC).
+#[derive(Debug, Clone)]
+pub(crate) struct Stamped<P> {
+    pub(crate) inner: P,
+    pub(crate) layer: u8,
+}
+
+/// Sentinel layer stamp: not yet assigned by a switch.
+pub(crate) const LAYER_UNSTAMPED: u8 = u8::MAX;
+
+impl<P: SimPayload> SimPayload for Stamped<P> {
+    fn is_control(&self) -> bool {
+        self.inner.is_control()
+    }
+    fn trim(&self) -> Option<Self> {
+        // Trimming keeps the stamp: a trimmed header still rides its
+        // flow's layer.
+        self.inner.trim().map(|t| Stamped {
+            inner: t,
+            layer: self.layer,
+        })
+    }
+}
+
+fn wrap_packet<P>(pkt: Packet<P>) -> Packet<Stamped<P>> {
+    Packet {
+        src: pkt.src,
+        dst: pkt.dst,
+        flow: pkt.flow,
+        size: pkt.size,
+        payload: Stamped {
+            inner: pkt.payload,
+            layer: LAYER_UNSTAMPED,
+        },
+    }
+}
+
+fn unwrap_packet<P>(pkt: Packet<Stamped<P>>) -> Packet<P> {
+    Packet {
+        src: pkt.src,
+        dst: pkt.dst,
+        flow: pkt.flow,
+        size: pkt.size,
+        payload: pkt.payload.inner,
+    }
+}
+
+/// Events a single node authors and a single node consumes. These live
+/// on the node heap (per-shard in a sharded run).
 #[derive(Debug)]
-enum EventKind<P> {
+pub(crate) enum NodeEvent<P> {
     /// Packet fully received at the far end of `(from, port)`
     /// (store-and-forward). Carrying the transmitting side lets the
     /// dispatcher drop packets whose link died while they were on the
-    /// wire.
+    /// wire. Boxed: `Arrive` dwarfs the other variants, and heap sift
+    /// moves every event by value — a thin event is most of the event
+    /// loop's memory traffic.
     Arrive {
         /// Transmitting node.
         from: NodeId,
         /// Transmitting port on `from`.
         port: u16,
         /// The packet.
-        pkt: Packet<P>,
+        pkt: Box<Packet<Stamped<P>>>,
     },
     /// Port `port` of `node` finished a transmission; send the next one.
     Dequeue(NodeId, u16),
     /// Agent timer.
     Timer(NodeId, u64),
+}
+
+/// Fabric-global events: they mutate state every shard reads (fault
+/// mask, routing tables, multicast trees), so they execute serially at
+/// synchronisation barriers in a sharded run. They live on their own
+/// small heap.
+#[derive(Debug)]
+pub(crate) enum GlobalEvent {
     /// Scripted fabric fault (see [`crate::fault`]).
     Fault(FaultAction),
     /// Deferred route recomputation (control-plane convergence after a
@@ -218,26 +311,48 @@ enum EventKind<P> {
     Reroute,
 }
 
-struct Event<P> {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind<P>,
+/// Rank of global events in the `(time, rank, seq)` key: they sort
+/// before any node event at the same instant (node `n` has rank
+/// `n + 1`), which pins the convergence-window semantics — a reroute
+/// at `t` is visible to every packet arriving at `t`.
+pub(crate) const GLOBAL_RANK: u32 = 0;
+
+/// A heap entry. Ordered by `(at, rank, seq)` where `rank` identifies
+/// the *author* (0 = the global control plane, `n + 1` = node `n`) and
+/// `seq` is the author's private counter. The key is a pure function
+/// of simulated causality: node `n` authors the same events with the
+/// same counters whether it runs on the serial loop or on any shard,
+/// so serial and sharded schedules are identical. Since `(rank, seq)`
+/// never repeats, the order is total — no tie ever falls through to
+/// implementation-defined push order.
+#[derive(Debug)]
+pub(crate) struct Ev<K> {
+    pub(crate) at: SimTime,
+    pub(crate) rank: u32,
+    pub(crate) seq: u64,
+    pub(crate) kind: K,
 }
 
-impl<P> PartialEq for Event<P> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl<K> Ev<K> {
+    pub(crate) fn key(&self) -> (SimTime, u32, u64) {
+        (self.at, self.rank, self.seq)
     }
 }
-impl<P> Eq for Event<P> {}
-impl<P> PartialOrd for Event<P> {
+
+impl<K> PartialEq for Ev<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<K> Eq for Ev<K> {}
+impl<K> PartialOrd for Ev<K> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<P> Ord for Event<P> {
+impl<K> Ord for Ev<K> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        self.key().cmp(&other.key())
     }
 }
 
@@ -292,8 +407,63 @@ pub struct FabricStats {
     /// Flows moved away from a layer whose path to the destination was
     /// dead at a hop — either no advertised port there, or every
     /// advertised port locally known down — onto a live layer. At most
-    /// one move per (flow, destination) per convergence window.
+    /// one move per (switch, flow, destination) per convergence window.
     pub layer_reassignments: u64,
+    /// Synchronisation epochs executed by the sharded event loop (0 in
+    /// a serial run). Shard-machinery counter: it varies with the shard
+    /// count by construction — compare runs across shard counts with
+    /// [`FabricStats::shard_invariant`].
+    pub shard_epochs: u64,
+    /// Packets handed between shards through the per-epoch mailboxes
+    /// (0 in a serial run; shard-machinery counter, see
+    /// [`FabricStats::shard_invariant`]).
+    pub cross_shard_packets: u64,
+    /// Epochs in which a shard's window closed before it could execute
+    /// a single local event — the conservative horizon held it back (0
+    /// in a serial run; shard-machinery counter, see
+    /// [`FabricStats::shard_invariant`]).
+    pub horizon_stalls: u64,
+}
+
+impl FabricStats {
+    /// Accumulate another counter set into this one (all fields are
+    /// additive; used to merge per-shard lanes into run totals).
+    pub(crate) fn absorb(&mut self, other: &FabricStats) {
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.trimmed += other.trimmed;
+        self.events += other.events;
+        self.lost_to_fault += other.lost_to_fault;
+        self.reroutes += other.reroutes;
+        self.reroutes_incremental += other.reroutes_incremental;
+        self.route_dests_rebuilt += other.route_dests_rebuilt;
+        self.trees_repaired += other.trees_repaired;
+        self.flaps_coalesced += other.flaps_coalesced;
+        self.restores_incremental += other.restores_incremental;
+        for i in 0..RoutingPolicy::MAX_LAYERS {
+            self.layer_forwarded[i] += other.layer_forwarded[i];
+            self.layer_trimmed[i] += other.layer_trimmed[i];
+            self.layer_dropped[i] += other.layer_dropped[i];
+        }
+        self.layer_reassignments += other.layer_reassignments;
+        self.shard_epochs += other.shard_epochs;
+        self.cross_shard_packets += other.cross_shard_packets;
+        self.horizon_stalls += other.horizon_stalls;
+    }
+
+    /// These counters with the shard-machinery fields
+    /// ([`FabricStats::shard_epochs`], [`FabricStats::cross_shard_packets`],
+    /// [`FabricStats::horizon_stalls`]) zeroed. Every other field is
+    /// byte-identical across shard counts per seed; the machinery
+    /// counters describe the runner, not the simulated fabric, so
+    /// cross-shard-count comparisons go through this view.
+    pub fn shard_invariant(&self) -> FabricStats {
+        let mut s = *self;
+        s.shard_epochs = 0;
+        s.cross_shard_packets = 0;
+        s.horizon_stalls = 0;
+        s
+    }
 }
 
 /// Canonical identity of a failable element, for flap tracking: links
@@ -306,10 +476,206 @@ enum FaultKey {
 
 /// A registered multicast group: membership is retained so the
 /// forwarding tree can be rebuilt when faults change the fabric.
-struct Group {
+pub(crate) struct Group {
     sender: NodeId,
     receivers: Vec<NodeId>,
-    table: HashMap<NodeId, Vec<u16>>,
+    pub(crate) table: HashMap<NodeId, Vec<u16>>,
+}
+
+/// Per-switch flat open-addressing memo of layer re-assignments, keyed
+/// by `(flow, destination)` — the CSR-flattening treatment applied to
+/// the old fabric-global `HashMap` on the forwarding hot path. Exact
+/// full-key compare (no folded-hash false hits), power-of-two capacity,
+/// lazy allocation (a healthy fabric never allocates), cleared at every
+/// applied reroute. Per-switch rather than global so shards never share
+/// forwarding state.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LayerMemo {
+    keys: Vec<(u64, u32)>,
+    vals: Vec<u8>,
+    len: usize,
+}
+
+/// Empty-slot sentinel in [`LayerMemo::vals`] (never a valid layer:
+/// layers are bounded by [`RoutingPolicy::MAX_LAYERS`]).
+const MEMO_EMPTY: u8 = u8::MAX;
+
+fn memo_hash(flow: u64, dst: u32) -> u64 {
+    let mut z = flow ^ (u64::from(dst) << 32) ^ 0x9E37_79B9_7F4A_7C15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl LayerMemo {
+    /// Index of the key's slot: its current one, or the empty slot an
+    /// insert would claim.
+    fn slot(&self, flow: u64, dst: u32) -> usize {
+        let mask = self.vals.len() - 1;
+        let mut i = memo_hash(flow, dst) as usize & mask;
+        loop {
+            if self.vals[i] == MEMO_EMPTY || self.keys[i] == (flow, dst) {
+                return i;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn get(&self, flow: u64, dst: u32) -> Option<u8> {
+        if self.len == 0 {
+            return None;
+        }
+        let i = self.slot(flow, dst);
+        (self.vals[i] != MEMO_EMPTY).then(|| self.vals[i])
+    }
+
+    fn insert(&mut self, flow: u64, dst: u32, layer: u8) {
+        debug_assert_ne!(layer, MEMO_EMPTY);
+        // Grow at 7/8 load so the linear probe stays short.
+        if self.vals.is_empty() || self.len * 8 >= self.vals.len() * 7 {
+            self.grow();
+        }
+        let i = self.slot(flow, dst);
+        if self.vals[i] == MEMO_EMPTY {
+            self.keys[i] = (flow, dst);
+            self.len += 1;
+        }
+        self.vals[i] = layer;
+    }
+
+    pub(crate) fn clear(&mut self) {
+        if self.len > 0 {
+            self.vals.fill(MEMO_EMPTY);
+            self.len = 0;
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.vals.len() * 2).max(16);
+        let old_keys = std::mem::take(&mut self.keys);
+        let old_vals = std::mem::take(&mut self.vals);
+        self.keys = vec![(0, 0); cap];
+        self.vals = vec![MEMO_EMPTY; cap];
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if v != MEMO_EMPTY {
+                let i = self.slot(k.0, k.1);
+                self.keys[i] = k;
+                self.vals[i] = v;
+            }
+        }
+    }
+}
+
+/// Everything one node owns: its port queues, transmit state, agent,
+/// RNG stream, event counter, and layer memo. Cells are stored grouped
+/// by shard so the sharded runner can hand each worker a disjoint
+/// `&mut` slice; all node-event dispatch mutates exactly one cell.
+pub(crate) struct NodeCell<P: SimPayload, A> {
+    pub(crate) node: NodeId,
+    pub(crate) queues: Vec<PortQueue<Stamped<P>>>,
+    pub(crate) busy: Vec<bool>,
+    pub(crate) agent: Option<A>,
+    /// Per-node RNG stream (spraying decisions), forked from the
+    /// config seed in node-id order — a function of (seed, node), so
+    /// the stream is identical at every shard count.
+    pub(crate) rng: Pcg32,
+    /// The node's private event counter: the `seq` of every event this
+    /// node authors. Advances only when the node dispatches, so it is
+    /// shard-invariant.
+    pub(crate) seq: u64,
+    pub(crate) memo: LayerMemo,
+}
+
+impl<P: SimPayload, A> NodeCell<P, A> {
+    pub(crate) fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+}
+
+/// Fabric-global mutable state: the fault mask, route/reroute
+/// bookkeeping, multicast groups, and the control plane's own stats
+/// and event counter. Only the serial loop or shard worker 0 (under a
+/// write lock, at a barrier) mutates it; node dispatch reads it.
+pub(crate) struct Control {
+    /// Live fault state (dead links/switches). Routing tables lag it by
+    /// the configured control-plane convergence delay.
+    pub(crate) mask: FaultMask,
+    /// A deferred reroute is already scheduled (coalesces bursts of
+    /// fault events into one recompute).
+    pub(crate) reroute_pending: bool,
+    /// Elements that went down since the last applied reroute — an Up
+    /// for one of these inside the same convergence window is a
+    /// coalesced flap (the pair cancels out of the pending delta).
+    pending_down: std::collections::BTreeSet<FaultKey>,
+    /// Per-port rate overrides (hotspot/failure injection); keyed by
+    /// (node, port), in bits per second. Zero means the link is down.
+    rate_overrides: HashMap<(u32, u16), u64>,
+    // BTreeMap: tree repair iterates the groups, and iteration order
+    // must be seed-stable for determinism.
+    pub(crate) groups: BTreeMap<GroupId, Group>,
+    next_group: u32,
+    /// Counters the control plane owns (reroutes, repairs, flaps, its
+    /// own processed events); node-context counters accumulate in
+    /// [`Lane::stats`] and the two merge in [`Simulator::stats`].
+    pub(crate) stats: FabricStats,
+    /// The global author's private event counter (rank 0 events).
+    pub(crate) gseq: u64,
+}
+
+/// Per-execution-lane scratch: the stats a lane's node dispatch
+/// accumulates, the events it emits (routed to heaps or mailboxes by
+/// the driver), and the telemetry notes it buffers. The serial loop
+/// owns one persistent lane; each shard worker gets a fresh one that
+/// merges into it at run end.
+pub(crate) struct Lane<P> {
+    pub(crate) stats: FabricStats,
+    pub(crate) out: Vec<Ev<NodeEvent<P>>>,
+    /// Telemetry events emitted during node dispatch, keyed by the
+    /// authoring event so a sharded run can replay them to the sink in
+    /// exact serial order at synchronisation points.
+    pub(crate) notes: Vec<(SimTime, u32, u64, FabricEvent)>,
+}
+
+impl<P> Default for Lane<P> {
+    fn default() -> Self {
+        Self {
+            stats: FabricStats::default(),
+            out: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+}
+
+/// The read-only context node dispatch runs against: topology and
+/// config are immutable for a whole run; control only changes at
+/// global events, which are barriers in a sharded run.
+pub(crate) struct Env<'a> {
+    pub(crate) topo: &'a Topology,
+    pub(crate) config: &'a SimConfig,
+    pub(crate) control: &'a Control,
+    pub(crate) tele_on: bool,
+}
+
+/// The per-node slice of a global event's effect. The shared part of a
+/// fault/reroute (mask, tables, telemetry annotations) applies once;
+/// these ops touch individual cells and are applied by whichever
+/// execution lane owns the cell, in list order — so per-node effect
+/// order is identical in serial and sharded runs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum LocalOp {
+    /// Drop everything queued on the port, accounting to
+    /// `lost_to_fault`.
+    Flush(NodeId, u16),
+    /// Restart the port's transmit loop if it is idle with packets
+    /// waiting.
+    Kick(NodeId, u16),
+    /// Forget every switch's layer re-assignment memo — issued at
+    /// every mask change (the memos cache a pure function of the
+    /// mask era) and at applied reroutes (repaired tables make every
+    /// layer whole again).
+    ClearMemos,
 }
 
 /// The deterministic packet-level simulator.
@@ -321,42 +687,26 @@ struct Group {
 /// perturbs results: no probe events enter the heap and no RNG is
 /// consumed, so event order and every random draw are unchanged.
 pub struct Simulator<P: SimPayload, A: Agent<P>, T: TelemetrySink = NoTelemetry> {
-    topo: Topology,
-    config: SimConfig,
-    queues: Vec<Vec<PortQueue<P>>>,
-    busy: Vec<Vec<bool>>,
-    agents: Vec<Option<A>>,
-    // BTreeMap: tree repair iterates the groups, and iteration order
-    // must be seed-stable for determinism.
-    groups: BTreeMap<GroupId, Group>,
-    next_group: u32,
-    events: BinaryHeap<Reverse<Event<P>>>,
-    seq: u64,
-    now: SimTime,
-    rng: Pcg32,
-    stats: FabricStats,
-    /// Live fault state (dead links/switches). Routing tables lag it by
-    /// the configured control-plane convergence delay.
-    mask: FaultMask,
-    /// A deferred reroute is already scheduled (coalesces bursts of
-    /// fault events into one recompute).
-    reroute_pending: bool,
-    /// Elements that went down since the last applied reroute — an Up
-    /// for one of these inside the same convergence window is a
-    /// coalesced flap (the pair cancels out of the pending delta).
-    pending_down: std::collections::BTreeSet<FaultKey>,
-    /// Per-port rate overrides (hotspot/failure injection); keyed by
-    /// (node, port), in bits per second. Zero means the link is down.
-    rate_overrides: HashMap<(u32, u16), u64>,
-    /// Per-(flow, destination) layer re-assignments under
-    /// [`LayerAssign::FlowHash`]: a flow moved away from a dead layer
-    /// keeps its new layer until the next applied reroute (the repaired
-    /// tables make every layer whole again, so the map is cleared there
-    /// — bounding it to one convergence window's flows). Never
-    /// iterated, so the HashMap does not threaten determinism.
-    layer_overrides: HashMap<(u64, u32), u8>,
+    pub(crate) topo: Topology,
+    pub(crate) config: SimConfig,
+    /// Shard partition, present iff the resolved shard count exceeds 1
+    /// on this topology; `None` runs the serial loop.
+    pub(crate) plan: Option<ShardPlan>,
+    /// One cell per node, stored grouped by shard (identity order when
+    /// unsharded); [`Simulator::cell_of`] maps node id → slot.
+    pub(crate) cells: Vec<NodeCell<P, A>>,
+    pub(crate) cell_of: Vec<u32>,
+    /// The node-event heap (all shards' events between runs).
+    pub(crate) nevents: BinaryHeap<Reverse<Ev<NodeEvent<P>>>>,
+    /// The global-event heap (faults, reroutes).
+    pub(crate) gevents: BinaryHeap<Reverse<Ev<GlobalEvent>>>,
+    pub(crate) control: Control,
+    /// The serial loop's lane; sharded workers merge their lanes into
+    /// it at run end, so its stats accumulate across both modes.
+    pub(crate) lane: Lane<P>,
+    pub(crate) now: SimTime,
     /// Telemetry sink (default: the zero-cost [`NoTelemetry`]).
-    telemetry: T,
+    pub(crate) telemetry: T,
 }
 
 impl<P: SimPayload, A: Agent<P>> Simulator<P, A> {
@@ -374,43 +724,105 @@ impl<P: SimPayload, A: Agent<P>, T: TelemetrySink> Simulator<P, A, T> {
     /// record.
     pub fn with_telemetry(mut topo: Topology, config: SimConfig, telemetry: T) -> Self {
         topo.set_parallelism(config.parallelism);
-        let queues = (0..topo.node_count())
-            .map(|n| {
-                let node = NodeId(n as u32);
-                let qc = match topo.kind(node) {
-                    NodeKind::Host => config.host_queue,
-                    NodeKind::Switch => config.switch_queue,
-                };
-                topo.node_ports(node)
-                    .iter()
-                    .map(|_| PortQueue::new(qc))
-                    .collect()
-            })
-            .collect();
-        let busy = (0..topo.node_count())
-            .map(|n| vec![false; topo.node_ports(NodeId(n as u32)).len()])
-            .collect();
-        let agents = (0..topo.node_count()).map(|_| None).collect();
+        let n = topo.node_count();
+        let requested = crate::par::resolve(config.shards);
+        let plan = if requested > 1 {
+            let p = ShardPlan::build(&topo, requested);
+            (p.shards > 1).then_some(p)
+        } else {
+            None
+        };
+        // Per-node RNG streams fork from the config seed in node-id
+        // order: a pure function of (seed, node), independent of the
+        // shard layout.
+        let mut root = Pcg32::new(config.seed);
+        let mut rngs: Vec<Pcg32> = (0..n).map(|i| root.fork(i as u64)).collect();
+        // Cells are stored grouped by shard (ascending node id within
+        // each shard) so the sharded runner can split them into
+        // disjoint contiguous worker slices.
+        let order: Vec<u32> = match &plan {
+            Some(p) => p.order.clone(),
+            None => (0..n as u32).collect(),
+        };
+        let mut cell_of = vec![0u32; n];
+        for (slot, &node) in order.iter().enumerate() {
+            cell_of[node as usize] = slot as u32;
+        }
+        let mut cells = Vec::with_capacity(n);
+        for &node in &order {
+            let node = NodeId(node);
+            let qc = match topo.kind(node) {
+                NodeKind::Host => config.host_queue,
+                NodeKind::Switch => config.switch_queue,
+            };
+            let ports = topo.node_ports(node).len();
+            cells.push(NodeCell {
+                node,
+                queues: (0..ports).map(|_| PortQueue::new(qc)).collect(),
+                busy: vec![false; ports],
+                agent: None,
+                rng: std::mem::replace(&mut rngs[node.0 as usize], Pcg32::new(0)),
+                seq: 0,
+                memo: LayerMemo::default(),
+            });
+        }
         Self {
-            rng: Pcg32::new(config.seed),
             topo,
             config,
-            queues,
-            busy,
-            agents,
-            groups: BTreeMap::new(),
-            next_group: 0,
-            events: BinaryHeap::new(),
-            seq: 0,
+            plan,
+            cells,
+            cell_of,
+            nevents: BinaryHeap::new(),
+            gevents: BinaryHeap::new(),
+            control: Control {
+                mask: FaultMask::new(),
+                reroute_pending: false,
+                pending_down: std::collections::BTreeSet::new(),
+                rate_overrides: HashMap::new(),
+                groups: BTreeMap::new(),
+                next_group: 0,
+                stats: FabricStats::default(),
+                gseq: 0,
+            },
+            lane: Lane::default(),
             now: SimTime::ZERO,
-            stats: FabricStats::default(),
-            mask: FaultMask::new(),
-            reroute_pending: false,
-            pending_down: std::collections::BTreeSet::new(),
-            rate_overrides: HashMap::new(),
-            layer_overrides: HashMap::new(),
             telemetry,
         }
+    }
+
+    fn cell(&self, node: NodeId) -> &NodeCell<P, A> {
+        &self.cells[self.cell_of[node.0 as usize] as usize]
+    }
+
+    fn cell_mut(&mut self, node: NodeId) -> &mut NodeCell<P, A> {
+        let slot = self.cell_of[node.0 as usize] as usize;
+        &mut self.cells[slot]
+    }
+
+    /// Push an event authored by `node` (rank `node + 1`, the node's
+    /// own counter) onto the node heap.
+    fn push_node_event(&mut self, node: NodeId, at: SimTime, kind: NodeEvent<P>) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let seq = self.cell_mut(node).next_seq();
+        self.nevents.push(Reverse(Ev {
+            at,
+            rank: node.0 + 1,
+            seq,
+            kind,
+        }));
+    }
+
+    /// Push a global event (rank 0, the control plane's counter).
+    fn push_global_event(&mut self, at: SimTime, kind: GlobalEvent) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let seq = self.control.gseq;
+        self.control.gseq += 1;
+        self.gevents.push(Reverse(Ev {
+            at,
+            rank: GLOBAL_RANK,
+            seq,
+            kind,
+        }));
     }
 
     /// Degrade (or restore) one direction of a link: packets leaving
@@ -425,23 +837,25 @@ impl<P: SimPayload, A: Agent<P>, T: TelemetrySink> Simulator<P, A, T> {
             "no such port"
         );
         if rate_bps == self.topo.port(node, port).rate_bps {
-            self.rate_overrides.remove(&(node.0, port));
+            self.control.rate_overrides.remove(&(node.0, port));
         } else {
-            self.rate_overrides.insert((node.0, port), rate_bps);
+            self.control.rate_overrides.insert((node.0, port), rate_bps);
         }
         // Restoring a downed link must restart its transmit loop if
         // packets queued up in the meantime.
-        if rate_bps > 0
-            && !self.busy[node.0 as usize][port as usize]
-            && !self.queues[node.0 as usize][port as usize].is_empty()
-        {
-            self.push_event(self.now, EventKind::Dequeue(node, port));
+        if rate_bps > 0 {
+            let now = self.now;
+            let cell = self.cell(node);
+            if !cell.busy[port as usize] && !cell.queues[port as usize].is_empty() {
+                self.push_node_event(node, now, NodeEvent::Dequeue(node, port));
+            }
         }
     }
 
     /// Current effective rate of a port (honouring overrides).
     pub fn effective_rate(&self, node: NodeId, port: u16) -> u64 {
-        self.rate_overrides
+        self.control
+            .rate_overrides
             .get(&(node.0, port))
             .copied()
             .unwrap_or_else(|| self.topo.port(node, port).rate_bps)
@@ -457,9 +871,12 @@ impl<P: SimPayload, A: Agent<P>, T: TelemetrySink> Simulator<P, A, T> {
         self.now
     }
 
-    /// Fabric counters so far.
+    /// Fabric counters so far (control-plane and node-lane counters
+    /// merged).
     pub fn stats(&self) -> FabricStats {
-        self.stats
+        let mut s = self.control.stats;
+        s.absorb(&self.lane.stats);
+        s
     }
 
     /// The telemetry sink (read-only).
@@ -482,7 +899,7 @@ impl<P: SimPayload, A: Agent<P>, T: TelemetrySink> Simulator<P, A, T> {
             return;
         }
         let probes = self.collect_port_probes();
-        let (now, stats) = (self.now, self.stats);
+        let (now, stats) = (self.now, self.stats());
         self.telemetry.finish(now, &stats, &probes);
     }
 
@@ -501,10 +918,11 @@ impl<P: SimPayload, A: Agent<P>, T: TelemetrySink> Simulator<P, A, T> {
     fn collect_port_probes(&self) -> Vec<PortProbe> {
         let mut probes = Vec::new();
         for n in 0..self.topo.node_count() {
-            if self.topo.kind(NodeId(n as u32)) != NodeKind::Switch {
+            let node = NodeId(n as u32);
+            if self.topo.kind(node) != NodeKind::Switch {
                 continue;
             }
-            for (p, q) in self.queues[n].iter().enumerate() {
+            for (p, q) in self.cell(node).queues.iter().enumerate() {
                 probes.push(PortProbe {
                     node: n as u32,
                     port: p as u16,
@@ -526,24 +944,24 @@ impl<P: SimPayload, A: Agent<P>, T: TelemetrySink> Simulator<P, A, T> {
     fn close_telemetry_buckets(&mut self, upto: SimTime) {
         while upto >= self.telemetry.next_boundary() {
             let probes = self.collect_port_probes();
-            let stats = self.stats;
+            let stats = self.stats();
             self.telemetry.close_bucket(&stats, &probes);
         }
     }
 
     /// Queue statistics of one port.
     pub fn queue_stats(&self, node: NodeId, port: u16) -> QueueStats {
-        self.queues[node.0 as usize][port as usize].stats()
+        self.cell(node).queues[port as usize].stats()
     }
 
     /// Sum of queue statistics over every switch port.
     pub fn switch_queue_totals(&self) -> QueueStats {
         let mut total = QueueStats::default();
-        for n in 0..self.topo.node_count() {
-            if self.topo.kind(NodeId(n as u32)) != NodeKind::Switch {
+        for cell in &self.cells {
+            if self.topo.kind(cell.node) != NodeKind::Switch {
                 continue;
             }
-            for q in &self.queues[n] {
+            for q in &cell.queues {
                 let s = q.stats();
                 total.enqueued += s.enqueued;
                 total.trimmed += s.trimmed;
@@ -558,29 +976,31 @@ impl<P: SimPayload, A: Agent<P>, T: TelemetrySink> Simulator<P, A, T> {
     /// Install the agent for a host.
     pub fn set_agent(&mut self, host: NodeId, agent: A) {
         assert_eq!(self.topo.kind(host), NodeKind::Host, "agents run on hosts");
-        self.agents[host.0 as usize] = Some(agent);
+        self.cell_mut(host).agent = Some(agent);
     }
 
     /// Immutable access to a host's agent.
     pub fn agent(&self, host: NodeId) -> &A {
-        self.agents[host.0 as usize]
-            .as_ref()
-            .expect("no agent installed")
+        self.cell(host).agent.as_ref().expect("no agent installed")
     }
 
     /// Mutable access to a host's agent (between runs).
     pub fn agent_mut(&mut self, host: NodeId) -> &mut A {
-        self.agents[host.0 as usize]
+        self.cell_mut(host)
+            .agent
             .as_mut()
             .expect("no agent installed")
     }
 
-    /// Iterate over installed agents.
+    /// Iterate over installed agents in node-id order (shard layout
+    /// never leaks into report order).
     pub fn agents(&self) -> impl Iterator<Item = (NodeId, &A)> {
-        self.agents
-            .iter()
-            .enumerate()
-            .filter_map(|(n, a)| a.as_ref().map(|a| (NodeId(n as u32), a)))
+        self.cell_of.iter().enumerate().filter_map(|(n, &slot)| {
+            self.cells[slot as usize]
+                .agent
+                .as_ref()
+                .map(|a| (NodeId(n as u32), a))
+        })
     }
 
     /// Register a multicast tree from `sender` to `receivers`.
@@ -592,8 +1012,8 @@ impl<P: SimPayload, A: Agent<P>, T: TelemetrySink> Simulator<P, A, T> {
     /// experiments assume.
     pub fn register_group(&mut self, sender: NodeId, receivers: &[NodeId]) -> GroupId {
         assert!(!receivers.is_empty(), "multicast group needs receivers");
-        let gid = GroupId(self.next_group);
-        self.next_group += 1;
+        let gid = GroupId(self.control.next_group);
+        self.control.next_group += 1;
         for &r in receivers {
             assert_ne!(r, sender, "sender cannot be a group receiver");
             assert!(
@@ -603,8 +1023,8 @@ impl<P: SimPayload, A: Agent<P>, T: TelemetrySink> Simulator<P, A, T> {
                 sender.0
             );
         }
-        let table = self.build_tree(gid, sender, receivers);
-        self.groups.insert(
+        let table = build_tree(&self.topo, gid, sender, receivers);
+        self.control.groups.insert(
             gid,
             Group {
                 sender,
@@ -613,38 +1033,6 @@ impl<P: SimPayload, A: Agent<P>, T: TelemetrySink> Simulator<P, A, T> {
             },
         );
         gid
-    }
-
-    /// Union of per-receiver paths with choices keyed deterministically
-    /// by (group, switch): one copy per shared link, branching as low as
-    /// possible. Receivers unreachable under the current routes (a fault
-    /// cut them off) are skipped — during repair the tree covers the
-    /// reachable membership.
-    fn build_tree(
-        &self,
-        gid: GroupId,
-        sender: NodeId,
-        receivers: &[NodeId],
-    ) -> HashMap<NodeId, Vec<u16>> {
-        let mut table: HashMap<NodeId, Vec<u16>> = HashMap::new();
-        for &r in receivers {
-            if self.topo.try_next_ports(sender, r).is_empty() {
-                continue;
-            }
-            let mut at = sender;
-            while at != r {
-                let choices = self.topo.next_ports(at, r);
-                let pick =
-                    choices[(crate::rng::Pcg32::new((u64::from(gid.0) << 32) ^ u64::from(at.0))
-                        .below(choices.len() as u64)) as usize];
-                let entry = table.entry(at).or_default();
-                if !entry.contains(&pick) {
-                    entry.push(pick);
-                }
-                at = self.topo.port(at, pick).peer;
-            }
-        }
-        table
     }
 
     /// Schedule every event of a fault plan for mid-run execution. May
@@ -662,463 +1050,819 @@ impl<P: SimPayload, A: Agent<P>, T: TelemetrySink> Simulator<P, A, T> {
                 ev.at,
                 self.now
             );
-            self.push_event(ev.at, EventKind::Fault(ev.action));
+            self.push_global_event(ev.at, GlobalEvent::Fault(ev.action));
         }
     }
 
     /// The live fault mask (what is currently failed).
     pub fn fault_mask(&self) -> &FaultMask {
-        &self.mask
+        &self.control.mask
     }
 
     /// Schedule a timer for a host agent (used by workloads to start
     /// sessions).
     pub fn schedule_timer(&mut self, node: NodeId, at: SimTime, token: u64) {
-        self.push_event(at, EventKind::Timer(node, token));
-    }
-
-    fn push_event(&mut self, at: SimTime, kind: EventKind<P>) {
-        debug_assert!(at >= self.now, "scheduling into the past");
-        self.events.push(Reverse(Event {
-            at,
-            seq: self.seq,
-            kind,
-        }));
-        self.seq += 1;
+        self.push_node_event(node, at, NodeEvent::Timer(node, token));
     }
 
     /// Run until the event queue drains or `deadline` passes. Returns the
     /// number of events processed.
-    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
-        let mut processed = 0;
-        while let Some(Reverse(ev)) = self.events.peek() {
-            if ev.at > deadline {
-                break;
-            }
-            let Reverse(ev) = self.events.pop().expect("peeked");
-            // Telemetry bucket boundaries are honoured lazily: an event
-            // at or past the open bucket's end closes it first, so a
-            // bucket never includes later activity. One always-false
-            // comparison when telemetry is off (`next_boundary` is MAX).
-            if ev.at >= self.telemetry.next_boundary() {
-                self.close_telemetry_buckets(ev.at);
-            }
-            self.now = ev.at;
-            self.dispatch(ev.kind);
-            processed += 1;
+    ///
+    /// With a resolved shard count above 1 (see [`SimConfig::shards`])
+    /// the run executes on the sharded event loop — byte-identical
+    /// results, parallel wall clock.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64
+    where
+        P: Send,
+        A: Send,
+        T: Send + Sync,
+    {
+        if self.plan.is_some() {
+            crate::shard::run_sharded(self, deadline)
+        } else {
+            self.run_serial(deadline)
         }
-        self.stats.events += processed;
-        processed
     }
 
     /// Run until no events remain (workloads bound their own horizon via
     /// timers, so this terminates once all transfers finish).
-    pub fn run_to_completion(&mut self) -> u64 {
+    pub fn run_to_completion(&mut self) -> u64
+    where
+        P: Send,
+        A: Send,
+        T: Send + Sync,
+    {
         self.run_until(SimTime::MAX)
     }
 
-    fn dispatch(&mut self, kind: EventKind<P>) {
-        match kind {
-            EventKind::Arrive { from, port, pkt } => {
-                let to = self.topo.port(from, port).peer;
-                // The packet was on the wire; if the link died under it
-                // or the far end is dead, it never really arrives.
-                if self.mask.link_is_down(from, port) || self.mask.node_is_down(to) {
-                    self.stats.lost_to_fault += 1;
-                    return;
+    /// The serial event loop. The hot path is one `pop` per node event
+    /// (no peek-then-pop double heap access); the rare global head is
+    /// an O(1) peek compared against the popped key, and loses ties by
+    /// rank only when it is genuinely later.
+    fn run_serial(&mut self, deadline: SimTime) -> u64 {
+        let tele_on = self.telemetry.enabled();
+        let mut node_processed = 0u64;
+        let mut global_processed = 0u64;
+        loop {
+            let next_node = self.nevents.pop();
+            let gkey = self.gevents.peek().map(|Reverse(g)| g.key());
+            let take_global = match (&next_node, gkey) {
+                (Some(Reverse(n)), Some(gk)) => gk < n.key(),
+                (None, Some(_)) => true,
+                (_, None) => false,
+            };
+            if take_global {
+                if let Some(ev) = next_node {
+                    self.nevents.push(ev);
                 }
-                match self.topo.kind(to) {
-                    NodeKind::Host => self.deliver_to_agent(to, pkt),
-                    NodeKind::Switch => self.forward(to, pkt),
+                let Reverse(gev) = self.gevents.pop().expect("peeked");
+                if gev.at > deadline {
+                    self.gevents.push(Reverse(gev));
+                    break;
                 }
-            }
-            EventKind::Dequeue(node, port) => self.transmit_next(node, port),
-            EventKind::Timer(node, token) => {
-                let mut ctx = Ctx::new(self.now, node);
-                let agent = self.agents[node.0 as usize]
-                    .as_mut()
-                    .expect("timer for a host without an agent");
-                agent.on_timer(token, &mut ctx);
-                self.apply_ctx(ctx);
-            }
-            EventKind::Fault(action) => self.apply_fault(action),
-            EventKind::Reroute => {
-                self.reroute_pending = false;
-                self.reroute();
-            }
-        }
-    }
-
-    /// Canonical flap-tracking key of a link (the lower directed entry).
-    fn link_key(&self, node: NodeId, port: u16) -> FaultKey {
-        let back = self.topo.port(node, port);
-        let (a, b) = ((node.0, port), (back.peer.0, back.peer_port));
-        let (n, p) = a.min(b);
-        FaultKey::Link(n, p)
-    }
-
-    fn apply_fault(&mut self, action: FaultAction) {
-        match action {
-            FaultAction::LinkDown { node, port } => {
-                self.telemetry
-                    .record(self.now, FabricEvent::LinkDown { node: node.0, port });
-                let back = *self.topo.port(node, port);
-                self.mask.fail_link(&self.topo, node, port);
-                self.pending_down.insert(self.link_key(node, port));
-                self.flush_port(node, port);
-                self.flush_port(back.peer, back.peer_port);
-                self.request_reroute();
-            }
-            FaultAction::LinkUp { node, port } => {
-                self.telemetry
-                    .record(self.now, FabricEvent::LinkUp { node: node.0, port });
-                let back = *self.topo.port(node, port);
-                self.mask.restore_link(&self.topo, node, port);
-                if self.pending_down.remove(&self.link_key(node, port)) {
-                    // Down and up inside one convergence window: the
-                    // pair cancels out of the pending reroute's delta.
-                    self.stats.flaps_coalesced += 1;
+                // Telemetry bucket boundaries are honoured lazily: an
+                // event at or past the open bucket's end closes it
+                // first, so a bucket never includes later activity. One
+                // always-false comparison when telemetry is off
+                // (`next_boundary` is MAX).
+                if gev.at >= self.telemetry.next_boundary() {
+                    self.close_telemetry_buckets(gev.at);
                 }
-                self.request_reroute();
-                self.kick_port(node, port);
-                self.kick_port(back.peer, back.peer_port);
-            }
-            FaultAction::SwitchDown { switch } => {
-                // Hosts are legal victims: a host going down models a
-                // host/NIC failure — its access link goes dark and its
-                // queued traffic is lost, exactly like a switch victim.
-                self.telemetry
-                    .record(self.now, FabricEvent::NodeDown { node: switch.0 });
-                self.mask.fail_node(switch);
-                self.pending_down.insert(FaultKey::Node(switch.0));
-                for p in 0..self.topo.node_ports(switch).len() as u16 {
-                    self.flush_port(switch, p);
+                self.now = gev.at;
+                self.apply_global(gev.at, gev.kind);
+                global_processed += 1;
+            } else {
+                let Some(Reverse(ev)) = next_node else {
+                    break;
+                };
+                if ev.at > deadline {
+                    self.nevents.push(Reverse(ev));
+                    break;
                 }
-                self.request_reroute();
-            }
-            FaultAction::SwitchUp { switch } => {
-                self.telemetry
-                    .record(self.now, FabricEvent::NodeUp { node: switch.0 });
-                self.mask.restore_node(switch);
-                if self.pending_down.remove(&FaultKey::Node(switch.0)) {
-                    self.stats.flaps_coalesced += 1;
+                if ev.at >= self.telemetry.next_boundary() {
+                    self.close_telemetry_buckets(ev.at);
                 }
-                self.request_reroute();
-                // Neighbours may have queued towards the repaired node
-                // while it routed around (and a repaired host's own NIC
-                // may have parked traffic); restart any idle ports.
-                for p in 0..self.topo.node_ports(switch).len() as u16 {
-                    let back = *self.topo.port(switch, p);
-                    self.kick_port(back.peer, back.peer_port);
-                    self.kick_port(switch, p);
-                }
-            }
-            FaultAction::RateChange {
-                node,
-                port,
-                rate_bps,
-            } => {
-                // Silent degradation: both directions change speed, no
-                // reroute, no flush (rate 0 blackholes undetected).
-                self.telemetry.record(
-                    self.now,
-                    FabricEvent::RateChange {
-                        node: node.0,
-                        port,
-                        rate_bps,
-                    },
+                self.now = ev.at;
+                let target = target_of(&ev.kind, &self.topo);
+                let slot = self.cell_of[target.0 as usize] as usize;
+                let env = Env {
+                    topo: &self.topo,
+                    config: &self.config,
+                    control: &self.control,
+                    tele_on,
+                };
+                dispatch_node(
+                    &env,
+                    &mut self.cells[slot],
+                    &mut self.lane,
+                    ev.at,
+                    ev.rank,
+                    ev.seq,
+                    ev.kind,
                 );
-                let back = *self.topo.port(node, port);
-                self.set_link_rate(node, port, rate_bps);
-                self.set_link_rate(back.peer, back.peer_port, rate_bps);
+                while let Some(oe) = self.lane.out.pop() {
+                    self.nevents.push(Reverse(oe));
+                }
+                if tele_on {
+                    for (nat, _, _, fe) in self.lane.notes.drain(..) {
+                        self.telemetry.record(nat, fe);
+                    }
+                }
+                node_processed += 1;
+            }
+        }
+        self.lane.stats.events += node_processed;
+        self.control.stats.events += global_processed;
+        node_processed + global_processed
+    }
+
+    /// Execute one global event: apply the shared part (mask, tables,
+    /// telemetry, control stats), then the per-node ops in list order.
+    pub(crate) fn apply_global(&mut self, at: SimTime, kind: GlobalEvent) {
+        let mut ops = Vec::new();
+        match kind {
+            GlobalEvent::Fault(action) => {
+                // request_reroute needs to push onto the global heap:
+                // split the borrow by staging the push.
+                let mut reroute_at = None;
+                apply_fault_shared(
+                    &self.topo,
+                    &mut self.control,
+                    &mut self.telemetry,
+                    self.config.reroute_delay_ns,
+                    at,
+                    action,
+                    &mut ops,
+                    &mut reroute_at,
+                );
+                if let Some(t) = reroute_at {
+                    self.push_global_event(t, GlobalEvent::Reroute);
+                }
+            }
+            GlobalEvent::Reroute => {
+                self.control.reroute_pending = false;
+                reroute_shared(
+                    &mut self.topo,
+                    &mut self.control,
+                    &mut self.telemetry,
+                    at,
+                    &mut ops,
+                );
+            }
+        }
+        self.apply_local_ops(at, &ops);
+    }
+
+    /// Apply a global event's per-node ops on the serial loop (a shard
+    /// worker applies the same list filtered to its own cells).
+    fn apply_local_ops(&mut self, at: SimTime, ops: &[LocalOp]) {
+        for op in ops {
+            match *op {
+                LocalOp::Flush(n, p) => {
+                    let slot = self.cell_of[n.0 as usize] as usize;
+                    let lost = self.cells[slot].queues[p as usize].flush();
+                    self.lane.stats.lost_to_fault += lost as u64;
+                }
+                LocalOp::Kick(n, p) => {
+                    let cell = self.cell(n);
+                    if !cell.busy[p as usize] && !cell.queues[p as usize].is_empty() {
+                        self.push_node_event(n, at, NodeEvent::Dequeue(n, p));
+                    }
+                }
+                LocalOp::ClearMemos => {
+                    for cell in &mut self.cells {
+                        cell.memo.clear();
+                    }
+                }
             }
         }
     }
+}
 
-    /// Drop everything queued on a port, accounting the loss to faults.
-    fn flush_port(&mut self, node: NodeId, port: u16) {
-        let lost = self.queues[node.0 as usize][port as usize].flush();
-        self.stats.lost_to_fault += lost as u64;
+/// The node a node-event executes at (and therefore the shard it
+/// belongs to): arrivals execute at the receiving end of the wire.
+pub(crate) fn target_of<P>(kind: &NodeEvent<P>, topo: &Topology) -> NodeId {
+    match kind {
+        NodeEvent::Arrive { from, port, .. } => topo.port(*from, *port).peer,
+        NodeEvent::Dequeue(n, _) => *n,
+        NodeEvent::Timer(n, _) => *n,
     }
+}
 
-    /// Restart an idle port's transmit loop if packets are waiting.
-    fn kick_port(&mut self, node: NodeId, port: u16) {
-        if !self.busy[node.0 as usize][port as usize]
-            && !self.queues[node.0 as usize][port as usize].is_empty()
-        {
-            self.push_event(self.now, EventKind::Dequeue(node, port));
-        }
+/// Canonical flap-tracking key of a link (the lower directed entry).
+fn link_key(topo: &Topology, node: NodeId, port: u16) -> FaultKey {
+    let back = topo.port(node, port);
+    let (a, b) = ((node.0, port), (back.peer.0, back.peer_port));
+    let (n, p) = a.min(b);
+    FaultKey::Link(n, p)
+}
+
+/// Schedule a route recomputation after the configured control-plane
+/// convergence delay, unless one is already pending. Returns the fire
+/// time through `reroute_at` (the caller owns the global heap).
+fn request_reroute(
+    control: &mut Control,
+    reroute_delay_ns: u64,
+    now: SimTime,
+    reroute_at: &mut Option<SimTime>,
+) {
+    if control.reroute_pending {
+        return;
     }
+    control.reroute_pending = true;
+    *reroute_at = Some(now + reroute_delay_ns);
+}
 
-    /// Schedule a route recomputation after the configured control-plane
-    /// convergence delay, unless one is already pending.
-    fn request_reroute(&mut self) {
-        if self.reroute_pending {
-            return;
-        }
-        self.reroute_pending = true;
-        self.push_event(self.now + self.config.reroute_delay_ns, EventKind::Reroute);
+/// The shared part of a fault event: telemetry annotation, fault mask,
+/// flap bookkeeping, rate overrides, and the deferred-reroute request.
+/// Per-node effects (queue flushes, transmit kicks) come back as
+/// [`LocalOp`]s in deterministic order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_fault_shared<T: TelemetrySink>(
+    topo: &Topology,
+    control: &mut Control,
+    telemetry: &mut T,
+    reroute_delay_ns: u64,
+    now: SimTime,
+    action: FaultAction,
+    ops: &mut Vec<LocalOp>,
+    reroute_at: &mut Option<SimTime>,
+) {
+    // Every mask change starts a new fault era: the layer memos cache
+    // a pure function of (tables, mask), so they must be forgotten the
+    // moment the mask moves or a stale verdict would depend on *when*
+    // a flow was first seen. (RateChange is silent degradation — the
+    // mask is untouched and the memos stay valid.)
+    if !matches!(action, FaultAction::RateChange { .. }) {
+        ops.push(LocalOp::ClearMemos);
     }
-
-    /// Bring the routing tables up to date with the live fault mask —
-    /// incrementally where the mask only grew (see
-    /// [`Topology::repair_routes`]), from scratch otherwise — and repair
-    /// multicast trees (receivers a fault cut off are skipped until a
-    /// later repair restores them).
-    fn reroute(&mut self) {
-        self.pending_down.clear();
-        // Layer re-assignments were a stale-window measure: the repaired
-        // tables below reflect the live mask, and layers only reweight
-        // links (never remove them), so every layer reaches everything
-        // the fabric reaches again — flows return to their hashed
-        // layer. Forgetting the overrides also bounds their memory to
-        // one convergence window's flows.
-        self.layer_overrides.clear();
-        let outcome = self.topo.repair_routes(&self.mask);
-        self.telemetry.record(
-            self.now,
-            FabricEvent::Reroute {
-                full: outcome.full,
-                dests_rebuilt: outcome.dests_rebuilt as u32,
-                restored: outcome.restored as u32,
-            },
-        );
-        if outcome.full {
-            // The incremental-repair contract says a mid-run reroute
-            // never falls back to a full recomputation once routes
-            // exist — flag it (and freeze a flight-recorder dump) so a
-            // regression is debuggable from the trace alone.
-            self.telemetry
-                .record(self.now, FabricEvent::Anomaly(AnomalyKind::FullRecompute));
+    match action {
+        FaultAction::LinkDown { node, port } => {
+            telemetry.record(now, FabricEvent::LinkDown { node: node.0, port });
+            let back = *topo.port(node, port);
+            control.mask.fail_link(topo, node, port);
+            control.pending_down.insert(link_key(topo, node, port));
+            ops.push(LocalOp::Flush(node, port));
+            ops.push(LocalOp::Flush(back.peer, back.peer_port));
+            request_reroute(control, reroute_delay_ns, now, reroute_at);
         }
-        self.stats.reroutes += 1;
-        if !outcome.full {
-            self.stats.reroutes_incremental += 1;
-            if outcome.restored > 0 {
-                self.stats.restores_incremental += 1;
+        FaultAction::LinkUp { node, port } => {
+            telemetry.record(now, FabricEvent::LinkUp { node: node.0, port });
+            let back = *topo.port(node, port);
+            control.mask.restore_link(topo, node, port);
+            if control.pending_down.remove(&link_key(topo, node, port)) {
+                // Down and up inside one convergence window: the
+                // pair cancels out of the pending reroute's delta.
+                control.stats.flaps_coalesced += 1;
+            }
+            request_reroute(control, reroute_delay_ns, now, reroute_at);
+            ops.push(LocalOp::Kick(node, port));
+            ops.push(LocalOp::Kick(back.peer, back.peer_port));
+        }
+        FaultAction::SwitchDown { switch } => {
+            // Hosts are legal victims: a host going down models a
+            // host/NIC failure — its access link goes dark and its
+            // queued traffic is lost, exactly like a switch victim.
+            telemetry.record(now, FabricEvent::NodeDown { node: switch.0 });
+            control.mask.fail_node(switch);
+            control.pending_down.insert(FaultKey::Node(switch.0));
+            for p in 0..topo.node_ports(switch).len() as u16 {
+                ops.push(LocalOp::Flush(switch, p));
+            }
+            request_reroute(control, reroute_delay_ns, now, reroute_at);
+        }
+        FaultAction::SwitchUp { switch } => {
+            telemetry.record(now, FabricEvent::NodeUp { node: switch.0 });
+            control.mask.restore_node(switch);
+            if control.pending_down.remove(&FaultKey::Node(switch.0)) {
+                control.stats.flaps_coalesced += 1;
+            }
+            request_reroute(control, reroute_delay_ns, now, reroute_at);
+            // Neighbours may have queued towards the repaired node
+            // while it routed around (and a repaired host's own NIC
+            // may have parked traffic); restart any idle ports.
+            for p in 0..topo.node_ports(switch).len() as u16 {
+                let back = *topo.port(switch, p);
+                ops.push(LocalOp::Kick(back.peer, back.peer_port));
+                ops.push(LocalOp::Kick(switch, p));
             }
         }
-        self.stats.route_dests_rebuilt += outcome.dests_rebuilt as u64;
-        // Stale routes during the convergence window may have enqueued
-        // packets onto dead links, where the parked transmit loop would
-        // strand them unaccounted forever; flush them as fault losses
-        // (the new routes can no longer choose those ports).
-        let dead: Vec<(NodeId, u16)> = self.mask.down_links().collect();
-        for (node, port) in dead {
-            self.flush_port(node, port);
+        FaultAction::RateChange {
+            node,
+            port,
+            rate_bps,
+        } => {
+            // Silent degradation: both directions change speed, no
+            // reroute, no flush (rate 0 blackholes undetected).
+            telemetry.record(
+                now,
+                FabricEvent::RateChange {
+                    node: node.0,
+                    port,
+                    rate_bps,
+                },
+            );
+            let back = *topo.port(node, port);
+            for (n, p) in [(node, port), (back.peer, back.peer_port)] {
+                if rate_bps == topo.port(n, p).rate_bps {
+                    control.rate_overrides.remove(&(n.0, p));
+                } else {
+                    control.rate_overrides.insert((n.0, p), rate_bps);
+                }
+                if rate_bps > 0 {
+                    ops.push(LocalOp::Kick(n, p));
+                }
+            }
         }
-        // Multicast-tree repair is incremental too: after a failure-only
-        // reroute, a tree whose hops are all still alive keeps
-        // delivering on its recorded (alive) ports, so only trees
-        // crossing a dead element are rebuilt. A full reroute may have
-        // restored capacity, which can re-attach previously cut-off
-        // receivers — every tree is rebuilt then.
-        let gids: Vec<GroupId> = self.groups.keys().copied().collect();
-        for gid in gids {
-            if !outcome.full && !self.group_crosses_fault(&self.groups[&gid]) {
+    }
+}
+
+/// The shared part of a deferred reroute: bring the routing tables up
+/// to date with the live fault mask — incrementally where the mask only
+/// grew (see [`Topology::repair_routes`]), from scratch otherwise —
+/// and repair multicast trees (receivers a fault cut off are skipped
+/// until a later repair restores them). Dead-link flushes and memo
+/// clears come back as [`LocalOp`]s.
+pub(crate) fn reroute_shared<T: TelemetrySink>(
+    topo: &mut Topology,
+    control: &mut Control,
+    telemetry: &mut T,
+    now: SimTime,
+    ops: &mut Vec<LocalOp>,
+) {
+    control.pending_down.clear();
+    // Layer re-assignments were a stale-window measure: the repaired
+    // tables below reflect the live mask, and layers only reweight
+    // links (never remove them), so every layer reaches everything
+    // the fabric reaches again — flows return to their hashed
+    // layer. Forgetting the memos also bounds their memory to
+    // one convergence window's flows.
+    ops.push(LocalOp::ClearMemos);
+    let outcome = topo.repair_routes(&control.mask);
+    telemetry.record(
+        now,
+        FabricEvent::Reroute {
+            full: outcome.full,
+            dests_rebuilt: outcome.dests_rebuilt as u32,
+            restored: outcome.restored as u32,
+        },
+    );
+    if outcome.full {
+        // The incremental-repair contract says a mid-run reroute
+        // never falls back to a full recomputation once routes
+        // exist — flag it (and freeze a flight-recorder dump) so a
+        // regression is debuggable from the trace alone.
+        telemetry.record(now, FabricEvent::Anomaly(AnomalyKind::FullRecompute));
+    }
+    control.stats.reroutes += 1;
+    if !outcome.full {
+        control.stats.reroutes_incremental += 1;
+        if outcome.restored > 0 {
+            control.stats.restores_incremental += 1;
+        }
+    }
+    control.stats.route_dests_rebuilt += outcome.dests_rebuilt as u64;
+    // Stale routes during the convergence window may have enqueued
+    // packets onto dead links, where the parked transmit loop would
+    // strand them unaccounted forever; flush them as fault losses
+    // (the new routes can no longer choose those ports).
+    for (node, port) in control.mask.down_links() {
+        ops.push(LocalOp::Flush(node, port));
+    }
+    // Multicast-tree repair is incremental too: after a failure-only
+    // reroute, a tree whose hops are all still alive keeps
+    // delivering on its recorded (alive) ports, so only trees
+    // crossing a dead element are rebuilt. A full reroute may have
+    // restored capacity, which can re-attach previously cut-off
+    // receivers — every tree is rebuilt then.
+    let gids: Vec<GroupId> = control.groups.keys().copied().collect();
+    for gid in gids {
+        if !outcome.full && !group_crosses_fault(topo, &control.mask, &control.groups[&gid]) {
+            continue;
+        }
+        let g = &control.groups[&gid];
+        let (sender, receivers) = (g.sender, g.receivers.clone());
+        let table = build_tree(topo, gid, sender, &receivers);
+        control.groups.get_mut(&gid).expect("group exists").table = table;
+        control.stats.trees_repaired += 1;
+    }
+}
+
+/// Whether any hop recorded in a multicast tree's forwarding table
+/// is unusable under the live fault mask (dead node, dead link, or
+/// dead far end).
+fn group_crosses_fault(topo: &Topology, mask: &FaultMask, group: &Group) -> bool {
+    group.table.iter().any(|(&node, ports)| {
+        mask.node_is_down(node) || ports.iter().any(|&p| !mask.port_is_up(topo, node, p))
+    })
+}
+
+/// Union of per-receiver paths with choices keyed deterministically
+/// by (group, switch): one copy per shared link, branching as low as
+/// possible. Receivers unreachable under the current routes (a fault
+/// cut them off) are skipped — during repair the tree covers the
+/// reachable membership.
+fn build_tree(
+    topo: &Topology,
+    gid: GroupId,
+    sender: NodeId,
+    receivers: &[NodeId],
+) -> HashMap<NodeId, Vec<u16>> {
+    let mut table: HashMap<NodeId, Vec<u16>> = HashMap::new();
+    for &r in receivers {
+        if topo.try_next_ports(sender, r).is_empty() {
+            continue;
+        }
+        let mut at = sender;
+        while at != r {
+            let choices = topo.next_ports(at, r);
+            let pick = choices[(Pcg32::new((u64::from(gid.0) << 32) ^ u64::from(at.0))
+                .below(choices.len() as u64)) as usize];
+            let entry = table.entry(at).or_default();
+            if !entry.contains(&pick) {
+                entry.push(pick);
+            }
+            at = topo.port(at, pick).peer;
+        }
+    }
+    table
+}
+
+/// Dispatch one node event against its cell. Mutates exactly that cell
+/// (plus the lane scratch); reads only the shared [`Env`]. Every event
+/// it emits is authored by this cell (its rank and counter), so the
+/// emission is identical whether this runs on the serial loop or on a
+/// shard worker.
+pub(crate) fn dispatch_node<P: SimPayload, A: Agent<P>>(
+    env: &Env<'_>,
+    cell: &mut NodeCell<P, A>,
+    lane: &mut Lane<P>,
+    at: SimTime,
+    rank: u32,
+    seq: u64,
+    kind: NodeEvent<P>,
+) {
+    match kind {
+        NodeEvent::Arrive { from, port, pkt } => {
+            debug_assert_eq!(env.topo.port(from, port).peer, cell.node);
+            // The packet was on the wire; if the link died under it
+            // or the far end is dead, it never really arrives.
+            if env.control.mask.link_is_down(from, port) || env.control.mask.node_is_down(cell.node)
+            {
+                lane.stats.lost_to_fault += 1;
+                return;
+            }
+            match env.topo.kind(cell.node) {
+                NodeKind::Host => deliver_to_agent(env, cell, lane, at, *pkt),
+                NodeKind::Switch => forward(env, cell, lane, at, rank, seq, *pkt),
+            }
+        }
+        NodeEvent::Dequeue(node, port) => {
+            debug_assert_eq!(node, cell.node);
+            transmit_next(env, cell, lane, at, port);
+        }
+        NodeEvent::Timer(node, token) => {
+            debug_assert_eq!(node, cell.node);
+            let mut ctx = Ctx::new(at, node);
+            let agent = cell
+                .agent
+                .as_mut()
+                .expect("timer for a host without an agent");
+            agent.on_timer(token, &mut ctx);
+            apply_ctx(env, cell, lane, at, ctx);
+        }
+    }
+}
+
+fn deliver_to_agent<P: SimPayload, A: Agent<P>>(
+    env: &Env<'_>,
+    cell: &mut NodeCell<P, A>,
+    lane: &mut Lane<P>,
+    at: SimTime,
+    pkt: Packet<Stamped<P>>,
+) {
+    // A host receives packets addressed to it or to a group whose
+    // tree terminates here; anything else is a routing bug.
+    if let Dest::Host(h) = pkt.dst {
+        assert_eq!(h, cell.node, "unicast packet delivered to wrong host");
+    }
+    lane.stats.delivered += 1;
+    let mut ctx = Ctx::new(at, cell.node);
+    let agent = cell
+        .agent
+        .as_mut()
+        .expect("packet delivered to a host without an agent");
+    agent.on_packet(unwrap_packet(pkt), &mut ctx);
+    apply_ctx(env, cell, lane, at, ctx);
+}
+
+fn apply_ctx<P: SimPayload, A: Agent<P>>(
+    env: &Env<'_>,
+    cell: &mut NodeCell<P, A>,
+    lane: &mut Lane<P>,
+    at: SimTime,
+    ctx: Ctx<P>,
+) {
+    let node = ctx.node;
+    debug_assert_eq!(node, cell.node);
+    for (t, token) in ctx.timers {
+        debug_assert!(t >= at, "scheduling into the past");
+        let seq = cell.next_seq();
+        lane.out.push(Ev {
+            at: t,
+            rank: node.0 + 1,
+            seq,
+            kind: NodeEvent::Timer(node, token),
+        });
+    }
+    for pkt in ctx.sends {
+        // Host NIC: hosts have exactly one port (index 0). The layer
+        // stamp stays unset until the first switch assigns it.
+        enqueue_and_kick(env, cell, lane, at, 0, wrap_packet(pkt));
+    }
+}
+
+/// Whether `layer` has at least one advertised port at `node`
+/// towards `dst` that is locally usable (link and far end up under
+/// the live mask — switch-local knowledge, no control plane
+/// required).
+fn layer_live(env: &Env<'_>, layer: usize, node: NodeId, dst_index: usize) -> bool {
+    env.topo
+        .try_next_ports_at(layer, node, dst_index)
+        .iter()
+        .any(|&p| env.control.mask.port_is_up(env.topo, node, p))
+}
+
+/// Whether `layer` still offers a fully live path from `node` to the
+/// destination: a walk over the layer's advertised next-hop DAG that
+/// follows only ports usable under the live fault mask. This is the
+/// source-side view a flow's first switch uses to steer the whole
+/// flow off a layer whose trouble sits several hops downstream — a
+/// pure function of (tables, mask), so the verdict is identical no
+/// matter which shard computes it or when inside the stale window.
+/// The result is memoized per (switch, flow, dst) and the memos are
+/// cleared whenever the mask changes, so the walk runs once per flow
+/// per fault era, not per packet.
+fn layer_path_live(
+    env: &Env<'_>,
+    layer: usize,
+    node: NodeId,
+    dst: NodeId,
+    dst_index: usize,
+) -> bool {
+    let mut stack = vec![node];
+    let mut seen: Vec<NodeId> = Vec::new();
+    while let Some(at) = stack.pop() {
+        for &p in env.topo.try_next_ports_at(layer, at, dst_index) {
+            if !env.control.mask.port_is_up(env.topo, at, p) {
                 continue;
             }
-            let g = &self.groups[&gid];
-            let (sender, receivers) = (g.sender, g.receivers.clone());
-            let table = self.build_tree(gid, sender, &receivers);
-            self.groups.get_mut(&gid).expect("group exists").table = table;
-            self.stats.trees_repaired += 1;
+            let peer = env.topo.port(at, p).peer;
+            if peer == dst {
+                return true;
+            }
+            if !seen.contains(&peer) {
+                seen.push(peer);
+                stack.push(peer);
+            }
         }
     }
+    false
+}
 
-    /// Whether any hop recorded in a multicast tree's forwarding table
-    /// is unusable under the live fault mask (dead node, dead link, or
-    /// dead far end).
-    fn group_crosses_fault(&self, group: &Group) -> bool {
-        group.table.iter().any(|(&node, ports)| {
-            self.mask.node_is_down(node)
-                || ports
-                    .iter()
-                    .any(|&p| !self.mask.port_is_up(&self.topo, node, p))
-        })
-    }
-
-    fn deliver_to_agent(&mut self, node: NodeId, pkt: Packet<P>) {
-        // A host receives packets addressed to it or to a group whose
-        // tree terminates here; anything else is a routing bug.
-        if let Dest::Host(h) = pkt.dst {
-            assert_eq!(h, node, "unicast packet delivered to wrong host");
-        }
-        self.stats.delivered += 1;
-        let mut ctx = Ctx::new(self.now, node);
-        let agent = self.agents[node.0 as usize]
-            .as_mut()
-            .expect("packet delivered to a host without an agent");
-        agent.on_packet(pkt, &mut ctx);
-        self.apply_ctx(ctx);
-    }
-
-    fn apply_ctx(&mut self, ctx: Ctx<P>) {
-        let node = ctx.node;
-        for (at, token) in ctx.timers {
-            self.push_event(at, EventKind::Timer(node, token));
-        }
-        for pkt in ctx.sends {
-            // Host NIC: hosts have exactly one port (index 0).
-            self.enqueue_and_kick(node, 0, pkt);
-        }
-    }
-
-    /// Whether `layer` has at least one advertised port at `node`
-    /// towards `dst` that is locally usable (link and far end up under
-    /// the live mask — switch-local knowledge, no control plane
-    /// required).
-    fn layer_live(&self, layer: usize, node: NodeId, dst_index: usize) -> bool {
-        self.topo
-            .try_next_ports_at(layer, node, dst_index)
-            .iter()
-            .any(|&p| self.mask.port_is_up(&self.topo, node, p))
-    }
-
-    fn forward(&mut self, node: NodeId, pkt: Packet<P>) {
-        match pkt.dst {
-            Dest::Host(dst) => {
-                // The layer machinery (hash, override lookup,
-                // re-assignment) only exists under multi-layer
-                // policies; the single-layer default skips it entirely
-                // — forwarding's hot path stays exactly the
-                // pre-layering code.
-                // One host-index resolution per packet; every route
-                // lookup below is then a direct arena slice.
-                let dst_index = self.topo.host_index(dst);
-                let n_layers = self.topo.layer_count();
-                let mut layer = 0;
-                if n_layers > 1 {
-                    let LayerAssign::FlowHash = self.config.layer_assign;
-                    let override_entry = self.layer_overrides.get(&(pkt.flow.0, dst.0)).copied();
-                    let assigned = override_entry
-                        .map(|l| l as usize)
-                        .unwrap_or_else(|| layer_choice(pkt.flow, n_layers));
-                    // Re-assignment away from a layer whose path to the
-                    // destination is dead at this hop: scan the other
-                    // layers round-robin for one with a live advertised
-                    // port. At most one move per (flow, destination)
-                    // per convergence window — an existing override is
-                    // never overwritten, or two half-dead layers could
-                    // ping-pong a packet between neighbouring switches
-                    // for the whole stale window. A layer with live
-                    // ports keeps its traffic even if some of its ports
-                    // are dead (the pick below may still lose packets
-                    // during the convergence window, as before).
+fn forward<P: SimPayload, A: Agent<P>>(
+    env: &Env<'_>,
+    cell: &mut NodeCell<P, A>,
+    lane: &mut Lane<P>,
+    at: SimTime,
+    rank: u32,
+    seq: u64,
+    mut pkt: Packet<Stamped<P>>,
+) {
+    let node = cell.node;
+    match pkt.dst {
+        Dest::Host(dst) => {
+            // The layer machinery (stamp, memo lookup, re-assignment)
+            // only exists under multi-layer policies; the single-layer
+            // default skips it entirely — forwarding's hot path stays
+            // exactly the pre-layering code.
+            // One host-index resolution per packet; every route
+            // lookup below is then a direct arena slice.
+            let dst_index = env.topo.host_index(dst);
+            let n_layers = env.topo.layer_count();
+            let mut layer = 0;
+            if n_layers > 1 {
+                let LayerAssign::FlowHash = env.config.layer_assign;
+                let stamp = pkt.payload.layer;
+                if stamp == LAYER_UNSTAMPED {
+                    // First switch: assign the flow's layer. Healthy
+                    // mask — pure hash, no memo traffic. Under a
+                    // fault era, steer the whole flow off a layer
+                    // whose path to the destination is cut anywhere
+                    // downstream (the source-side re-assignment the
+                    // per-era memo makes cheap: one DAG walk per
+                    // (flow, dst) per era, memoized until the mask
+                    // next changes).
+                    layer = if env.control.mask.is_empty() {
+                        layer_choice(pkt.flow, n_layers)
+                    } else if let Some(memoed) = cell.memo.get(pkt.flow.0, dst.0) {
+                        memoed as usize
+                    } else {
+                        let hashed = layer_choice(pkt.flow, n_layers);
+                        let mut pick = hashed;
+                        if !layer_path_live(env, hashed, node, dst, dst_index) {
+                            if let Some(alt) = (1..n_layers)
+                                .map(|k| (hashed + k) % n_layers)
+                                .find(|&l| layer_path_live(env, l, node, dst, dst_index))
+                            {
+                                pick = alt;
+                                lane.stats.layer_reassignments += 1;
+                                if env.tele_on {
+                                    lane.notes.push((
+                                        at,
+                                        rank,
+                                        seq,
+                                        FabricEvent::LayerReassign {
+                                            flow: pkt.flow.0,
+                                            dst: dst.0,
+                                            from: hashed as u8,
+                                            to: alt as u8,
+                                        },
+                                    ));
+                                }
+                            }
+                        }
+                        cell.memo.insert(pkt.flow.0, dst.0, pick as u8);
+                        pick
+                    };
+                } else {
+                    // Interior hop: obey the stamp unless the stamped
+                    // layer is dead at this hop (ECMP steered the
+                    // packet into a cut branch, or the fault struck
+                    // after the stamp) — then move to a locally live
+                    // layer. At most one move per (switch, flow,
+                    // destination) per fault era — a memoed move is
+                    // never overwritten, or two half-dead layers
+                    // could ping-pong a packet between neighbouring
+                    // switches for the whole stale window.
+                    let assigned = stamp as usize;
                     layer = assigned;
-                    if override_entry.is_none() && !self.layer_live(assigned, node, dst_index) {
-                        if let Some(alt) = (1..n_layers)
+                    if !layer_live(env, assigned, node, dst_index) {
+                        if let Some(memoed) = cell.memo.get(pkt.flow.0, dst.0) {
+                            if memoed as usize != assigned {
+                                layer = memoed as usize;
+                            }
+                        } else if let Some(alt) = (1..n_layers)
                             .map(|k| (assigned + k) % n_layers)
-                            .find(|&l| self.layer_live(l, node, dst_index))
+                            .find(|&l| layer_live(env, l, node, dst_index))
                         {
                             layer = alt;
-                            self.stats.layer_reassignments += 1;
-                            self.layer_overrides.insert((pkt.flow.0, dst.0), alt as u8);
-                            self.telemetry.record(
-                                self.now,
-                                FabricEvent::LayerReassign {
-                                    flow: pkt.flow.0,
-                                    dst: dst.0,
-                                    from: assigned as u8,
-                                    to: alt as u8,
-                                },
-                            );
+                            lane.stats.layer_reassignments += 1;
+                            cell.memo.insert(pkt.flow.0, dst.0, alt as u8);
+                            if env.tele_on {
+                                lane.notes.push((
+                                    at,
+                                    rank,
+                                    seq,
+                                    FabricEvent::LayerReassign {
+                                        flow: pkt.flow.0,
+                                        dst: dst.0,
+                                        from: assigned as u8,
+                                        to: alt as u8,
+                                    },
+                                ));
+                            }
                         }
                     }
                 }
-                let choices = self.topo.try_next_ports_at(layer, node, dst_index);
-                if choices.is_empty() {
-                    // The destination is unreachable under the current
-                    // fault mask; outside faults this is a config bug.
-                    assert!(
-                        !self.mask.is_empty() || self.stats.reroutes > 0,
-                        "no route from switch {} to host {} (routes computed?)",
-                        node.0,
-                        dst.0
-                    );
-                    self.stats.lost_to_fault += 1;
-                    return;
-                }
-                self.stats.layer_forwarded[layer] += 1;
-                let port = match self.config.route {
-                    RouteMode::EcmpFlow => choices[ecmp_choice(pkt.flow, node, choices.len())],
-                    RouteMode::Spray => choices[self.rng.below(choices.len() as u64) as usize],
-                };
-                match self.enqueue_and_kick(node, port, pkt) {
-                    Enqueued::Trimmed => self.stats.layer_trimmed[layer] += 1,
-                    Enqueued::Dropped => self.stats.layer_dropped[layer] += 1,
-                    Enqueued::Queued => {}
-                }
+                // Stamp (or re-stamp after a move): downstream hops
+                // follow this packet's layer without re-hashing.
+                pkt.payload.layer = layer as u8;
             }
-            Dest::Group(gid) => {
-                let group = self.groups.get(&gid).expect("unregistered multicast group");
-                let Some(ports) = group.table.get(&node) else {
-                    // Tree does not branch here. After a repair, packets
-                    // already inside the old tree can be stranded at
-                    // switches the new tree no longer visits — those are
-                    // fault losses. Otherwise it is a forwarding bug.
-                    assert!(
-                        self.stats.reroutes > 0,
-                        "group packet at switch {} outside its tree",
-                        node.0
-                    );
-                    self.stats.lost_to_fault += 1;
-                    return;
-                };
-                let ports = ports.clone();
-                for port in ports {
-                    self.enqueue_and_kick(node, port, pkt.clone());
-                }
+            let choices = env.topo.try_next_ports_at(layer, node, dst_index);
+            if choices.is_empty() {
+                // The destination is unreachable under the current
+                // fault mask; outside faults this is a config bug.
+                assert!(
+                    !env.control.mask.is_empty() || env.control.stats.reroutes > 0,
+                    "no route from switch {} to host {} (routes computed?)",
+                    node.0,
+                    dst.0
+                );
+                lane.stats.lost_to_fault += 1;
+                return;
+            }
+            lane.stats.layer_forwarded[layer] += 1;
+            let port = match env.config.route {
+                RouteMode::EcmpFlow => choices[ecmp_choice(pkt.flow, node, choices.len())],
+                RouteMode::Spray => choices[cell.rng.below(choices.len() as u64) as usize],
+            };
+            match enqueue_and_kick(env, cell, lane, at, port, pkt) {
+                Enqueued::Trimmed => lane.stats.layer_trimmed[layer] += 1,
+                Enqueued::Dropped => lane.stats.layer_dropped[layer] += 1,
+                Enqueued::Queued => {}
+            }
+        }
+        Dest::Group(gid) => {
+            let group = env
+                .control
+                .groups
+                .get(&gid)
+                .expect("unregistered multicast group");
+            let Some(ports) = group.table.get(&node) else {
+                // Tree does not branch here. After a repair, packets
+                // already inside the old tree can be stranded at
+                // switches the new tree no longer visits — those are
+                // fault losses. Otherwise it is a forwarding bug.
+                assert!(
+                    env.control.stats.reroutes > 0,
+                    "group packet at switch {} outside its tree",
+                    node.0
+                );
+                lane.stats.lost_to_fault += 1;
+                return;
+            };
+            let ports = ports.clone();
+            for port in ports {
+                enqueue_and_kick(env, cell, lane, at, port, pkt.clone());
             }
         }
     }
+}
 
-    /// Enqueue on a port and restart its transmit loop if idle. Returns
-    /// the queue's verdict so callers that know the packet's routing
-    /// layer can attribute trims/drops per layer.
-    fn enqueue_and_kick(&mut self, node: NodeId, port: u16, pkt: Packet<P>) -> Enqueued {
-        let outcome = self.queues[node.0 as usize][port as usize].enqueue(pkt);
-        match outcome {
-            Enqueued::Dropped => {
-                self.stats.dropped += 1;
-                return outcome;
-            }
-            Enqueued::Trimmed => self.stats.trimmed += 1,
-            Enqueued::Queued => {}
+/// Enqueue on a port and restart its transmit loop if idle. Returns
+/// the queue's verdict so callers that know the packet's routing
+/// layer can attribute trims/drops per layer.
+fn enqueue_and_kick<P: SimPayload, A: Agent<P>>(
+    env: &Env<'_>,
+    cell: &mut NodeCell<P, A>,
+    lane: &mut Lane<P>,
+    at: SimTime,
+    port: u16,
+    pkt: Packet<Stamped<P>>,
+) -> Enqueued {
+    let outcome = cell.queues[port as usize].enqueue(pkt);
+    match outcome {
+        Enqueued::Dropped => {
+            lane.stats.dropped += 1;
+            return outcome;
         }
-        if !self.busy[node.0 as usize][port as usize] {
-            self.transmit_next(node, port);
-        }
-        outcome
+        Enqueued::Trimmed => lane.stats.trimmed += 1,
+        Enqueued::Queued => {}
     }
+    if !cell.busy[port as usize] {
+        transmit_next(env, cell, lane, at, port);
+    }
+    outcome
+}
 
-    fn transmit_next(&mut self, node: NodeId, port: u16) {
-        let rate = self.effective_rate(node, port);
-        let faulted = self.mask.node_is_down(node) || self.mask.link_is_down(node, port);
-        if rate == 0 || faulted {
-            // Link down (silent rate-0 blackhole or detected fault):
-            // leave the port idle; queued packets wait for a possible
-            // repair (and overflow per queue discipline).
-            self.busy[node.0 as usize][port as usize] = false;
-            return;
-        }
-        let Some(pkt) = self.queues[node.0 as usize][port as usize].dequeue() else {
-            self.busy[node.0 as usize][port as usize] = false;
-            return;
-        };
-        self.busy[node.0 as usize][port as usize] = true;
-        let link = *self.topo.port(node, port);
-        let ser = serialization_ns(pkt.size, rate);
-        self.push_event(
-            self.now + ser + link.prop_ns,
-            EventKind::Arrive {
-                from: node,
-                port,
-                pkt,
-            },
-        );
-        self.push_event(self.now + ser, EventKind::Dequeue(node, port));
+fn transmit_next<P: SimPayload, A: Agent<P>>(
+    env: &Env<'_>,
+    cell: &mut NodeCell<P, A>,
+    lane: &mut Lane<P>,
+    at: SimTime,
+    port: u16,
+) {
+    let node = cell.node;
+    let rate = env
+        .control
+        .rate_overrides
+        .get(&(node.0, port))
+        .copied()
+        .unwrap_or_else(|| env.topo.port(node, port).rate_bps);
+    let faulted = env.control.mask.node_is_down(node) || env.control.mask.link_is_down(node, port);
+    if rate == 0 || faulted {
+        // Link down (silent rate-0 blackhole or detected fault):
+        // leave the port idle; queued packets wait for a possible
+        // repair (and overflow per queue discipline).
+        cell.busy[port as usize] = false;
+        return;
     }
+    let Some(pkt) = cell.queues[port as usize].dequeue() else {
+        cell.busy[port as usize] = false;
+        return;
+    };
+    cell.busy[port as usize] = true;
+    let link = *env.topo.port(node, port);
+    let ser = serialization_ns(pkt.size, rate);
+    let seq = cell.next_seq();
+    lane.out.push(Ev {
+        at: at + ser + link.prop_ns,
+        rank: node.0 + 1,
+        seq,
+        kind: NodeEvent::Arrive {
+            from: node,
+            port,
+            pkt: Box::new(pkt),
+        },
+    });
+    let seq = cell.next_seq();
+    lane.out.push(Ev {
+        at: at + ser,
+        rank: node.0 + 1,
+        seq,
+        kind: NodeEvent::Dequeue(node, port),
+    });
 }
 
 /// The equal-cost choice per-flow ECMP makes at `node`: a deterministic
@@ -1489,7 +2233,8 @@ mod tests {
             }
             sim.schedule_timer(a, SimTime::ZERO, 0);
             sim.run_to_completion();
-            sim.agents[b.0 as usize].take().unwrap().received
+            let slot = sim.cell_of[b.0 as usize] as usize;
+            sim.cells[slot].agent.take().unwrap().received
         };
         assert_eq!(run(42), run(42), "same seed ⇒ identical trace");
     }
@@ -1524,7 +2269,7 @@ mod tests {
 
     #[test]
     fn switch_failure_reroutes_and_drops_in_flight() {
-        let (mut sim, src, dst, agg) = fat_tree_sim(9);
+        let (mut sim, src, dst, agg) = fat_tree_sim(0);
         for i in 0..40 {
             sim.agent_mut(src).to_send.push(data_pkt(src, dst, i));
         }
@@ -1645,7 +2390,7 @@ mod tests {
         // Kill a core the tree actually crosses (the tests module can
         // see the private table; min-id keeps the HashMap's arbitrary
         // key order out of the test); the repair must re-tree around it.
-        let victim = *sim.groups[&gid]
+        let victim = *sim.control.groups[&gid]
             .table
             .keys()
             .filter(|n| cores.contains(n))
@@ -1692,7 +2437,8 @@ mod tests {
             sim.schedule_faults(&plan);
             sim.run_to_completion();
             let stats = sim.stats();
-            let trace = sim.agents[dst.0 as usize].take().unwrap().received;
+            let slot = sim.cell_of[dst.0 as usize] as usize;
+            let trace = sim.cells[slot].agent.take().unwrap().received;
             (stats, trace)
         };
         let (s1, t1) = run();
@@ -2083,7 +2829,7 @@ mod tests {
     /// the simulation, never shapes it.
     #[test]
     fn recorder_on_is_byte_identical_to_off() {
-        fn drive<T: crate::telemetry::TelemetrySink>(
+        fn drive<T: crate::telemetry::TelemetrySink + Send + Sync>(
             mut sim: Simulator<P, Echo, T>,
         ) -> (Vec<(SimTime, P)>, FabricStats) {
             let hosts = sim.topology().hosts().to_vec();
@@ -2180,5 +2926,165 @@ mod tests {
             dump.events.last().unwrap().event,
             FabricEvent::Anomaly(AnomalyKind::Timeout)
         ));
+    }
+
+    /// The `(time, rank, seq)` key is a total order independent of push
+    /// order: any insertion order pops the same sequence, global
+    /// (rank 0) events win ties against node events at the same
+    /// instant, and a node's own counter breaks its internal ties.
+    #[test]
+    fn event_key_is_total_and_push_order_independent() {
+        let mk = |at: u64, rank: u32, seq: u64| Ev {
+            at: SimTime::from_nanos(at),
+            rank,
+            seq,
+            kind: (),
+        };
+        // Deliberate ties in time (100) and in (time, rank) (rank 3).
+        let keys = [
+            (100u64, 0u32, 0u64), // global beats every node event at t=100
+            (100, 1, 5),
+            (100, 3, 1),
+            (100, 3, 2), // same node: counter order
+            (100, 7, 0),
+            (200, 0, 1),
+            (200, 2, 9),
+        ];
+        let pop_all = |order: &[usize]| -> Vec<(SimTime, u32, u64)> {
+            let mut heap = std::collections::BinaryHeap::new();
+            for &i in order {
+                let (at, rank, seq) = keys[i];
+                heap.push(std::cmp::Reverse(mk(at, rank, seq)));
+            }
+            let mut out = Vec::new();
+            while let Some(std::cmp::Reverse(ev)) = heap.pop() {
+                out.push(ev.key());
+            }
+            out
+        };
+        let forward = pop_all(&[0, 1, 2, 3, 4, 5, 6]);
+        let shuffled = pop_all(&[6, 3, 0, 5, 2, 4, 1]);
+        assert_eq!(forward, shuffled, "push order must not matter");
+        let mut sorted: Vec<_> = keys
+            .iter()
+            .map(|&(at, r, s)| (SimTime::from_nanos(at), r, s))
+            .collect();
+        sorted.sort();
+        assert_eq!(forward, sorted, "pop order is exactly key order");
+        // Global rank sorts first at its instant.
+        assert_eq!(forward[0], (SimTime::from_nanos(100), GLOBAL_RANK, 0));
+    }
+
+    /// `Arrive` boxes its packet, so a heap entry is the 20-byte key
+    /// plus a small kind — every sift moves a fixed few words no
+    /// matter how fat the payload type is. Pin the bound so a future
+    /// inline variant can't silently quadruple heap traffic.
+    #[test]
+    fn heap_event_stays_small_with_boxed_payload() {
+        assert!(
+            std::mem::size_of::<Ev<NodeEvent<P>>>() <= 48,
+            "heap event grew to {} bytes — keep large payload variants boxed",
+            std::mem::size_of::<Ev<NodeEvent<P>>>()
+        );
+        // And the bound is payload-independent: a deliberately fat
+        // payload must not widen the event.
+        #[derive(Debug, Clone)]
+        struct Fat(#[allow(dead_code)] [u64; 32]);
+        impl SimPayload for Fat {
+            fn is_control(&self) -> bool {
+                false
+            }
+            fn trim(&self) -> Option<Self> {
+                None
+            }
+        }
+        assert_eq!(
+            std::mem::size_of::<Ev<NodeEvent<Fat>>>(),
+            std::mem::size_of::<Ev<NodeEvent<P>>>(),
+            "payload size must not leak into the heap entry"
+        );
+    }
+
+    /// `shards: 1` (and a shard request collapsing to one shard) keeps
+    /// the plain serial loop: no plan is built, and the run is the
+    /// byte-identical baseline every sharded count is compared against.
+    #[test]
+    fn shard_count_one_is_the_serial_loop() {
+        let mut cfg = SimConfig::ndp(7);
+        cfg.shards = 1;
+        let (sim, _, _) = two_host_sim(cfg);
+        assert!(sim.plan.is_none(), "one shard = serial loop");
+        // A multi-shard request on a fabric too small to split also
+        // collapses to serial rather than spinning idle workers.
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Host);
+        let s = t.add_node(NodeKind::Switch);
+        t.connect(a, s, 1_000_000_000, 10_000);
+        t.compute_routes();
+        let mut cfg = SimConfig::ndp(7);
+        cfg.shards = 4;
+        let sim: Simulator<P, Echo> = Simulator::new(t, cfg);
+        assert!(sim.plan.is_none(), "one switch cannot shard");
+    }
+
+    /// The sharded loop reproduces the serial run byte for byte at any
+    /// shard count, through a mid-stream switch failure and repair —
+    /// same delivery trace (payloads and timestamps), same stats up to
+    /// the shard-machinery counters.
+    #[test]
+    fn sharded_run_matches_serial_through_faults() {
+        let run = |shards: usize| {
+            let t = Topology::fat_tree(4, 1_000_000_000, 10_000);
+            let hosts = t.hosts().to_vec();
+            let (src, dst) = (hosts[0], hosts[15]);
+            let edge = t.edge_switch(src);
+            let agg = t
+                .node_ports(edge)
+                .iter()
+                .map(|p| p.peer)
+                .find(|&n| t.kind(n) == NodeKind::Switch)
+                .expect("edge switch has aggregation uplinks");
+            let mut cfg = SimConfig::ndp(9);
+            cfg.shards = shards;
+            cfg.reroute_delay_ns = 50_000;
+            let mut sim = Simulator::new(t, cfg);
+            for &h in &hosts {
+                sim.set_agent(
+                    h,
+                    Echo {
+                        to_send: vec![],
+                        received: vec![],
+                    },
+                );
+            }
+            for i in 0..60 {
+                sim.agent_mut(src).to_send.push(data_pkt(src, dst, i));
+            }
+            sim.schedule_timer(src, SimTime::ZERO, 0);
+            let plan = FaultPlan::new()
+                .switch_down(SimTime::from_micros(80), agg)
+                .switch_up(SimTime::from_micros(500), agg);
+            sim.schedule_faults(&plan);
+            sim.run_to_completion();
+            let raw = sim.stats();
+            let slot = sim.cell_of[dst.0 as usize] as usize;
+            let trace = sim.cells[slot].agent.take().unwrap().received;
+            (raw, trace)
+        };
+        let (serial_stats, serial_trace) = run(1);
+        assert_eq!(serial_stats.shard_epochs, 0);
+        for shards in [2usize, 4] {
+            let (stats, trace) = run(shards);
+            assert!(
+                stats.shard_epochs > 0,
+                "shards={shards} must actually run sharded"
+            );
+            assert_eq!(
+                serial_stats.shard_invariant(),
+                stats.shard_invariant(),
+                "shards={shards}: stats diverged"
+            );
+            assert_eq!(serial_trace, trace, "shards={shards}: trace diverged");
+        }
     }
 }

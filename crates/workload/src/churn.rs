@@ -193,6 +193,7 @@ pub fn run_churn_rq(sc: &ChurnScenario, fabric: &Fabric, opts: &RqRunOptions) ->
     sim_cfg.switch_queue = opts.switch_queue;
     sim_cfg.route = opts.route;
     sim_cfg.parallelism = opts.parallelism;
+    sim_cfg.shards = opts.shards;
     sim_cfg.layer_assign = opts.layer_assign;
     sim_cfg.reroute_delay_ns = REROUTE_DELAY_NS;
     let mut pr = opts.pr;
@@ -295,6 +296,7 @@ pub fn run_churn_tcp(sc: &ChurnScenario, fabric: &Fabric, opts: &TcpRunOptions) 
     sim_cfg.switch_queue = opts.switch_queue;
     sim_cfg.route = opts.route;
     sim_cfg.parallelism = opts.parallelism;
+    sim_cfg.shards = opts.shards;
     sim_cfg.reroute_delay_ns = REROUTE_DELAY_NS;
     let mut sim: Simulator<_, TcpAgent, _> =
         Simulator::with_telemetry(topo, sim_cfg, opts.telemetry.recorder());

@@ -300,6 +300,11 @@ pub struct RqRunOptions {
     /// every setting — route tables are computed by pure per-column
     /// work — so this is purely a wall-clock knob for large fabrics.
     pub parallelism: usize,
+    /// Event-loop shards (0 = available cores, 1 = the serial loop,
+    /// the default). Like `parallelism`, byte-identical per seed at
+    /// every setting — the sharded loop replays the serial schedule —
+    /// so this too is purely a wall-clock knob.
+    pub shards: usize,
 }
 
 impl Default for RqRunOptions {
@@ -312,6 +317,7 @@ impl Default for RqRunOptions {
             layer_assign: LayerAssign::FlowHash,
             telemetry: TelemetryOptions::default(),
             parallelism: 1,
+            shards: 1,
         }
     }
 }
@@ -331,6 +337,7 @@ pub fn run_storage_rq(
     sim_cfg.switch_queue = opts.switch_queue;
     sim_cfg.route = opts.route;
     sim_cfg.parallelism = opts.parallelism;
+    sim_cfg.shards = opts.shards;
     sim_cfg.layer_assign = opts.layer_assign;
     let mut sim: Simulator<_, PolyraptorAgent> = Simulator::new(topo, sim_cfg);
 
@@ -485,6 +492,9 @@ pub struct TcpRunOptions {
     /// serial, the default). Reports are byte-identical per seed at
     /// every setting.
     pub parallelism: usize,
+    /// Event-loop shards (0 = available cores, 1 = the serial loop,
+    /// the default). Byte-identical per seed at every setting.
+    pub shards: usize,
 }
 
 impl Default for TcpRunOptions {
@@ -496,6 +506,7 @@ impl Default for TcpRunOptions {
             policy: RoutingPolicy::minimal(),
             telemetry: TelemetryOptions::default(),
             parallelism: 1,
+            shards: 1,
         }
     }
 }
@@ -515,6 +526,7 @@ pub fn run_storage_tcp(
     sim_cfg.switch_queue = opts.switch_queue;
     sim_cfg.route = opts.route;
     sim_cfg.parallelism = opts.parallelism;
+    sim_cfg.shards = opts.shards;
     let mut sim: Simulator<_, TcpAgent> = Simulator::new(topo, sim_cfg);
     let hosts = sim.topology().hosts().to_vec();
     for &h in &hosts {
@@ -623,6 +635,7 @@ pub fn run_incast_rq(scenario: &IncastScenario, fabric: &Fabric, opts: &RqRunOpt
     sim_cfg.switch_queue = opts.switch_queue;
     sim_cfg.route = opts.route;
     sim_cfg.parallelism = opts.parallelism;
+    sim_cfg.shards = opts.shards;
     sim_cfg.layer_assign = opts.layer_assign;
     let mut sim: Simulator<_, PolyraptorAgent> = Simulator::new(topo, sim_cfg);
     let hosts = sim.topology().hosts().to_vec();
@@ -658,6 +671,7 @@ pub fn run_incast_tcp(scenario: &IncastScenario, fabric: &Fabric, opts: &TcpRunO
     sim_cfg.switch_queue = opts.switch_queue;
     sim_cfg.route = opts.route;
     sim_cfg.parallelism = opts.parallelism;
+    sim_cfg.shards = opts.shards;
     let mut sim: Simulator<_, TcpAgent> = Simulator::new(topo, sim_cfg);
     let hosts = sim.topology().hosts().to_vec();
     for &h in &hosts {

@@ -35,7 +35,9 @@
 //! `--par N` sets the route-computation worker threads (0 = available
 //! cores, 1 = serial); results stay byte-identical per seed at every
 //! setting — the flag only changes the reroute wall-clock on the
-//! large-fabric churn lines.
+//! large-fabric churn lines. `--shards N` does the same for the event
+//! loop itself (conservative-window shard workers, 0 = available
+//! cores): per-seed results are identical at every shard count.
 
 use std::path::Path;
 
@@ -61,6 +63,23 @@ fn par_flag() -> usize {
                 .expect("--par takes a thread count")
                 .parse()
                 .expect("--par takes a thread count")
+        })
+        .unwrap_or(1)
+}
+
+/// `--shards N`: event-loop shards (0 = available cores, 1 = the
+/// serial loop, the default). Results are byte-identical per seed at
+/// every setting — the flag only changes event-loop wall-clock on the
+/// large fabrics.
+fn shards_flag() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--shards")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--shards takes a shard count")
+                .parse()
+                .expect("--shards takes a shard count")
         })
         .unwrap_or(1)
 }
@@ -191,6 +210,7 @@ fn run_churn(smoke: bool, telemetry: bool) {
     );
     let mut opts = RqRunOptions {
         parallelism: par_flag(),
+        shards: shards_flag(),
         ..Default::default()
     };
     if telemetry {
@@ -244,6 +264,7 @@ fn run_churn(smoke: bool, telemetry: bool) {
         big.fault_events = big_events;
         let big_opts = RqRunOptions {
             parallelism: par_flag(),
+            shards: shards_flag(),
             ..Default::default()
         };
         let rep = run_churn_rq(&big, &fabric, &big_opts);
@@ -285,6 +306,7 @@ fn main() {
 
     let mut rq_opts = RqRunOptions {
         parallelism: par_flag(),
+        shards: shards_flag(),
         ..Default::default()
     };
     if telemetry {

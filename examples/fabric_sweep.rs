@@ -30,6 +30,9 @@
 //!
 //! `--par N` sets the route-computation worker threads (0 = available
 //! cores); results stay byte-identical per seed at every setting.
+//! `--shards N` does the same for the event loop itself
+//! (conservative-window shard workers, 0 = available cores): per-seed
+//! sweep rows are identical at every shard count.
 
 use std::path::PathBuf;
 
@@ -75,6 +78,19 @@ fn main() {
                 .expect("--par takes a thread count")
         })
         .unwrap_or(1);
+    // Event-loop shards (0 = available cores, 1 = the serial loop).
+    // Like --par, the setting never changes a sweep row — only the
+    // event-loop wall-clock on large fabrics.
+    let shards: usize = args
+        .iter()
+        .position(|a| a == "--shards")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--shards takes a shard count")
+                .parse()
+                .expect("--shards takes a shard count")
+        })
+        .unwrap_or(1);
     let out: Option<PathBuf> = args
         .iter()
         .position(|a| a == "--out")
@@ -107,10 +123,12 @@ fn main() {
         let sc = FaultScenario::fig1_failure(sessions, bytes, 42);
         let rq_opts = RqRunOptions {
             parallelism: par,
+            shards,
             ..Default::default()
         };
         let tcp_opts = TcpRunOptions {
             parallelism: par,
+            shards,
             ..Default::default()
         };
         let rq = run_fault_rq(&sc, &fabric, &rq_opts);
@@ -162,6 +180,7 @@ fn main() {
             &fabric,
             &RqRunOptions {
                 parallelism: par,
+                shards,
                 ..Default::default()
             },
         );
@@ -223,6 +242,7 @@ fn main() {
         let opts = RqRunOptions {
             policy: RoutingPolicy::layered(layers, 7),
             parallelism: par,
+            shards,
             telemetry: if telemetry {
                 TelemetryOptions::enabled_default()
             } else {

@@ -6,10 +6,12 @@
 use polyraptor_repro::netsim::{FaultMix, RoutingPolicy};
 use polyraptor_repro::workload::{run_churn_rq, ChurnReport, ChurnScenario, Fabric, RqRunOptions};
 
-/// The sweep example's smoke configuration: a deg-4 Jellyfish whose
-/// seeded links-only fault draw severs minimal-unique paths of
+/// The sweep example's smoke shape (deg-4 Jellyfish) at a seed pair
+/// whose links-only fault draw severs minimal-unique paths of
 /// in-flight fetches — the low-path-diversity case layered routing
-/// exists for.
+/// exists for. (The seeds pin the draw; the tie-break rekey and
+/// per-node RNG streams of the sharded event loop moved the old
+/// draw, so the pinned seeds moved with it.)
 fn jellyfish() -> Fabric {
     Fabric::Jellyfish {
         switches: 12,
@@ -17,12 +19,12 @@ fn jellyfish() -> Fabric {
         hosts_per_switch: 2,
         rate_bps: 1_000_000_000,
         prop_ns: 10_000,
-        seed: 1,
+        seed: 7,
     }
 }
 
 fn link_churn() -> ChurnScenario {
-    let mut sc = ChurnScenario::ten_event(6, 1 << 20, 1);
+    let mut sc = ChurnScenario::ten_event(6, 1 << 20, 15);
     sc.fault_events = 10;
     sc.mix = FaultMix::links_only();
     sc
